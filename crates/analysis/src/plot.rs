@@ -1,0 +1,146 @@
+//! Minimal ASCII plots for experiment reports.
+
+/// Scatter/line plot of one or more series over a shared x-axis, rendered
+/// into a fixed-size character grid with axis labels.
+pub struct AsciiPlot {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<(char, Vec<(f64, f64)>)>,
+    log_x: bool,
+}
+
+impl AsciiPlot {
+    /// New plot of the given grid size (sensible: 60 x 16).
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        AsciiPlot {
+            title: title.into(),
+            width: width.max(10),
+            height: height.max(4),
+            series: Vec::new(),
+            log_x: false,
+        }
+    }
+
+    /// Use a log2 x-axis (for m sweeps).
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Add a series plotted with the given marker character.
+    pub fn series(mut self, marker: char, points: Vec<(f64, f64)>) -> Self {
+        self.series.push((marker, points));
+        self
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let xform = |x: f64| if self.log_x { x.log2() } else { x };
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, p)| p.iter().map(|&(x, y)| (xform(x), y)))
+            .collect();
+        if pts.is_empty() {
+            return format!("{}\n(no data)\n", self.title);
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (marker, series) in &self.series {
+            for &(x, y) in series {
+                let (x, y) = (xform(x), y);
+                let col = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+                let row = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+                let r = self.height - 1 - row;
+                grid[r][col.min(self.width - 1)] = *marker;
+            }
+        }
+        let mut out = format!("{}\n", self.title);
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{y1:>8.2} |")
+            } else if i == self.height - 1 {
+                format!("{y0:>8.2} |")
+            } else {
+                "         |".to_string()
+            };
+            out.push_str(&label);
+            out.push_str(&row.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "         +{}\n          {:<8.2}{:>w$.2}{}\n",
+            "-".repeat(self.width),
+            if self.log_x { x0.exp2() } else { x0 },
+            if self.log_x { x1.exp2() } else { x1 },
+            if self.log_x { "  (log2 x)" } else { "" },
+            w = self.width.saturating_sub(8),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_within_grid() {
+        let p = AsciiPlot::new("t", 40, 10)
+            .series('x', vec![(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)])
+            .render();
+        assert!(p.starts_with("t\n"));
+        assert_eq!(p.matches('x').count(), 3);
+        // Max y label on the top row.
+        assert!(p.contains("3.00 |"));
+        assert!(p.contains("1.00 |"));
+    }
+
+    #[test]
+    fn empty_plot() {
+        let p = AsciiPlot::new("e", 40, 10).render();
+        assert!(p.contains("(no data)"));
+    }
+
+    #[test]
+    fn multiple_series_markers() {
+        let p = AsciiPlot::new("two", 30, 8)
+            .series('a', vec![(0.0, 0.0)])
+            .series('b', vec![(1.0, 1.0)])
+            .render();
+        assert!(p.contains('a'));
+        assert!(p.contains('b'));
+    }
+
+    #[test]
+    fn log_axis_marks() {
+        let p = AsciiPlot::new("lg", 30, 8)
+            .log_x()
+            .series('*', vec![(8.0, 1.0), (1024.0, 2.0)])
+            .render();
+        assert!(p.contains("(log2 x)"));
+        assert!(p.contains("8.00"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let p = AsciiPlot::new("c", 30, 8)
+            .series('#', vec![(1.0, 5.0), (2.0, 5.0)])
+            .render();
+        assert_eq!(p.matches('#').count(), 2);
+    }
+}

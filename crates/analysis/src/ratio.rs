@@ -1,0 +1,98 @@
+//! Run-and-measure helpers shared by the experiments.
+
+use flowtree_dag::Time;
+use flowtree_sim::metrics::{flow_stats, FlowStats};
+use flowtree_sim::{Engine, Instance, OnlineScheduler};
+
+/// Outcome of running one scheduler on one instance.
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// Scheduler display name.
+    pub scheduler: String,
+    /// Flow statistics of the (verified) schedule.
+    pub stats: FlowStats,
+    /// The reference optimum (exact when the instance is certified,
+    /// otherwise the best lower bound — flagged by `reference_exact`).
+    pub reference: Time,
+    /// Whether `reference` is the exact OPT.
+    pub reference_exact: bool,
+}
+
+impl Run {
+    /// Max-flow competitive ratio against the reference (an upper bound on
+    /// the true ratio when the reference is a lower bound).
+    pub fn ratio(&self) -> f64 {
+        self.stats.max_flow as f64 / self.reference.max(1) as f64
+    }
+}
+
+/// Run `scheduler` on `instance`, verify the schedule, and report the ratio
+/// against `reference`.
+pub fn measure(
+    instance: &Instance,
+    m: usize,
+    scheduler: &mut dyn OnlineScheduler,
+    reference: Time,
+    reference_exact: bool,
+) -> Run {
+    let name = scheduler.name();
+    let schedule = Engine::new(m)
+        .with_max_horizon(horizon_for(instance))
+        .run(instance, scheduler)
+        .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+    schedule
+        .verify(instance)
+        .unwrap_or_else(|e| panic!("{name} produced an infeasible schedule: {e}"));
+    Run {
+        scheduler: name,
+        stats: flow_stats(instance, &schedule),
+        reference,
+        reference_exact,
+    }
+}
+
+/// Generous horizon: guess-and-double restarts can stretch schedules far
+/// beyond the work-conserving bound.
+fn horizon_for(instance: &Instance) -> Time {
+    instance.last_release() + 2000 * (instance.total_work() + instance.max_span() + 64)
+}
+
+/// Measure with the best certified lower bound as reference.
+pub fn measure_vs_lower_bound(
+    instance: &Instance,
+    m: usize,
+    scheduler: &mut dyn OnlineScheduler,
+) -> Run {
+    let lb = flowtree_opt::bounds::combined_lower_bound(instance, m as u64);
+    measure(instance, m, scheduler, lb, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtree_core::Fifo;
+    use flowtree_dag::builder::star;
+    use flowtree_sim::JobSpec;
+
+    #[test]
+    fn measure_reports_ratio() {
+        let inst = Instance::new(vec![JobSpec { graph: star(8), release: 0 }]);
+        let run = measure(&inst, 4, &mut Fifo::arbitrary(), 3, true);
+        assert_eq!(run.stats.max_flow, 3);
+        assert_eq!(run.ratio(), 1.0);
+        assert!(run.reference_exact);
+        assert_eq!(run.scheduler, "FIFO[became-ready]");
+    }
+
+    #[test]
+    fn measure_vs_lower_bound_uses_combined_bound() {
+        let inst = Instance::new(vec![
+            JobSpec { graph: star(8), release: 0 },
+            JobSpec { graph: star(8), release: 0 },
+        ]);
+        let run = measure_vs_lower_bound(&inst, 3, &mut Fifo::arbitrary());
+        assert_eq!(run.reference, 6); // ceil(18/3)
+        assert!(!run.reference_exact);
+        assert!(run.ratio() >= 1.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Experiment reports: tables + ASCII figures + notes, rendered to markdown.
+
+use crate::table::Table;
+
+/// The output of one experiment.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id, e.g. "E3".
+    pub id: &'static str,
+    /// What the experiment validates, e.g. "Theorem 4.2".
+    pub title: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// (caption, ascii art) figures.
+    pub figures: Vec<(String, String)>,
+    /// Free-form observations comparing measured results to the paper.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// New empty report.
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        Report {
+            id,
+            title: title.into(),
+            tables: Vec::new(),
+            figures: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a table.
+    pub fn table(&mut self, t: Table) -> &mut Self {
+        self.tables.push(t);
+        self
+    }
+
+    /// Append an ASCII figure.
+    pub fn figure(&mut self, caption: impl Into<String>, art: impl Into<String>) -> &mut Self {
+        self.figures.push((caption.into(), art.into()));
+        self
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, n: impl Into<String>) -> &mut Self {
+        self.notes.push(n.into());
+        self
+    }
+
+    /// Render the whole report as markdown.
+    pub fn render(&self) -> String {
+        let mut out = format!("## {} — {}\n\n", self.id, self.title);
+        for t in &self.tables {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+        for (caption, art) in &self.figures {
+            out.push_str(&format!("*{caption}*\n\n```text\n{art}```\n\n"));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("> {n}\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_everything() {
+        let mut r = Report::new("E0", "smoke");
+        let mut t = Table::new("tab", &["a"]);
+        t.row(vec!["1".into()]);
+        r.table(t);
+        r.figure("fig", "***\n");
+        r.note("observation");
+        let md = r.render();
+        assert!(md.contains("## E0 — smoke"));
+        assert!(md.contains("**tab**"));
+        assert!(md.contains("*fig*"));
+        assert!(md.contains("```text\n***\n```"));
+        assert!(md.contains("> observation"));
+    }
+
+    #[test]
+    fn empty_report_renders_header_only() {
+        let r = Report::new("E9", "t");
+        assert!(r.render().starts_with("## E9 — t"));
+    }
+}

@@ -1,0 +1,404 @@
+//! The Section 6 proof machinery, executable.
+//!
+//! The paper's FIFO upper bound (Theorem 6.1) rests on an intricate
+//! induction over batched instances. Following the paper ("we may assume
+//! only one job arrives at iOPT, by taking a union of DAGs if necessary"),
+//! all jobs sharing a release boundary form one **batch-job**; for batch
+//! `k` the analysis tracks
+//!
+//! * `w_k(t)` — remaining work of the batch at time `t`;
+//! * `S_k` — the FIFO schedule restricted to batches released at or before
+//!   `r_k`;
+//! * `z_k(t)` — the number of *idle* steps of `S_k` in `(r_k, t]` (a step is
+//!   idle when `S_k` runs fewer than `m` subjobs), with `z_k(t) = ∞` once
+//!   the batch is complete;
+//! * `τ` — the smallest power of two `>= 2·m·OPT`, `log τ` its exponent.
+//!
+//! This module computes all of them from a recorded schedule and checks the
+//! paper's statements *empirically* on any batched run:
+//!
+//! * **Proposition 6.2**: `z_k(t) <= OPT` while the batch is alive;
+//! * **Lemma 6.4**: `w_k(t) <= (OPT − z_k(t))·m`;
+//! * **Lemma 6.5 (1)**: at `t = i·OPT`, batches `0 .. i − log τ − 1` are
+//!   complete;
+//! * **Lemma 6.5 (12)/(13)**: for windows of batches `j .. j+ℓ` with
+//!   `j = i − log τ` and `0 <= ℓ <= log τ − 1`,
+//!   `Σ w_k(t)/m <= ℓ·OPT + min_k z_k(t)` and
+//!   `Σ w_k(t)/m <= Σ_{k=1..ℓ+1} (1 − 2^{-k})·OPT`.
+//!
+//! A failed check would falsify the paper's analysis (or reveal an
+//! implementation bug); the E14 experiment reports the measured slack in
+//! each inequality, showing *how much* room the induction has on hard vs
+//! easy batched families.
+
+use flowtree_dag::Time;
+use flowtree_sim::{Instance, Schedule};
+
+/// All Section 6 quantities for one (instance, schedule, OPT) triple, at
+/// batch granularity.
+#[derive(Debug, Clone)]
+pub struct Section6 {
+    m: usize,
+    /// The batched period = the OPT value used by the analysis (any upper
+    /// bound on the true optimum keeps every check conservative).
+    pub opt: Time,
+    /// `τ`: smallest power of two with `τ >= 2·m·OPT`.
+    pub tau: u64,
+    /// Release time of batch `k` (`k·OPT`; empty batches have work 0).
+    releases: Vec<Time>,
+    /// Completion time of batch `k` (its release if empty).
+    completions: Vec<Time>,
+    /// Total work of batch `k`.
+    works: Vec<u64>,
+    /// `done_by[k][t]` = subjobs of batch `k` completed by time `t`.
+    done_by: Vec<Vec<u64>>,
+    /// `idle[k][t]` = idle steps of `S_k` in `(r_k, t]`.
+    idle: Vec<Vec<u64>>,
+    horizon: Time,
+}
+
+impl Section6 {
+    /// Compute the ledger. `opt` must be the batched period (the analysis'
+    /// OPT); the instance must be batched with that period.
+    pub fn new(instance: &Instance, schedule: &Schedule, m: usize, opt: Time) -> Self {
+        assert!(opt >= 1 && m >= 1);
+        assert!(
+            instance.is_batched(opt),
+            "Section 6 requires releases at multiples of OPT"
+        );
+        let horizon = schedule.horizon();
+        let num_batches = (instance.last_release() / opt + 1) as usize;
+        let batch_of = |job: flowtree_dag::JobId| -> usize {
+            (instance.release(job) / opt) as usize
+        };
+
+        let releases: Vec<Time> = (0..num_batches).map(|k| k as Time * opt).collect();
+        let mut works = vec![0u64; num_batches];
+        for (id, spec) in instance.iter() {
+            works[batch_of(id)] += spec.graph.work();
+        }
+
+        // Per-batch completed-by-t prefix counts.
+        let mut done_by = vec![vec![0u64; horizon as usize + 1]; num_batches];
+        for t in 1..=horizon {
+            for &(j, _) in schedule.at(t) {
+                done_by[batch_of(j)][t as usize] += 1;
+            }
+        }
+        for row in done_by.iter_mut() {
+            for t in 1..=horizon as usize {
+                row[t] += row[t - 1];
+            }
+        }
+        // Batch completions (release for empty batches).
+        let completions: Vec<Time> = (0..num_batches)
+            .map(|k| {
+                if works[k] == 0 {
+                    return releases[k];
+                }
+                (1..=horizon)
+                    .find(|&t| done_by[k][t as usize] == works[k])
+                    .expect("complete schedule")
+            })
+            .collect();
+
+        // idle[k][t]: S_k = batches 0..=k. Per step, load within batches
+        // <= k; nested, so compute per-step per-batch loads then prefix.
+        let mut idle = vec![vec![0u64; horizon as usize + 1]; num_batches];
+        let mut step_batch_load = vec![0u64; num_batches];
+        let mut cum = vec![0u64; num_batches];
+        for t in 1..=horizon {
+            step_batch_load.iter_mut().for_each(|x| *x = 0);
+            for &(j, _) in schedule.at(t) {
+                step_batch_load[batch_of(j)] += 1;
+            }
+            let mut load_le = 0u64;
+            for k in 0..num_batches {
+                load_le += step_batch_load[k];
+                if t > releases[k] && load_le < m as u64 {
+                    cum[k] += 1;
+                }
+                idle[k][t as usize] = cum[k];
+            }
+        }
+
+        let tau = {
+            let target = 2 * m as u64 * opt;
+            let mut tau = 1u64;
+            while tau < target {
+                tau *= 2;
+            }
+            tau
+        };
+
+        Section6 {
+            m,
+            opt,
+            tau,
+            releases,
+            completions,
+            works,
+            done_by,
+            idle,
+            horizon,
+        }
+    }
+
+    /// `log2 τ`.
+    pub fn log_tau(&self) -> u32 {
+        self.tau.trailing_zeros()
+    }
+
+    /// Number of batches.
+    pub fn num_batches(&self) -> usize {
+        self.releases.len()
+    }
+
+    /// Remaining work `w_k(t)` of batch `k`.
+    pub fn w(&self, k: usize, t: Time) -> u64 {
+        let t = (t.min(self.horizon)) as usize;
+        self.works[k] - self.done_by[k][t]
+    }
+
+    /// Idle-step count `z_k(t)` (`u64::MAX` codes the paper's ∞ for
+    /// `t > C_k`).
+    pub fn z(&self, k: usize, t: Time) -> u64 {
+        if t > self.completions[k] {
+            return u64::MAX;
+        }
+        self.idle[k][t.min(self.horizon) as usize]
+    }
+
+    /// Completion time of batch `k`.
+    pub fn completion(&self, k: usize) -> Time {
+        self.completions[k]
+    }
+
+    /// Check Proposition 6.2's consequence: `z_k(t) <= OPT` while alive.
+    /// Returns the worst observed `z_k(t)`.
+    pub fn check_prop_6_2(&self) -> Result<u64, String> {
+        let mut worst = 0;
+        for k in 0..self.num_batches() {
+            for t in self.releases[k]..=self.completions[k] {
+                let z = self.z(k, t);
+                if z > self.opt {
+                    return Err(format!(
+                        "Prop 6.2 violated: z_{k}({t}) = {z} > OPT = {}",
+                        self.opt
+                    ));
+                }
+                worst = worst.max(z);
+            }
+        }
+        Ok(worst)
+    }
+
+    /// Check Lemma 6.4: `w_k(t) <= (OPT − z_k(t))·m`. Returns the minimum
+    /// observed slack `(OPT − z_k(t))·m − w_k(t)`.
+    pub fn check_lemma_6_4(&self) -> Result<u64, String> {
+        let mut slack = u64::MAX;
+        for k in 0..self.num_batches() {
+            for t in self.releases[k]..=self.completions[k] {
+                let z = self.z(k, t);
+                let bound = (self.opt.saturating_sub(z)) * self.m as u64;
+                let w = self.w(k, t);
+                if w > bound {
+                    return Err(format!(
+                        "Lemma 6.4 violated: w_{k}({t}) = {w} > (OPT − z)·m = {bound}"
+                    ));
+                }
+                slack = slack.min(bound - w);
+            }
+        }
+        Ok(slack)
+    }
+
+    /// Check Lemma 6.5 at every boundary `t = i·OPT` (including boundaries
+    /// past the last release, until the schedule drains). Returns the max
+    /// number of simultaneously alive batches observed at boundaries.
+    pub fn check_lemma_6_5(&self) -> Result<usize, String> {
+        let log_tau = self.log_tau() as usize;
+        let mut max_alive = 0usize;
+        let last_boundary = (self.horizon / self.opt + 1) as usize;
+        for i in 0..=last_boundary {
+            let t = i as Time * self.opt;
+            // (1): batches with index < i - log τ are complete by t.
+            for k in 0..self.num_batches().min(i.saturating_sub(log_tau)) {
+                if self.completions[k] > t {
+                    return Err(format!(
+                        "Lemma 6.5(1) violated at t={t}: batch {k} alive but \
+                         k < i − log τ = {}",
+                        i - log_tau
+                    ));
+                }
+            }
+            // Alive batches released strictly before t (diagnostics).
+            let alive = (0..self.num_batches())
+                .filter(|&k| self.releases[k] < t && self.completions[k] > t)
+                .count();
+            max_alive = max_alive.max(alive);
+
+            // Windows j..j+ℓ, j = i − log τ (clamped at 0), ℓ <= log τ − 1.
+            // The windows only cover batches released strictly before t, so
+            // there is nothing to check at the first boundary.
+            if i == 0 {
+                continue;
+            }
+            let j = i.saturating_sub(log_tau);
+            for l in 0..log_tau {
+                // Window of batch indices j..=j+l, but only those < i (the
+                // lemma's windows never include batch i itself) and < B.
+                let hi = (j + l).min(i - 1);
+                if hi < j {
+                    continue;
+                }
+                let window: Vec<usize> = (j..=hi.min(self.num_batches().saturating_sub(1)))
+                    .collect();
+                if window.is_empty() {
+                    continue;
+                }
+                let sum_w: u64 = window.iter().map(|&k| self.w(k, t)).sum();
+                let min_z: u64 = window.iter().map(|&k| self.z(k, t)).min().unwrap();
+                // (12): Σw/m <= ℓ·OPT + min z (trivially true when min z = ∞,
+                // i.e. the whole window is complete).
+                if min_z != u64::MAX {
+                    let rhs12 = (l as u64) * self.opt + min_z;
+                    if sum_w > rhs12 * self.m as u64 {
+                        return Err(format!(
+                            "Lemma 6.5(12) violated at t={t}, j={j}, ℓ={l}: \
+                             Σw = {sum_w} > m·(ℓ·OPT + min z) = {}",
+                            rhs12 * self.m as u64
+                        ));
+                    }
+                }
+                // (13): Σw/m <= Σ_{k=1..ℓ+1}(1 − 2^{-k})·OPT, compared in
+                // integers scaled by 2^{ℓ+1}.
+                let pow: u128 = 1u128 << (l + 1).min(63);
+                let rhs13_scaled: u128 = (1..=(l as u32 + 1))
+                    .map(|k| (pow - (pow >> k)) * self.opt as u128)
+                    .sum();
+                let lhs_scaled = sum_w as u128 * pow;
+                if lhs_scaled > rhs13_scaled * self.m as u128 {
+                    return Err(format!(
+                        "Lemma 6.5(13) violated at t={t}, j={j}, ℓ={l}: Σw = {sum_w}"
+                    ));
+                }
+            }
+        }
+        Ok(max_alive)
+    }
+
+    /// The flow bound Theorem 6.1 derives for batch-jobs: every batch
+    /// completes within `(log τ + 1)·OPT` of its release.
+    pub fn theorem_6_1_bound(&self) -> Time {
+        (self.log_tau() as u64 + 1) * self.opt
+    }
+
+    /// Worst batch flow (completion − release), to compare against
+    /// [`theorem_6_1_bound`](Self::theorem_6_1_bound).
+    pub fn max_batch_flow(&self) -> Time {
+        (0..self.num_batches())
+            .map(|k| self.completions[k] - self.releases[k])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtree_core::{Fifo, TieBreak};
+    use flowtree_sim::Engine;
+    use flowtree_workloads::{adversary, batched};
+
+    fn fifo_run(instance: &Instance, m: usize) -> Schedule {
+        let s = Engine::new(m)
+            .with_max_horizon(10_000_000)
+            .run(instance, &mut Fifo::new(TieBreak::BecameReady))
+            .unwrap();
+        s.verify(instance).unwrap();
+        s
+    }
+
+    #[test]
+    fn tau_is_correct() {
+        let p = batched::packed_chains(4, 4, 2, 2, &mut flowtree_workloads::rng(1));
+        let s = fifo_run(&p.instance, 4);
+        let sec = Section6::new(&p.instance, &s, 4, p.opt);
+        assert_eq!(sec.tau, 32); // 2*4*4 = 32, already a power of two
+        assert_eq!(sec.log_tau(), 5);
+        assert_eq!(sec.num_batches(), 2);
+    }
+
+    #[test]
+    fn invariants_hold_on_packed_batches() {
+        for seed in 0..4u64 {
+            let m = 6;
+            let p = batched::packed_chains(m, 6, 3, 4, &mut flowtree_workloads::rng(seed));
+            let s = fifo_run(&p.instance, m);
+            let sec = Section6::new(&p.instance, &s, m, p.opt);
+            let worst_z = sec.check_prop_6_2().unwrap();
+            assert!(worst_z <= p.opt);
+            sec.check_lemma_6_4().unwrap();
+            let max_alive = sec.check_lemma_6_5().unwrap();
+            assert!(max_alive as u32 <= sec.log_tau());
+            assert!(sec.max_batch_flow() <= sec.theorem_6_1_bound());
+        }
+    }
+
+    #[test]
+    fn invariants_hold_on_the_adversary() {
+        // The adversary family is batched with period m+1 >= its OPT.
+        let m = 8;
+        let out = adversary::duel(m, m, 12);
+        let inst = adversary::materialize(&out);
+        let s = fifo_run(&inst, m);
+        let sec = Section6::new(&inst, &s, m, (m + 1) as u64);
+        sec.check_prop_6_2().unwrap();
+        sec.check_lemma_6_4().unwrap();
+        sec.check_lemma_6_5().unwrap();
+        assert!(sec.max_batch_flow() <= sec.theorem_6_1_bound());
+    }
+
+    #[test]
+    fn invariants_hold_under_other_tiebreaks() {
+        // Theorem 6.1 is for *any* FIFO; check a couple of tie-breaks.
+        let m = 6;
+        let p = batched::packed_caterpillars(m, 6, 3, 3, &mut flowtree_workloads::rng(9));
+        for tie in [TieBreak::LastReady, TieBreak::Random(5)] {
+            let s = Engine::new(m)
+                .with_max_horizon(10_000_000)
+                .run(&p.instance, &mut Fifo::new(tie))
+                .unwrap();
+            let sec = Section6::new(&p.instance, &s, m, p.opt);
+            sec.check_prop_6_2().unwrap();
+            sec.check_lemma_6_4().unwrap();
+            sec.check_lemma_6_5().unwrap();
+        }
+    }
+
+    #[test]
+    fn w_and_z_accessors() {
+        let p = batched::packed_chains(3, 3, 2, 2, &mut flowtree_workloads::rng(2));
+        let s = fifo_run(&p.instance, 3);
+        let sec = Section6::new(&p.instance, &s, 3, p.opt);
+        // w at release = full batch work; w after horizon = 0.
+        for k in 0..sec.num_batches() {
+            assert_eq!(sec.w(k, k as u64 * p.opt), 3 * p.opt); // m*T per batch
+            assert_eq!(sec.w(k, s.horizon() + 5), 0);
+        }
+        // z is infinity-coded past completion.
+        assert_eq!(sec.z(0, s.horizon() + 10), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of OPT")]
+    fn rejects_unbatched_instances() {
+        let inst = Instance::new(vec![
+            flowtree_sim::JobSpec { graph: flowtree_dag::builder::chain(2), release: 0 },
+            flowtree_sim::JobSpec { graph: flowtree_dag::builder::chain(2), release: 3 },
+        ]);
+        let s = fifo_run(&inst, 2);
+        Section6::new(&inst, &s, 2, 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Parallel parameter sweeps.
+//!
+//! Experiments map a config list through an expensive measurement. The
+//! fan-out follows the data-race-free idiom of the project's HPC guides:
+//! scoped worker threads pulling indices from a crossbeam channel, results
+//! returned over another channel, no shared mutable state anywhere.
+
+use crossbeam::channel;
+
+/// Map `f` over `inputs` in parallel (order-preserving output). Uses up to
+/// `threads` workers (0 = available parallelism).
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(n);
+
+    if threads <= 1 {
+        return inputs.iter().map(&f).collect();
+    }
+
+    let (task_tx, task_rx) = channel::unbounded::<usize>();
+    let (out_tx, out_rx) = channel::unbounded::<(usize, O)>();
+    for i in 0..n {
+        task_tx.send(i).expect("queue open");
+    }
+    drop(task_tx);
+
+    let inputs_ref = &inputs;
+    let f_ref = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let task_rx = task_rx.clone();
+            let out_tx = out_tx.clone();
+            scope.spawn(move || {
+                while let Ok(i) = task_rx.recv() {
+                    let o = f_ref(&inputs_ref[i]);
+                    if out_tx.send((i, o)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(out_tx);
+        let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+        while let Ok((i, o)) = out_rx.recv() {
+            slots[i] = Some(o);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("worker delivered every slot"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), 4, |&x: &i32| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = parallel_map(vec![1, 2, 3], 1, |&x: &i32| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn auto_thread_count() {
+        let out = parallel_map((0..16).collect(), 0, |&x: &i32| -x);
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn actually_runs_concurrently_enough() {
+        // All tasks get executed exactly once.
+        let counter = AtomicUsize::new(0);
+        let _ = parallel_map((0..64).collect(), 8, |_: &i32| {
+            counter.fetch_add(1, Ordering::Relaxed)
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+}

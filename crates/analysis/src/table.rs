@@ -1,0 +1,179 @@
+//! Column-aligned markdown tables with CSV export.
+
+/// A simple table: header plus string rows, rendered as aligned markdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table caption (rendered above the table).
+    pub title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given caption and column names.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width mismatch in table '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// No data rows yet?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Borrow a cell (row, column) as a string.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Parse a column as f64 (panics on non-numeric cells) — used by tests
+    /// asserting monotonicity/bounds on results.
+    pub fn column_f64(&self, col: usize) -> Vec<f64> {
+        self.rows
+            .iter()
+            .map(|r| r[col].parse::<f64>().unwrap_or_else(|_| panic!("non-numeric cell '{}'", r[col])))
+            .collect()
+    }
+
+    /// Render as aligned GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut width: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("**{}**\n\n", self.title));
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:<w$} |", c, w = width[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&render_row(&self.columns));
+        out.push('|');
+        for w in &width {
+            out.push_str(&format!("{:-<w$}|", "", w = w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish; cells containing commas/quotes are
+    /// quoted).
+    pub fn to_csv(&self) -> String {
+        fn esc(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with 3 significant decimals for table cells.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["m", "ratio"]);
+        t.row(vec!["8".into(), "1.5".into()]);
+        t.row(vec!["16".into(), "2.25".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_is_aligned() {
+        let md = sample().to_markdown();
+        assert!(md.contains("**demo**"));
+        assert!(md.contains("| m  | ratio |"));
+        assert!(md.contains("| 8  | 1.5   |"));
+        assert!(md.contains("|----|-------|"));
+    }
+
+    #[test]
+    fn csv_export() {
+        let csv = sample().to_csv();
+        assert_eq!(csv, "m,ratio\n8,1.5\n16,2.25\n");
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["hi, \"there\"".into()]);
+        assert_eq!(t.to_csv(), "a\n\"hi, \"\"there\"\"\"\n");
+    }
+
+    #[test]
+    fn column_parse() {
+        assert_eq!(sample().column_f64(1), vec![1.5, 2.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        Table::new("t", &["a", "b"]).row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.cell(1, 0), "16");
+        assert_eq!(t.columns()[1], "ratio");
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

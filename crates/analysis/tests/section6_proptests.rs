@@ -1,0 +1,87 @@
+//! Property tests for the Section 6 proof ledger: the paper's inequalities
+//! must hold on *randomly constructed* certified batched instances, not just
+//! the curated families of E14.
+//!
+//! Construction with a certified OPT upper bound: each batch is a random
+//! out-forest with span <= P/2 and work <= m·P/2, so the batch alone is
+//! schedulable in P/2 + P/2 = P steps (Corollary 5.4 bound: span + work/m),
+//! and scheduling each batch inside its own window `[iP, (i+1)P]` gives a
+//! feasible schedule with max flow <= P. Hence OPT <= P and `Section6::new`
+//! with `opt = P` is a valid (conservative) instantiation of the analysis.
+
+use flowtree_analysis::section6::Section6;
+use flowtree_core::{Fifo, TieBreak};
+use flowtree_dag::{GraphBuilder, JobGraph, Time};
+use flowtree_sim::{Engine, Instance, JobSpec};
+use proptest::prelude::*;
+
+/// Random out-tree with at most `max_n` nodes and span at most `max_span`.
+fn bounded_tree(max_n: usize, max_span: usize, picks: &[usize]) -> JobGraph {
+    let n = max_n.max(1);
+    let mut b = GraphBuilder::new(n);
+    let mut depth = vec![1usize; n];
+    for v in 1..n {
+        // Attach to an earlier node whose depth leaves room.
+        let mut parent = picks[v - 1] % v;
+        if depth[parent] >= max_span {
+            // Fall back to the shallowest node.
+            parent = (0..v).min_by_key(|&u| depth[u]).unwrap();
+        }
+        depth[v] = depth[parent] + 1;
+        b.edge(parent as u32, v as u32);
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn section6_invariants_on_random_certified_batches(
+        m in 2usize..7,
+        period_half in 3u64..8,
+        batches in 2usize..5,
+        picks in proptest::collection::vec(0usize..10_000, 300),
+        tie in 0usize..3,
+    ) {
+        let p: Time = 2 * period_half; // OPT upper bound P (even)
+        // Per batch: span <= P/2 and work <= m*P/2.
+        let max_span = period_half as usize;
+        let max_work = (m as u64 * period_half) as usize;
+        let mut jobs = Vec::new();
+        let mut cursor = 0usize;
+        for b in 0..batches {
+            let mut budget = max_work;
+            // A couple of jobs per batch within the budget.
+            for _ in 0..2 {
+                if budget == 0 {
+                    break;
+                }
+                let n = 1 + picks[cursor % picks.len()] % budget.min(12);
+                cursor += 1;
+                let slice = &picks[cursor % (picks.len() - 20)..];
+                let g = bounded_tree(n, max_span, slice);
+                cursor += n;
+                budget -= g.n();
+                jobs.push(JobSpec { graph: g, release: b as Time * p });
+            }
+        }
+        let inst = Instance::new(jobs);
+        // Sanity of the certification argument.
+        prop_assert!(inst.max_span() <= period_half);
+        prop_assert!(inst.is_batched(p));
+
+        let tie = [TieBreak::BecameReady, TieBreak::LastReady, TieBreak::Random(7)][tie];
+        let s = Engine::new(m)
+            .with_max_horizon(1_000_000)
+            .run(&inst, &mut Fifo::new(tie))
+            .unwrap();
+        s.verify(&inst).unwrap();
+
+        let sec = Section6::new(&inst, &s, m, p);
+        prop_assert!(sec.check_prop_6_2().is_ok());
+        prop_assert!(sec.check_lemma_6_4().is_ok());
+        prop_assert!(sec.check_lemma_6_5().is_ok());
+        prop_assert!(sec.max_batch_flow() <= sec.theorem_6_1_bound());
+    }
+}

@@ -1,0 +1,44 @@
+//! The Section 4 adversary at scale: co-simulation cost as a function of
+//! the machine size (the E3/E4 kernel), plus the cost of materializing and
+//! replaying the instance at node level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowtree_core::Fifo;
+use flowtree_sim::Engine;
+use flowtree_workloads::adversary::{duel, materialize};
+use std::hint::black_box;
+
+fn bench_duel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary_duel");
+    group.sample_size(10);
+    for &m in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| black_box(duel(black_box(m), m, 40)).max_flow)
+        });
+    }
+    group.finish();
+}
+
+fn bench_materialize_and_replay(c: &mut Criterion) {
+    let m = 32;
+    let out = duel(m, m, 20);
+    let mut group = c.benchmark_group("adversary_node_level");
+    group.sample_size(10);
+    group.bench_function("materialize_m32", |b| {
+        b.iter(|| black_box(materialize(black_box(&out))).total_work())
+    });
+    let inst = materialize(&out);
+    group.bench_function("fifo_replay_m32", |b| {
+        b.iter(|| {
+            let s = Engine::new(m)
+                .with_max_horizon(10_000_000)
+                .run(black_box(&inst), &mut Fifo::arbitrary())
+                .unwrap();
+            black_box(s.horizon())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_duel, bench_materialize_and_replay);
+criterion_main!(benches);

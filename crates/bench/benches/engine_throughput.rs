@@ -1,0 +1,55 @@
+//! Simulator throughput: subjobs scheduled per second by the online engine
+//! under FIFO and LPF, across machine sizes. This is the substrate cost
+//! every experiment pays; the hot loop is allocation-free per step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flowtree_core::{Fifo, Lpf, TieBreak};
+use flowtree_sim::{Engine, Instance, JobSpec};
+use std::hint::black_box;
+
+fn stream_instance(n_jobs: usize, job_size: usize, spread: u64) -> Instance {
+    let mut rng = flowtree_workloads::rng(11);
+    let jobs = (0..n_jobs)
+        .map(|i| JobSpec {
+            graph: flowtree_workloads::trees::random_recursive_tree(job_size, &mut rng),
+            release: (i as u64) * spread,
+        })
+        .collect();
+    Instance::new(jobs)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for &m in &[8usize, 64, 256] {
+        let inst = stream_instance(64, 256, 8);
+        group.throughput(Throughput::Elements(inst.total_work()));
+        group.bench_with_input(BenchmarkId::new("fifo", m), &m, |b, &m| {
+            b.iter(|| {
+                let s = Engine::new(m)
+                    .run(black_box(&inst), &mut Fifo::new(TieBreak::BecameReady))
+                    .unwrap();
+                black_box(s.horizon())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lpf", m), &m, |b, &m| {
+            b.iter(|| {
+                let s = Engine::new(m).run(black_box(&inst), &mut Lpf::new()).unwrap();
+                black_box(s.horizon())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_verifier(c: &mut Criterion) {
+    let inst = stream_instance(64, 256, 8);
+    let s = Engine::new(64).run(&inst, &mut Fifo::arbitrary()).unwrap();
+    c.benchmark_group("verify")
+        .throughput(Throughput::Elements(inst.total_work()))
+        .bench_function("feasibility_check", |b| {
+            b.iter(|| black_box(&s).verify(black_box(&inst)).unwrap())
+        });
+}
+
+criterion_group!(benches, bench_engine, bench_verifier);
+criterion_main!(benches);

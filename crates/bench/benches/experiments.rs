@@ -1,0 +1,28 @@
+//! One Criterion bench per experiment: times the full regeneration of each
+//! table/figure of the reproduction (E1–E17) at quick effort. Besides the
+//! timing, running this bench *is* running the reproduction — each
+//! iteration regenerates the experiment's tables from scratch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowtree_analysis::{experiments, Effort};
+use std::hint::black_box;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    for id in experiments::ALL {
+        // E3/E4 at quick effort still simulate a few hundred thousand
+        // steps; keep the heavier ones in the group but with few samples.
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let report = experiments::run(black_box(id), Effort::Quick)
+                    .expect("known experiment id");
+                black_box(report.tables.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

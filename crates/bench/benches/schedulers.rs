@@ -1,0 +1,57 @@
+//! Per-scheduler overhead: wall time to schedule the same mixed instance
+//! end-to-end, per scheduler. FIFO's per-step cost is the baseline; the
+//! clairvoyant policies pay for height computations (at arrival) and, for
+//! Algorithm 𝒜, for materializing LPF schedules per group.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flowtree_core::baselines::{LeastRemainingWorkFirst, RandomWorkConserving, RoundRobin};
+use flowtree_core::{AlgoA, Fifo, GuessDoubleA, Lpf, TieBreak};
+use flowtree_sim::{Engine, Instance, JobSpec, OnlineScheduler};
+use std::hint::black_box;
+
+fn instance() -> Instance {
+    let mut rng = flowtree_workloads::rng(8);
+    let mut jobs = Vec::new();
+    for i in 0..48u64 {
+        jobs.push(JobSpec {
+            graph: flowtree_workloads::trees::random_recursive_tree(200, &mut rng),
+            release: i * 4,
+        });
+    }
+    Instance::new(jobs)
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let inst = instance();
+    let m = 16;
+    let mut group = c.benchmark_group("schedulers");
+    group.throughput(Throughput::Elements(inst.total_work()));
+    group.sample_size(20);
+
+    let cases: Vec<(&str, Box<dyn Fn() -> Box<dyn OnlineScheduler>>)> = vec![
+        ("fifo", Box::new(|| Box::new(Fifo::new(TieBreak::BecameReady)))),
+        ("fifo_height", Box::new(|| Box::new(Fifo::new(TieBreak::HighestHeight)))),
+        ("lpf", Box::new(|| Box::new(Lpf::new()))),
+        ("algo_a", Box::new(|| Box::new(AlgoA::with_batching(4, 16)))),
+        ("guess_double", Box::new(|| Box::new(GuessDoubleA::paper()))),
+        ("round_robin", Box::new(|| Box::new(RoundRobin))),
+        ("random_wc", Box::new(|| Box::new(RandomWorkConserving::new(1)))),
+        ("lrwf", Box::new(|| Box::new(LeastRemainingWorkFirst))),
+    ];
+    for (name, make) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sched = make();
+                let s = Engine::new(m)
+                    .with_max_horizon(10_000_000)
+                    .run(black_box(&inst), sched.as_mut())
+                    .unwrap();
+                black_box(s.horizon())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! `flowtree-repro gen` — generate an instance and write it as JSON.
+
+use flowtree_sim::Instance;
+use flowtree_workloads::{adversary, arrivals, batched, mix, rng, trees};
+use flowtree_sim::JobSpec;
+
+/// Options parsed from the command line.
+pub struct GenOptions {
+    pub family: String,
+    pub m: usize,
+    pub jobs: usize,
+    pub seed: u64,
+    pub out: Option<String>,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            family: String::new(),
+            m: 8,
+            jobs: 16,
+            seed: 42,
+            out: None,
+        }
+    }
+}
+
+/// Known families (shown by `gen --help` / on errors).
+pub const FAMILIES: &[&str] = &[
+    "adversary",
+    "packed-chains",
+    "packed-caterpillars",
+    "stream",
+    "sort-farm",
+    "service",
+    "analytics",
+    "quicksort-batch",
+];
+
+/// Build the instance for a family.
+pub fn generate(opts: &GenOptions) -> Result<Instance, String> {
+    let mut r = rng(opts.seed);
+    let inst = match opts.family.as_str() {
+        "adversary" => {
+            let out = adversary::duel(opts.m, opts.m, opts.jobs);
+            adversary::materialize(&out)
+        }
+        "packed-chains" => {
+            let t = (opts.m as u64).max(2);
+            batched::packed_chains(opts.m, t, (opts.m / 2).max(1), opts.jobs.max(1), &mut r)
+                .instance
+        }
+        "packed-caterpillars" => {
+            let t = (opts.m as u64).max(2);
+            batched::packed_caterpillars(
+                opts.m,
+                t,
+                (opts.m / 2).max(1),
+                opts.jobs.max(1),
+                &mut r,
+            )
+            .instance
+        }
+        "stream" => arrivals::load_stream(
+            opts.m,
+            0.9,
+            (4 * opts.jobs) as u64,
+            24.0,
+            |r| trees::random_recursive_tree(24, r),
+            &mut r,
+        ),
+        "sort-farm" => mix::Scenario::sort_farm(opts.jobs).instantiate(&mut r),
+        "service" => mix::Scenario::service(opts.jobs).instantiate(&mut r),
+        "analytics" => mix::Scenario::analytics(opts.jobs).instantiate(&mut r),
+        "quicksort-batch" => Instance::new(
+            (0..opts.jobs)
+                .map(|i| JobSpec {
+                    graph: trees::random_quicksort_tree(128 + 16 * (i % 9), 2, &mut r),
+                    release: 4 * i as u64,
+                })
+                .collect(),
+        ),
+        other => {
+            return Err(format!(
+                "unknown family '{other}'; known: {}",
+                FAMILIES.join(", ")
+            ))
+        }
+    };
+    Ok(inst)
+}
+
+/// Run the `gen` subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut opts = GenOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-m" => {
+                opts.m = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("-m needs a number")?
+            }
+            "--jobs" => {
+                opts.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--jobs needs a number")?
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?
+            }
+            "-o" | "--out" => opts.out = Some(it.next().ok_or("-o needs a path")?.clone()),
+            fam if !fam.starts_with('-') && opts.family.is_empty() => {
+                opts.family = fam.to_string()
+            }
+            other => return Err(format!("unknown gen option '{other}'")),
+        }
+    }
+    if opts.family.is_empty() {
+        return Err(format!(
+            "usage: flowtree-repro gen <family> [-m M] [--jobs N] [--seed S] [-o FILE]\n\
+             families: {}",
+            FAMILIES.join(", ")
+        ));
+    }
+    let inst = generate(&opts)?;
+    let json = serde_json::to_string_pretty(&inst).map_err(|e| e.to_string())?;
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!(
+                "wrote {} ({} jobs, work {}, span {})",
+                path,
+                inst.num_jobs(),
+                inst.total_work(),
+                inst.max_span()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_generate() {
+        for fam in FAMILIES {
+            let opts = GenOptions {
+                family: fam.to_string(),
+                m: 8,
+                jobs: 4,
+                seed: 1,
+                out: None,
+            };
+            let inst = generate(&opts).unwrap_or_else(|e| panic!("{fam}: {e}"));
+            assert!(inst.num_jobs() >= 1, "{fam}");
+            // Round-trips through JSON.
+            let json = serde_json::to_string(&inst).unwrap();
+            let back: Instance = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, inst, "{fam}");
+        }
+    }
+
+    #[test]
+    fn unknown_family_is_an_error() {
+        let opts = GenOptions { family: "nope".into(), ..Default::default() };
+        assert!(generate(&opts).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = |seed| {
+            generate(&GenOptions {
+                family: "service".into(),
+                seed,
+                jobs: 6,
+                ..Default::default()
+            })
+            .unwrap()
+        };
+        assert_eq!(mk(3), mk(3));
+        assert_ne!(mk(3), mk(4));
+    }
+}

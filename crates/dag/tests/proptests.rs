@@ -1,0 +1,162 @@
+//! Property-based tests for the job-graph substrate.
+
+use flowtree_dag::builder::{caterpillar, complete_kary, quicksort_tree};
+use flowtree_dag::classify;
+use flowtree_dag::graph::{GraphBuilder, JobGraph, NodeId};
+use flowtree_dag::profile::DepthProfile;
+use proptest::prelude::*;
+
+/// Strategy: random DAG via random edge set on `n` nodes where every edge
+/// goes from a lower to a higher id (guaranteeing acyclicity).
+fn arb_dag(max_n: usize) -> impl Strategy<Value = JobGraph> {
+    (1..=max_n).prop_flat_map(|n| {
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
+            .collect();
+        proptest::sample::subsequence(pairs.clone(), 0..=pairs.len()).prop_map(
+            move |edges| {
+                let mut b = GraphBuilder::new(n);
+                for (u, v) in edges {
+                    b.edge(u, v);
+                }
+                b.build().expect("forward edges are acyclic")
+            },
+        )
+    })
+}
+
+/// Strategy: random out-tree by the "random recursive tree" process — node i
+/// attaches to a uniformly random earlier node.
+fn arb_out_tree(max_n: usize) -> impl Strategy<Value = JobGraph> {
+    (1..=max_n)
+        .prop_flat_map(|n| {
+            proptest::collection::vec(0..usize::MAX, n.saturating_sub(1)).prop_map(
+                move |choices| {
+                    let mut b = GraphBuilder::new(n);
+                    for (i, &c) in choices.iter().enumerate() {
+                        let v = i + 1;
+                        b.edge((c % v) as u32, v as u32);
+                    }
+                    b.build().expect("recursive tree is acyclic")
+                },
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn topo_order_valid_for_random_dags(g in arb_dag(40)) {
+        let mut pos = vec![0usize; g.n()];
+        for (i, &v) in g.topo_order().iter().enumerate() {
+            pos[v as usize] = i;
+        }
+        for (u, v) in g.edges() {
+            prop_assert!(pos[u as usize] < pos[v as usize]);
+        }
+    }
+
+    #[test]
+    fn heights_depths_consistent(g in arb_dag(40)) {
+        let h = g.heights();
+        let d = g.depths();
+        // Edge relations.
+        for (u, v) in g.edges() {
+            prop_assert!(h[u as usize] > h[v as usize]);
+            prop_assert!(d[v as usize] > d[u as usize]);
+        }
+        // Span from either end matches.
+        let span_h = *h.iter().max().unwrap() as u64;
+        let span_d = *d.iter().max().unwrap() as u64;
+        prop_assert_eq!(span_h, span_d);
+        prop_assert_eq!(span_h, g.span());
+        // For every node, h(v) + d(v) - 1 <= span (path through v).
+        for v in 0..g.n() {
+            prop_assert!((h[v] + d[v] - 1) as u64 <= g.span());
+        }
+    }
+
+    #[test]
+    fn reverse_swaps_heights_depths(g in arb_dag(30)) {
+        let r = classify::reverse(&g);
+        prop_assert_eq!(r.heights(), g.depths());
+        prop_assert_eq!(r.depths(), g.heights());
+        prop_assert_eq!(classify::reverse(&r), g.clone());
+    }
+
+    #[test]
+    fn serde_roundtrip_random_dag(g in arb_dag(25)) {
+        let json = serde_json::to_string(&g).unwrap();
+        let back: JobGraph = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn random_recursive_trees_are_out_trees(g in arb_out_tree(60)) {
+        prop_assert!(classify::is_out_tree(&g));
+        prop_assert!(classify::is_layered(&g));
+        prop_assert_eq!(classify::num_components(&g), 1);
+        // In an out-tree, edges = n - 1.
+        prop_assert_eq!(g.num_edges(), g.n() - 1);
+    }
+
+    #[test]
+    fn depth_profile_sums_to_work(g in arb_out_tree(60)) {
+        let p = DepthProfile::new(&g);
+        let total: u64 = (1..=p.max_depth()).map(|d| p.nodes_at_depth(d)).sum();
+        prop_assert_eq!(total, g.work());
+        prop_assert_eq!(p.total_work(), g.work());
+        // W(d) = sum of counts beyond d.
+        for d in 0..=p.max_depth() {
+            let direct: u64 = ((d + 1)..=p.max_depth()).map(|x| p.nodes_at_depth(x)).sum();
+            prop_assert_eq!(p.work_below(d), direct);
+        }
+    }
+
+    #[test]
+    fn opt_single_job_bounds(g in arb_out_tree(60), m in 1u64..16) {
+        let p = DepthProfile::new(&g);
+        let opt = p.opt_single_job(m);
+        prop_assert!(opt >= g.span());
+        prop_assert!(opt >= g.work().div_ceil(m));
+        // And OPT is at most span + ceil(work/m) (schedule levels greedily).
+        prop_assert!(opt <= g.span() + g.work().div_ceil(m));
+        // Monotone in m.
+        prop_assert!(p.opt_single_job(m + 1) <= opt);
+    }
+
+    #[test]
+    fn out_forest_roots_are_ancestors(g in arb_out_tree(40)) {
+        let roots = classify::out_forest_roots(&g);
+        // Walk up from every node; must reach its recorded root.
+        #[allow(clippy::needless_range_loop)] // v is a node id, not an index
+        for v in 0..g.n() {
+            let mut cur = v as u32;
+            loop {
+                let ps = g.parents(NodeId(cur));
+                if ps.is_empty() { break; }
+                cur = ps[0];
+            }
+            prop_assert_eq!(cur, roots[v]);
+        }
+    }
+
+    #[test]
+    fn union_preserves_work_span(g in arb_out_tree(30), h in arb_out_tree(30)) {
+        let (u, offsets) = JobGraph::disjoint_union(&[&g, &h]);
+        prop_assert_eq!(u.work(), g.work() + h.work());
+        prop_assert_eq!(u.span(), g.span().max(h.span()));
+        prop_assert_eq!(offsets, vec![0, g.n() as u32]);
+        prop_assert!(classify::is_out_forest(&u));
+    }
+}
+
+#[test]
+fn deterministic_builders_are_out_trees() {
+    for g in [
+        complete_kary(4, 4),
+        caterpillar(10, &[0, 1, 2, 3, 4, 0, 0, 2, 1, 9]),
+        quicksort_tree(500, 1, 3, 2),
+    ] {
+        assert!(classify::is_out_tree(&g));
+    }
+}

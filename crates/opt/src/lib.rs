@@ -1,0 +1,35 @@
+//! # flowtree-opt — optimal values, certified lower bounds, classical exact
+//! algorithms
+//!
+//! Measuring a competitive ratio needs a reference value. This crate provides
+//! the paper's own bounds plus exact machinery:
+//!
+//! * [`bounds`] — per-job lower bounds on the optimal maximum flow: span,
+//!   work, and the depth-profile bound of **Lemma 5.1**
+//!   (`OPT >= d + ceil(W(d)/m)`).
+//! * [`single`] — **Corollary 5.4**: the exact optimal maximum flow of a
+//!   single out-forest job, `OPT = max_d (d + ceil(W(d)/m))`.
+//! * [`interval`] — a multi-job *interval load* lower bound: work released
+//!   inside a window must fit between the window start and the last deadline.
+//! * [`exact`] — exact optimal maximum flow for small instances by binary
+//!   search over the objective plus memoized depth-first feasibility search.
+//!   Used to validate every approximate bound and the optimality claims.
+//! * [`hu`] — Hu's 1961 highest-level-first algorithm, optimal for unit-task
+//!   in-forest makespan (the classical result the paper's related work
+//!   builds on).
+//! * [`bgj`] — Brucker–Garey–Johnson modified-deadline list scheduling,
+//!   optimal for unit-task in-forests with deadlines (max lateness).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bgj;
+pub mod bounds;
+pub mod exact;
+pub mod hu;
+pub mod interval;
+pub mod single;
+
+pub use bounds::{combined_lower_bound, job_lower_bound};
+pub use exact::exact_max_flow;
+pub use single::single_group_opt;

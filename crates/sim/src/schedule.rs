@@ -1,0 +1,355 @@
+//! Recorded schedules and the independent feasibility checker.
+//!
+//! A [`Schedule`] stores, for every time step `t >= 1`, the subjobs run
+//! during that step (the paper's `S(t)`). [`Schedule::verify`] re-checks the
+//! four feasibility conditions of Section 3 from scratch, independently of
+//! the engine's online validation — every test that produces a schedule also
+//! verifies it, so engine and checker would both have to be wrong in the same
+//! way for an infeasible schedule to slip through.
+
+use crate::instance::Instance;
+use flowtree_dag::{JobId, NodeId, Time};
+use serde::{Deserialize, Serialize};
+
+/// A complete recorded schedule on `m` processors.
+///
+/// Serializes as `{ m, steps }`; deserialization performs only structural
+/// checks (per-step capacity) — run [`verify`](Self::verify) against the
+/// instance to validate a loaded schedule fully.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    m: usize,
+    /// `steps[i]` = subjobs run during time step `i + 1`.
+    steps: Vec<Vec<(JobId, NodeId)>>,
+}
+
+/// Violations reported by [`Schedule::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeasibilityError {
+    /// More than `m` subjobs in one step.
+    CapacityExceeded {
+        /// The offending time step.
+        t: Time,
+        /// Number of subjobs scheduled there.
+        count: usize,
+        /// Machine capacity.
+        m: usize,
+    },
+    /// A subjob scheduled more than once.
+    DuplicateRun(JobId, NodeId),
+    /// A subjob never scheduled.
+    MissingRun(JobId, NodeId),
+    /// A subjob ran although a predecessor had not completed strictly before.
+    PrecedenceViolation {
+        /// The job containing the violated edge.
+        job: JobId,
+        /// Predecessor node.
+        pred: NodeId,
+        /// Successor node.
+        succ: NodeId,
+    },
+    /// A subjob completed at `t <= r_i`, i.e. started before its release.
+    ReleaseViolation(JobId, NodeId),
+    /// A referenced job id or node id does not exist in the instance.
+    UnknownSubjob(JobId, NodeId),
+}
+
+impl std::fmt::Display for FeasibilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeasibilityError::CapacityExceeded { t, count, m } => {
+                write!(f, "step {t}: {count} subjobs on {m} processors")
+            }
+            FeasibilityError::DuplicateRun(j, v) => write!(f, "{j}/{v} scheduled twice"),
+            FeasibilityError::MissingRun(j, v) => write!(f, "{j}/{v} never scheduled"),
+            FeasibilityError::PrecedenceViolation { job, pred, succ } => {
+                write!(f, "{job}: edge {pred} -> {succ} violated")
+            }
+            FeasibilityError::ReleaseViolation(j, v) => {
+                write!(f, "{j}/{v} ran before the job's release")
+            }
+            FeasibilityError::UnknownSubjob(j, v) => write!(f, "unknown subjob {j}/{v}"),
+        }
+    }
+}
+
+impl std::error::Error for FeasibilityError {}
+
+impl Schedule {
+    /// An empty schedule on `m` processors.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "need at least one processor");
+        Schedule { m, steps: Vec::new() }
+    }
+
+    /// Machine capacity.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Record that `picks` run during step `t = horizon + 1` (appended).
+    pub fn push_step(&mut self, picks: Vec<(JobId, NodeId)>) {
+        debug_assert!(picks.len() <= self.m);
+        self.steps.push(picks);
+    }
+
+    /// Replace the contents of step `t` (1-based; must be within the
+    /// current horizon). Used by schedule *constructors* (e.g. the
+    /// Section 4 witness schedule) that fill non-contiguous windows.
+    pub fn replace_step(&mut self, t: Time, picks: Vec<(JobId, NodeId)>) {
+        assert!(t >= 1 && t <= self.steps.len() as Time, "step {t} out of range");
+        debug_assert!(picks.len() <= self.m);
+        self.steps[(t - 1) as usize] = picks;
+    }
+
+    /// Largest time step with any activity (0 if empty). Trailing empty
+    /// steps are retained (they represent idle time before later arrivals).
+    pub fn horizon(&self) -> Time {
+        self.steps.len() as Time
+    }
+
+    /// Subjobs run during step `t` (1-based, per the paper's convention).
+    /// Empty for `t` beyond the horizon.
+    pub fn at(&self, t: Time) -> &[(JobId, NodeId)] {
+        if t == 0 || t > self.steps.len() as Time {
+            &[]
+        } else {
+            &self.steps[(t - 1) as usize]
+        }
+    }
+
+    /// Number of subjobs run during step `t`.
+    pub fn load(&self, t: Time) -> usize {
+        self.at(t).len()
+    }
+
+    /// Iterate `(t, &picks)` over all steps.
+    pub fn iter(&self) -> impl Iterator<Item = (Time, &[(JobId, NodeId)])> + '_ {
+        self.steps
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ((i + 1) as Time, p.as_slice()))
+    }
+
+    /// Completion time `C_i` of each job: the max step in which one of its
+    /// subjobs ran. Returns `None` for a job with no scheduled subjob.
+    pub fn completion_times(&self, instance: &Instance) -> Vec<Option<Time>> {
+        let mut c = vec![None; instance.num_jobs()];
+        for (t, picks) in self.iter() {
+            for &(j, _) in picks {
+                let slot = &mut c[j.index()];
+                *slot = Some(slot.map_or(t, |old: Time| old.max(t)));
+            }
+        }
+        c
+    }
+
+    /// Check the four feasibility conditions of Section 3 against `instance`.
+    pub fn verify(&self, instance: &Instance) -> Result<(), FeasibilityError> {
+        // Completion time per (job, node); detects duplicates.
+        let mut completion: Vec<Vec<Time>> = instance
+            .jobs()
+            .iter()
+            .map(|j| vec![0; j.graph.n()])
+            .collect();
+
+        for (t, picks) in self.iter() {
+            if picks.len() > self.m {
+                return Err(FeasibilityError::CapacityExceeded {
+                    t,
+                    count: picks.len(),
+                    m: self.m,
+                });
+            }
+            for &(j, v) in picks {
+                if j.index() >= instance.num_jobs()
+                    || v.index() >= instance.graph(j).n()
+                {
+                    return Err(FeasibilityError::UnknownSubjob(j, v));
+                }
+                let slot = &mut completion[j.index()][v.index()];
+                if *slot != 0 {
+                    return Err(FeasibilityError::DuplicateRun(j, v));
+                }
+                *slot = t;
+                // Subjob runs during (t-1, t]; needs t - 1 >= r_i, i.e. the
+                // paper's "if j in S(t) then t > r_i".
+                if t <= instance.release(j) {
+                    return Err(FeasibilityError::ReleaseViolation(j, v));
+                }
+            }
+        }
+
+        for (id, spec) in instance.iter() {
+            let comp = &completion[id.index()];
+            for v in spec.graph.nodes() {
+                if comp[v.index()] == 0 {
+                    return Err(FeasibilityError::MissingRun(id, v));
+                }
+            }
+            for (u, v) in spec.graph.edges() {
+                if comp[u as usize] >= comp[v as usize] {
+                    return Err(FeasibilityError::PrecedenceViolation {
+                        job: id,
+                        pred: NodeId(u),
+                        succ: NodeId(v),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Restrict to the subjobs of jobs released at or before `r`: the
+    /// paper's `S_i` (Section 6) when `r = r_i`. The result is a partial
+    /// schedule (verify() would report missing runs for excluded jobs).
+    pub fn restrict_to_released_by(&self, instance: &Instance, r: Time) -> Schedule {
+        let steps = self
+            .steps
+            .iter()
+            .map(|picks| {
+                picks
+                    .iter()
+                    .copied()
+                    .filter(|&(j, _)| instance.release(j) <= r)
+                    .collect()
+            })
+            .collect();
+        Schedule { m: self.m, steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Instance, JobSpec};
+    use flowtree_dag::builder::{chain, star};
+
+    fn inst() -> Instance {
+        Instance::new(vec![
+            JobSpec { graph: chain(2), release: 0 },
+            JobSpec { graph: star(2), release: 1 },
+        ])
+    }
+
+    fn ok_schedule() -> Schedule {
+        let mut s = Schedule::new(2);
+        // t=1: chain head. t=2: chain tail + star root. t=3: both leaves.
+        s.push_step(vec![(JobId(0), NodeId(0))]);
+        s.push_step(vec![(JobId(0), NodeId(1)), (JobId(1), NodeId(0))]);
+        s.push_step(vec![(JobId(1), NodeId(1)), (JobId(1), NodeId(2))]);
+        s
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        assert_eq!(ok_schedule().verify(&inst()), Ok(()));
+    }
+
+    #[test]
+    fn completion_times_and_horizon() {
+        let s = ok_schedule();
+        assert_eq!(s.horizon(), 3);
+        assert_eq!(s.completion_times(&inst()), vec![Some(2), Some(3)]);
+        assert_eq!(s.load(2), 2);
+        assert_eq!(s.at(0), &[]);
+        assert_eq!(s.at(99), &[]);
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let mut s = Schedule::new(1);
+        s.steps.push(vec![
+            (JobId(0), NodeId(0)),
+            (JobId(1), NodeId(0)),
+        ]);
+        assert!(matches!(
+            s.verify(&inst()),
+            Err(FeasibilityError::CapacityExceeded { t: 1, count: 2, m: 1 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_detected() {
+        let mut s = ok_schedule();
+        s.push_step(vec![(JobId(0), NodeId(0))]);
+        assert_eq!(
+            s.verify(&inst()),
+            Err(FeasibilityError::DuplicateRun(JobId(0), NodeId(0)))
+        );
+    }
+
+    #[test]
+    fn missing_detected() {
+        let mut s = Schedule::new(2);
+        s.push_step(vec![(JobId(0), NodeId(0))]);
+        let err = s.verify(&inst()).unwrap_err();
+        assert!(matches!(err, FeasibilityError::MissingRun(_, _)));
+    }
+
+    #[test]
+    fn precedence_violation_detected() {
+        let mut s = Schedule::new(2);
+        // Run chain tail before head.
+        s.push_step(vec![(JobId(0), NodeId(1))]);
+        s.push_step(vec![(JobId(0), NodeId(0)), (JobId(1), NodeId(0))]);
+        s.push_step(vec![(JobId(1), NodeId(1)), (JobId(1), NodeId(2))]);
+        assert_eq!(
+            s.verify(&inst()),
+            Err(FeasibilityError::PrecedenceViolation {
+                job: JobId(0),
+                pred: NodeId(0),
+                succ: NodeId(1),
+            })
+        );
+    }
+
+    #[test]
+    fn simultaneous_pred_succ_is_violation() {
+        let mut s = Schedule::new(2);
+        s.push_step(vec![(JobId(0), NodeId(0)), (JobId(0), NodeId(1))]);
+        s.push_step(vec![(JobId(1), NodeId(0))]);
+        s.push_step(vec![(JobId(1), NodeId(1)), (JobId(1), NodeId(2))]);
+        assert!(matches!(
+            s.verify(&inst()),
+            Err(FeasibilityError::PrecedenceViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn release_violation_detected() {
+        let mut s = Schedule::new(2);
+        // Star (released at 1) cannot complete a subjob at t=1.
+        s.push_step(vec![(JobId(0), NodeId(0)), (JobId(1), NodeId(0))]);
+        let err = s.verify(&inst()).unwrap_err();
+        assert_eq!(err, FeasibilityError::ReleaseViolation(JobId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn unknown_subjob_detected() {
+        let mut s = Schedule::new(2);
+        s.push_step(vec![(JobId(0), NodeId(7))]);
+        assert_eq!(
+            s.verify(&inst()),
+            Err(FeasibilityError::UnknownSubjob(JobId(0), NodeId(7)))
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = ok_schedule();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        back.verify(&inst()).unwrap();
+    }
+
+    #[test]
+    fn restriction_filters_late_jobs() {
+        let s = ok_schedule();
+        let r = s.restrict_to_released_by(&inst(), 0);
+        assert_eq!(r.load(2), 1); // star root filtered out
+        assert_eq!(r.load(3), 0);
+        assert_eq!(r.at(2), &[(JobId(0), NodeId(1))]);
+    }
+}

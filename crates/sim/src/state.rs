@@ -1,0 +1,312 @@
+//! Runtime simulation state: which subjobs are ready, which jobs are alive.
+//!
+//! [`SimState`] tracks, per job, the remaining in-degree of every node, a
+//! ready list (arbitrary order; removal is O(1) swap-remove) and a global
+//! monotone **became-ready stamp** per node so schedulers can reconstruct
+//! the true became-ready order when they need it (e.g.
+//! `FIFO[became-ready]`). All mutation is O(1) amortized per (node, edge).
+
+use crate::instance::Instance;
+use flowtree_dag::{JobId, NodeId, Time};
+
+const NOT_READY: u32 = u32::MAX;
+
+/// Per-job runtime bookkeeping.
+#[derive(Debug, Clone)]
+struct JobState {
+    /// Remaining unfinished predecessors per node.
+    indeg: Vec<u32>,
+    /// Ready nodes (arbitrary order — removal swaps; use `seq` for true
+    /// became-ready order).
+    ready: Vec<u32>,
+    /// Position of each node in `ready` (NOT_READY if absent).
+    pos: Vec<u32>,
+    /// Global became-ready stamp per node (monotone across the whole
+    /// simulation; 0 = never ready yet).
+    seq: Vec<u64>,
+    /// Completion time per node (0 = not complete; valid times are >= 1).
+    completion: Vec<Time>,
+    /// Number of unfinished nodes.
+    unfinished: u32,
+    /// Has the job been released to the scheduler yet?
+    released: bool,
+}
+
+/// Mutable simulation state over an [`Instance`].
+#[derive(Debug, Clone)]
+pub struct SimState {
+    jobs: Vec<JobState>,
+    /// Released, unfinished jobs in arrival (JobId) order.
+    alive: Vec<JobId>,
+    /// Next job (by arrival order) not yet released.
+    next_release: usize,
+    finished_jobs: usize,
+    /// Monotone became-ready counter (next stamp to hand out).
+    next_seq: u64,
+}
+
+impl SimState {
+    /// Initial state: nothing released, nothing complete.
+    pub fn new(instance: &Instance) -> Self {
+        let jobs = instance
+            .jobs()
+            .iter()
+            .map(|spec| {
+                let g = &spec.graph;
+                let indeg: Vec<u32> =
+                    g.nodes().map(|v| g.in_degree(v) as u32).collect();
+                JobState {
+                    ready: Vec::new(),
+                    pos: vec![NOT_READY; g.n()],
+                    seq: vec![0; g.n()],
+                    completion: vec![0; g.n()],
+                    unfinished: g.n() as u32,
+                    released: false,
+                    indeg,
+                }
+            })
+            .collect();
+        SimState {
+            jobs,
+            alive: Vec::new(),
+            next_release: 0,
+            finished_jobs: 0,
+            next_seq: 1,
+        }
+    }
+
+    /// Release every job with `release <= t` that is not yet released.
+    /// Returns the ids released now (in arrival order). Roots become ready.
+    pub fn release_due(&mut self, instance: &Instance, t: Time) -> Vec<JobId> {
+        let mut out = Vec::new();
+        while self.next_release < instance.num_jobs()
+            && instance.jobs()[self.next_release].release <= t
+        {
+            let id = JobId(self.next_release as u32);
+            let js = &mut self.jobs[self.next_release];
+            js.released = true;
+            for v in instance.graph(id).sources() {
+                js.pos[v.index()] = js.ready.len() as u32;
+                js.seq[v.index()] = self.next_seq;
+                self.next_seq += 1;
+                js.ready.push(v.0);
+            }
+            self.alive.push(id);
+            out.push(id);
+            self.next_release += 1;
+        }
+        out
+    }
+
+    /// Complete `(job, node)` at time `t` (it ran during step `t`): record
+    /// the completion time, remove it from the ready list and enable any
+    /// children whose last predecessor this was.
+    ///
+    /// Panics (debug) if the node was not ready.
+    pub fn complete(&mut self, instance: &Instance, job: JobId, node: NodeId, t: Time) {
+        let g = instance.graph(job);
+        let js = &mut self.jobs[job.index()];
+        let vi = node.index();
+        debug_assert!(js.pos[vi] != NOT_READY, "{job}/{node} was not ready");
+        debug_assert_eq!(js.completion[vi], 0, "{job}/{node} completed twice");
+
+        // Swap-remove from ready, fixing the moved element's position.
+        let p = js.pos[vi] as usize;
+        js.ready.swap_remove(p);
+        if p < js.ready.len() {
+            js.pos[js.ready[p] as usize] = p as u32;
+        }
+        js.pos[vi] = NOT_READY;
+
+        js.completion[vi] = t;
+        js.unfinished -= 1;
+        if js.unfinished == 0 {
+            self.finished_jobs += 1;
+        }
+        for &c in g.children(node) {
+            let ci = c as usize;
+            js.indeg[ci] -= 1;
+            if js.indeg[ci] == 0 {
+                js.pos[ci] = js.ready.len() as u32;
+                js.seq[ci] = self.next_seq;
+                self.next_seq += 1;
+                js.ready.push(c);
+            }
+        }
+    }
+
+    /// Drop finished jobs from the alive list (kept in arrival order).
+    pub fn prune_alive(&mut self) {
+        let jobs = &self.jobs;
+        self.alive.retain(|j| jobs[j.index()].unfinished > 0);
+    }
+
+    /// Released, unfinished jobs in arrival order (may briefly include jobs
+    /// finished this step until [`prune_alive`](Self::prune_alive) runs).
+    pub fn alive(&self) -> &[JobId] {
+        &self.alive
+    }
+
+    /// Ready nodes of `job` (arbitrary order; pair with
+    /// [`ready_seq`](Self::ready_seq) for the true became-ready order).
+    pub fn ready(&self, job: JobId) -> &[u32] {
+        &self.jobs[job.index()].ready
+    }
+
+    /// The global became-ready stamp of a node: smaller = became ready
+    /// earlier (unique across the whole simulation; 0 = never ready).
+    pub fn ready_seq(&self, job: JobId, node: NodeId) -> u64 {
+        self.jobs[job.index()].seq[node.index()]
+    }
+
+    /// Is a specific node ready?
+    pub fn is_ready(&self, job: JobId, node: NodeId) -> bool {
+        self.jobs[job.index()].pos[node.index()] != NOT_READY
+    }
+
+    /// Completion time of a node (`None` if not complete).
+    pub fn completion(&self, job: JobId, node: NodeId) -> Option<Time> {
+        match self.jobs[job.index()].completion[node.index()] {
+            0 => None,
+            t => Some(t),
+        }
+    }
+
+    /// Number of unfinished subjobs of `job`.
+    pub fn unfinished(&self, job: JobId) -> u32 {
+        self.jobs[job.index()].unfinished
+    }
+
+    /// Has `job` been released?
+    pub fn is_released(&self, job: JobId) -> bool {
+        self.jobs[job.index()].released
+    }
+
+    /// Total ready subjobs over all alive jobs.
+    pub fn total_ready(&self) -> usize {
+        self.alive
+            .iter()
+            .map(|j| self.jobs[j.index()].ready.len())
+            .sum()
+    }
+
+    /// Are all jobs finished?
+    pub fn all_done(&self) -> bool {
+        self.finished_jobs == self.jobs.len()
+    }
+
+    /// Index of the next unreleased job (== num_jobs when all released).
+    pub fn next_release_index(&self) -> usize {
+        self.next_release
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Instance, JobSpec};
+    use flowtree_dag::builder::{chain, star};
+
+    fn two_job_instance() -> Instance {
+        Instance::new(vec![
+            JobSpec { graph: chain(3), release: 0 },
+            JobSpec { graph: star(2), release: 2 },
+        ])
+    }
+
+    #[test]
+    fn release_order_and_roots() {
+        let inst = two_job_instance();
+        let mut st = SimState::new(&inst);
+        assert_eq!(st.release_due(&inst, 0), vec![JobId(0)]);
+        assert_eq!(st.release_due(&inst, 1), vec![]);
+        assert_eq!(st.release_due(&inst, 2), vec![JobId(1)]);
+        assert_eq!(st.alive(), &[JobId(0), JobId(1)]);
+        assert_eq!(st.ready(JobId(0)), &[0]);
+        assert_eq!(st.ready(JobId(1)), &[0]);
+        assert!(st.is_released(JobId(1)));
+    }
+
+    #[test]
+    fn late_release_catches_up() {
+        let inst = two_job_instance();
+        let mut st = SimState::new(&inst);
+        // Jump straight to t=5: both released at once, in order.
+        assert_eq!(st.release_due(&inst, 5), vec![JobId(0), JobId(1)]);
+    }
+
+    #[test]
+    fn completion_enables_children() {
+        let inst = two_job_instance();
+        let mut st = SimState::new(&inst);
+        st.release_due(&inst, 0);
+        st.complete(&inst, JobId(0), NodeId(0), 1);
+        assert_eq!(st.ready(JobId(0)), &[1]);
+        assert_eq!(st.completion(JobId(0), NodeId(0)), Some(1));
+        assert_eq!(st.completion(JobId(0), NodeId(1)), None);
+        assert_eq!(st.unfinished(JobId(0)), 2);
+    }
+
+    #[test]
+    fn star_root_enables_all_leaves() {
+        let inst = two_job_instance();
+        let mut st = SimState::new(&inst);
+        st.release_due(&inst, 2);
+        st.complete(&inst, JobId(1), NodeId(0), 3);
+        assert_eq!(st.ready(JobId(1)), &[1, 2]);
+        assert!(st.is_ready(JobId(1), NodeId(1)));
+        assert!(!st.is_ready(JobId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn finish_job_and_prune() {
+        let inst = two_job_instance();
+        let mut st = SimState::new(&inst);
+        st.release_due(&inst, 0);
+        st.complete(&inst, JobId(0), NodeId(0), 1);
+        st.complete(&inst, JobId(0), NodeId(1), 2);
+        st.complete(&inst, JobId(0), NodeId(2), 3);
+        assert_eq!(st.unfinished(JobId(0)), 0);
+        st.prune_alive();
+        assert!(st.alive().is_empty());
+        assert!(!st.all_done()); // job 1 not yet released/finished
+        st.release_due(&inst, 2);
+        st.complete(&inst, JobId(1), NodeId(0), 3);
+        st.complete(&inst, JobId(1), NodeId(1), 4);
+        st.complete(&inst, JobId(1), NodeId(2), 4);
+        assert!(st.all_done());
+    }
+
+    #[test]
+    fn ready_order_is_became_ready_order() {
+        // Diamond-ish out-tree: root with 3 children; completing the root
+        // makes children ready in child-list order.
+        let inst = Instance::single(star(3));
+        let mut st = SimState::new(&inst);
+        st.release_due(&inst, 0);
+        st.complete(&inst, JobId(0), NodeId(0), 1);
+        assert_eq!(st.ready(JobId(0)), &[1, 2, 3]);
+        // Complete the middle one; swap_remove moves 3 into its slot.
+        st.complete(&inst, JobId(0), NodeId(2), 2);
+        assert_eq!(st.ready(JobId(0)), &[1, 3]);
+        assert!(st.is_ready(JobId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn total_ready_sums_alive_jobs() {
+        let inst = two_job_instance();
+        let mut st = SimState::new(&inst);
+        st.release_due(&inst, 2);
+        assert_eq!(st.total_ready(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn completing_unready_node_panics() {
+        let inst = two_job_instance();
+        let mut st = SimState::new(&inst);
+        st.release_due(&inst, 0);
+        st.complete(&inst, JobId(0), NodeId(2), 1); // chain tail not ready
+    }
+}

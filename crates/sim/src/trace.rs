@@ -1,0 +1,131 @@
+//! Per-job timelines: a compact textual view of *when each job ran*.
+//!
+//! Complements the processor-centric Gantt chart ([`crate::gantt`]): one row
+//! per job, one column per step, showing for each step whether the job was
+//! unreleased, waiting (released, nothing running), running (with how many
+//! processors), or done. This is the view that makes flow-time pathologies
+//! (like FIFO's key-subjob stalls on the Section 4 adversary) visible at a
+//! glance: long stretches of width-1 columns in an otherwise wide row.
+
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+use flowtree_dag::Time;
+
+/// Symbols: `.` unreleased, `-` waiting, digit/`#` running with that many
+/// subjobs (capped at 9), ` ` done.
+pub fn job_timelines(instance: &Instance, schedule: &Schedule) -> Vec<String> {
+    let horizon = schedule.horizon();
+    let completions = schedule.completion_times(instance);
+    let mut per_step: Vec<Vec<u32>> =
+        vec![vec![0; horizon as usize + 1]; instance.num_jobs()];
+    for (t, picks) in schedule.iter() {
+        for &(j, _) in picks {
+            per_step[j.index()][t as usize] += 1;
+        }
+    }
+    instance
+        .iter()
+        .map(|(id, spec)| {
+            let done = completions[id.index()].unwrap_or(Time::MAX);
+            (1..=horizon)
+                .map(|t| {
+                    let k = per_step[id.index()][t as usize];
+                    if k > 0 {
+                        if k <= 9 {
+                            char::from_digit(k, 10).unwrap()
+                        } else {
+                            '#'
+                        }
+                    } else if t > done {
+                        ' '
+                    } else if t <= spec.release {
+                        '.'
+                    } else {
+                        '-'
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Render the timelines with row labels and a terminal flow column.
+pub fn render_timelines(instance: &Instance, schedule: &Schedule) -> String {
+    let lines = job_timelines(instance, schedule);
+    let completions = schedule.completion_times(instance);
+    let mut out = String::new();
+    out.push_str("           (. unreleased  - waiting  digit running  blank done)\n");
+    for (id, spec) in instance.iter() {
+        let flow = completions[id.index()]
+            .map(|c| c - spec.release)
+            .unwrap_or(0);
+        out.push_str(&format!(
+            "J{:<4} |{}| flow {}\n",
+            id.0,
+            lines[id.index()],
+            flow
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::JobSpec;
+    use flowtree_dag::builder::{chain, star};
+    use flowtree_dag::{JobId, NodeId};
+
+    fn fixture() -> (Instance, Schedule) {
+        let inst = Instance::new(vec![
+            JobSpec { graph: chain(2), release: 0 },
+            JobSpec { graph: star(2), release: 2 },
+        ]);
+        let mut s = Schedule::new(2);
+        s.push_step(vec![(JobId(0), NodeId(0))]); // t=1
+        s.push_step(vec![(JobId(0), NodeId(1))]); // t=2
+        s.push_step(vec![(JobId(1), NodeId(0))]); // t=3
+        s.push_step(vec![(JobId(1), NodeId(1)), (JobId(1), NodeId(2))]); // t=4
+        (inst, s)
+    }
+
+    #[test]
+    fn timeline_symbols() {
+        let (inst, s) = fixture();
+        let lines = job_timelines(&inst, &s);
+        assert_eq!(lines[0], "11  "); // runs t=1,2 then done
+        assert_eq!(lines[1], "..12"); // unreleased until 2, runs 3 and 4
+    }
+
+    #[test]
+    fn waiting_shown_as_dash() {
+        let inst = Instance::new(vec![
+            JobSpec { graph: chain(1), release: 0 },
+            JobSpec { graph: chain(1), release: 0 },
+        ]);
+        let mut s = Schedule::new(1);
+        s.push_step(vec![(JobId(0), NodeId(0))]);
+        s.push_step(vec![(JobId(1), NodeId(0))]);
+        let lines = job_timelines(&inst, &s);
+        assert_eq!(lines[1], "-1"); // waits a step while job 0 runs
+    }
+
+    #[test]
+    fn render_includes_flows() {
+        let (inst, s) = fixture();
+        let text = render_timelines(&inst, &s);
+        assert!(text.contains("J0"));
+        assert!(text.contains("flow 2"));
+        assert!(text.contains("| flow 2")); // J1: completes 4, released 2
+    }
+
+    #[test]
+    fn wide_steps_capped_at_hash() {
+        let inst = Instance::single(star(12));
+        let mut s = Schedule::new(16);
+        s.push_step(vec![(JobId(0), NodeId(0))]);
+        s.push_step((1..=12).map(|i| (JobId(0), NodeId(i))).collect());
+        let lines = job_timelines(&inst, &s);
+        assert_eq!(lines[0], "1#");
+    }
+}

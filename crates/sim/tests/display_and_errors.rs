@@ -1,0 +1,123 @@
+//! Error-path and display coverage: every error type renders a useful
+//! message, and the engine/checker reject malformed inputs loudly.
+
+use flowtree_dag::builder::chain;
+use flowtree_dag::{GraphError, JobId, NodeId};
+use flowtree_sim::{
+    EngineError, FeasibilityError, Instance, JobSpec, Schedule,
+};
+
+#[test]
+fn graph_error_messages() {
+    assert_eq!(
+        GraphError::NodeOutOfRange { node: 5, n: 3 }.to_string(),
+        "node v5 out of range (n = 3)"
+    );
+    assert_eq!(GraphError::SelfLoop(2).to_string(), "self-loop at v2");
+    assert_eq!(
+        GraphError::Cyclic.to_string(),
+        "edge set contains a directed cycle"
+    );
+    assert_eq!(
+        GraphError::DuplicateEdge(1, 2).to_string(),
+        "duplicate edge (v1, v2)"
+    );
+    assert_eq!(
+        GraphError::Empty.to_string(),
+        "job graph must contain at least one subjob"
+    );
+}
+
+#[test]
+fn feasibility_error_messages() {
+    assert_eq!(
+        FeasibilityError::CapacityExceeded { t: 3, count: 5, m: 2 }.to_string(),
+        "step 3: 5 subjobs on 2 processors"
+    );
+    assert_eq!(
+        FeasibilityError::DuplicateRun(JobId(1), NodeId(2)).to_string(),
+        "J1/v2 scheduled twice"
+    );
+    assert_eq!(
+        FeasibilityError::MissingRun(JobId(0), NodeId(7)).to_string(),
+        "J0/v7 never scheduled"
+    );
+    assert_eq!(
+        FeasibilityError::PrecedenceViolation {
+            job: JobId(0),
+            pred: NodeId(1),
+            succ: NodeId(2),
+        }
+        .to_string(),
+        "J0: edge v1 -> v2 violated"
+    );
+    assert_eq!(
+        FeasibilityError::ReleaseViolation(JobId(3), NodeId(0)).to_string(),
+        "J3/v0 ran before the job's release"
+    );
+    assert_eq!(
+        FeasibilityError::UnknownSubjob(JobId(9), NodeId(9)).to_string(),
+        "unknown subjob J9/v9"
+    );
+}
+
+#[test]
+fn engine_error_messages() {
+    assert_eq!(
+        EngineError::NotReady { t: 4, job: JobId(1), node: NodeId(0) }.to_string(),
+        "t=4: scheduler selected unready subjob J1/v0"
+    );
+    assert_eq!(
+        EngineError::DuplicateSelection { t: 1, job: JobId(0), node: NodeId(2) }
+            .to_string(),
+        "t=1: scheduler selected J0/v2 twice"
+    );
+    assert_eq!(
+        EngineError::HorizonExceeded { horizon: 99 }.to_string(),
+        "simulation exceeded safety horizon 99"
+    );
+}
+
+#[test]
+fn errors_are_std_error() {
+    // Boxing as dyn Error works (source chains are unused but the trait is
+    // implemented for interop).
+    let e: Box<dyn std::error::Error> = Box::new(GraphError::Cyclic);
+    assert!(!e.to_string().is_empty());
+    let e: Box<dyn std::error::Error> =
+        Box::new(FeasibilityError::DuplicateRun(JobId(0), NodeId(0)));
+    assert!(!e.to_string().is_empty());
+    let e: Box<dyn std::error::Error> =
+        Box::new(EngineError::HorizonExceeded { horizon: 1 });
+    assert!(!e.to_string().is_empty());
+}
+
+#[test]
+fn ids_display() {
+    assert_eq!(JobId(3).to_string(), "J3");
+    assert_eq!(NodeId(11).to_string(), "v11");
+}
+
+#[test]
+fn verify_reports_step_scan_violations_before_structural_ones() {
+    // A schedule with both a release violation (found during the time-order
+    // step scan) and a missing node (found in the later per-job pass): the
+    // step-scan error wins.
+    let inst = Instance::new(vec![
+        JobSpec { graph: chain(2), release: 0 },
+        JobSpec { graph: chain(2), release: 5 },
+    ]);
+    let mut s = Schedule::new(2);
+    // Job 1 runs at t=1 although it releases at 5; job 0's tail is missing.
+    s.push_step(vec![(JobId(0), NodeId(0)), (JobId(1), NodeId(0))]);
+    s.push_step(vec![(JobId(1), NodeId(1))]);
+    let err = s.verify(&inst).unwrap_err();
+    assert_eq!(err, FeasibilityError::ReleaseViolation(JobId(1), NodeId(0)));
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn replace_step_bounds_checked() {
+    let mut s = Schedule::new(2);
+    s.replace_step(1, vec![]);
+}

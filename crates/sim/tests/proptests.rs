@@ -1,0 +1,162 @@
+//! Property tests for the simulator substrate: random instances, random
+//! work-conserving decisions — feasibility and accounting invariants must
+//! hold unconditionally.
+
+use flowtree_dag::{GraphBuilder, JobGraph, NodeId, Time};
+use flowtree_sim::metrics::flow_stats;
+use flowtree_sim::{
+    Clairvoyance, Engine, Instance, JobSpec, OnlineScheduler, Selection, SimView,
+};
+use proptest::prelude::*;
+
+/// Random out-tree via the recursive-attachment process.
+fn arb_tree(max_n: usize) -> impl Strategy<Value = JobGraph> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(0..usize::MAX, n.saturating_sub(1)).prop_map(move |cs| {
+            let mut b = GraphBuilder::new(n);
+            for (i, &c) in cs.iter().enumerate() {
+                b.edge((c % (i + 1)) as u32, (i + 1) as u32);
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+fn arb_instance(max_jobs: usize, max_n: usize, max_r: Time) -> impl Strategy<Value = Instance> {
+    proptest::collection::vec((arb_tree(max_n), 0..=max_r), 1..=max_jobs)
+        .prop_map(|jobs| {
+            Instance::new(
+                jobs.into_iter()
+                    .map(|(graph, release)| JobSpec { graph, release })
+                    .collect(),
+            )
+        })
+}
+
+/// A work-conserving scheduler whose per-step choices are driven by a seed —
+/// a stand-in for "any scheduler" in feasibility properties.
+struct SeededGreedy {
+    state: u64,
+}
+
+impl SeededGreedy {
+    fn next(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state
+    }
+}
+
+impl OnlineScheduler for SeededGreedy {
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::NonClairvoyant
+    }
+    fn select(&mut self, _t: Time, view: &SimView<'_>, sel: &mut Selection) {
+        // Work-conserving but otherwise arbitrary: gather the whole ready
+        // pool, shuffle it with the seeded generator, take up to m.
+        let mut pool: Vec<(flowtree_dag::JobId, u32)> = Vec::new();
+        for &job in view.alive() {
+            for &v in view.ready(job) {
+                pool.push((job, v));
+            }
+        }
+        let take = pool.len().min(sel.remaining());
+        for i in 0..take {
+            let j = i + (self.next() as usize) % (pool.len() - i);
+            pool.swap(i, j);
+            let (job, v) = pool[i];
+            sel.push(job, NodeId(v));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_output_always_verifies(inst in arb_instance(5, 12, 10), m in 1usize..6, seed in 1u64..5000) {
+        let mut sched = SeededGreedy { state: seed };
+        let s = Engine::new(m)
+            .with_max_horizon(100_000)
+            .run(&inst, &mut sched)
+            .expect("greedy completes");
+        prop_assert_eq!(s.verify(&inst), Ok(()));
+        let stats = flow_stats(&inst, &s);
+        // Flow >= span of each job.
+        for (id, spec) in inst.iter() {
+            prop_assert!(stats.flows[id.index()] >= spec.graph.span());
+        }
+        // Makespan sanity: at least ceil(total work / m) after last release.
+        prop_assert!(stats.makespan >= inst.total_work().div_ceil(m as u64));
+        prop_assert!(stats.makespan <= inst.last_release() + inst.total_work() + 1);
+    }
+
+    #[test]
+    fn completion_times_cover_all_jobs(inst in arb_instance(4, 10, 6), seed in 1u64..1000) {
+        let mut sched = SeededGreedy { state: seed };
+        let s = Engine::new(3).with_max_horizon(100_000).run(&inst, &mut sched).unwrap();
+        let completions = s.completion_times(&inst);
+        for (i, c) in completions.iter().enumerate() {
+            let c = c.expect("every job completes");
+            prop_assert!(c > inst.jobs()[i].release);
+        }
+    }
+
+    #[test]
+    fn schedule_loads_bounded_by_m(inst in arb_instance(4, 10, 6), m in 1usize..5, seed in 1u64..1000) {
+        let mut sched = SeededGreedy { state: seed };
+        let s = Engine::new(m).with_max_horizon(100_000).run(&inst, &mut sched).unwrap();
+        for t in 1..=s.horizon() {
+            prop_assert!(s.load(t) <= m);
+        }
+        // Total scheduled = total work.
+        let total: usize = (1..=s.horizon()).map(|t| s.load(t)).sum();
+        prop_assert_eq!(total as u64, inst.total_work());
+    }
+
+    #[test]
+    fn restriction_is_monotone(inst in arb_instance(4, 8, 8), seed in 1u64..500) {
+        let mut sched = SeededGreedy { state: seed };
+        let s = Engine::new(2).with_max_horizon(100_000).run(&inst, &mut sched).unwrap();
+        // Restricting to releases <= r keeps loads nonincreasing in r.
+        let r_max = inst.last_release();
+        for r in 0..=r_max {
+            let restricted = s.restrict_to_released_by(&inst, r);
+            for t in 1..=s.horizon() {
+                prop_assert!(restricted.load(t) <= s.load(t));
+            }
+        }
+        // Restriction at the last release is the identity.
+        prop_assert_eq!(s.restrict_to_released_by(&inst, r_max), s);
+    }
+
+    #[test]
+    fn speed_augmentation_invariants(inst in arb_instance(4, 10, 6), s in 1u64..4, seed in 1u64..500) {
+        let mut sched = SeededGreedy { state: seed };
+        let run = flowtree_sim::speed::run_with_speed(&inst, 2, s, &mut sched, Some(1_000_000)).unwrap();
+        // Macro flows are at least ceil(span / s).
+        for (id, spec) in inst.iter() {
+            prop_assert!(run.flows[id.index()] >= spec.graph.span().div_ceil(s));
+            prop_assert!(run.flows[id.index()] >= 1);
+        }
+        prop_assert_eq!(run.micro_schedule.verify(&run.scaled_instance), Ok(()));
+    }
+}
+
+#[test]
+fn seeded_greedy_is_deterministic() {
+    let inst = Instance::new(vec![
+        JobSpec { graph: flowtree_dag::builder::star(6), release: 0 },
+        JobSpec { graph: flowtree_dag::builder::chain(4), release: 1 },
+    ]);
+    let a = Engine::new(2)
+        .with_max_horizon(10_000)
+        .run(&inst, &mut SeededGreedy { state: 7 })
+        .unwrap();
+    let b = Engine::new(2)
+        .with_max_horizon(10_000)
+        .run(&inst, &mut SeededGreedy { state: 7 })
+        .unwrap();
+    assert_eq!(a, b);
+}

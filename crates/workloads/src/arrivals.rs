@@ -1,0 +1,131 @@
+//! Stochastic arrival streams.
+//!
+//! Builds instances whose jobs arrive over time with a target **load
+//! factor** ρ: the expected work arriving per step is `ρ · m`. At ρ < 1 the
+//! system is stable; at ρ = 1 the system is critically loaded — the regime
+//! the paper identifies as hard ("the online scheduler can never ever allow
+//! a processor to be idle").
+
+use crate::Rng;
+use flowtree_dag::{JobGraph, Time};
+use flowtree_sim::{Instance, JobSpec};
+use rand::Rng as _;
+
+/// Generate an instance from a job sampler: arrivals are a Bernoulli
+/// process tuned so the expected arriving work per step is `rho * m`. The
+/// sampler is called once per arrival.
+pub fn load_stream(
+    m: usize,
+    rho: f64,
+    horizon: Time,
+    mean_job_work: f64,
+    mut sample_job: impl FnMut(&mut Rng) -> JobGraph,
+    rng: &mut Rng,
+) -> Instance {
+    assert!(m >= 1 && rho > 0.0 && mean_job_work > 0.0 && horizon >= 1);
+    // P(arrival at a step) = rho * m / mean_job_work, capped at 1 (use
+    // multiple arrivals per step when the rate exceeds 1).
+    let rate = rho * m as f64 / mean_job_work;
+    let mut jobs = Vec::new();
+    for t in 0..horizon {
+        let mut expected = rate;
+        while expected > 0.0 {
+            let p = expected.min(1.0);
+            if rng.gen_bool(p) {
+                jobs.push(JobSpec { graph: sample_job(rng), release: t });
+            }
+            expected -= 1.0;
+        }
+    }
+    if jobs.is_empty() {
+        jobs.push(JobSpec { graph: sample_job(rng), release: 0 });
+    }
+    Instance::new(jobs)
+}
+
+/// Measured load factor of an instance: total work / (m * arrival span),
+/// where the span runs to the last release + the mean batch... simply the
+/// window `[0, last_release + 1]`.
+pub fn measured_load(instance: &Instance, m: usize) -> f64 {
+    let window = instance.last_release() + 1;
+    instance.total_work() as f64 / (m as f64 * window as f64)
+}
+
+/// Bursty stream: quiet Bernoulli background plus periodic bursts of `k`
+/// jobs every `period` steps — models a web server with periodic batch
+/// traffic (the `webserver_bursts` example uses this).
+#[allow(clippy::too_many_arguments)] // a scenario is naturally this wide
+pub fn bursty_stream(
+    base_rho: f64,
+    m: usize,
+    horizon: Time,
+    period: Time,
+    burst_size: usize,
+    mean_job_work: f64,
+    mut sample_job: impl FnMut(&mut Rng) -> JobGraph,
+    rng: &mut Rng,
+) -> Instance {
+    assert!(period >= 1);
+    let mut jobs = Vec::new();
+    let rate = (base_rho * m as f64 / mean_job_work).min(1.0);
+    for t in 0..horizon {
+        if rng.gen_bool(rate) {
+            jobs.push(JobSpec { graph: sample_job(rng), release: t });
+        }
+        if t % period == 0 {
+            for _ in 0..burst_size {
+                jobs.push(JobSpec { graph: sample_job(rng), release: t });
+            }
+        }
+    }
+    Instance::new(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trees::random_recursive_tree;
+
+    #[test]
+    fn load_stream_hits_target_roughly() {
+        let m = 8;
+        let mut r = crate::rng(31);
+        let inst = load_stream(m, 0.8, 500, 20.0, |r| random_recursive_tree(20, r), &mut r);
+        let rho = measured_load(&inst, m);
+        assert!((0.5..1.1).contains(&rho), "measured load {rho}");
+    }
+
+    #[test]
+    fn overload_generates_more_work() {
+        let m = 4;
+        let lo = load_stream(m, 0.3, 300, 10.0, |r| random_recursive_tree(10, r), &mut crate::rng(1));
+        let hi = load_stream(m, 1.5, 300, 10.0, |r| random_recursive_tree(10, r), &mut crate::rng(1));
+        assert!(hi.total_work() > 2 * lo.total_work());
+    }
+
+    #[test]
+    fn never_empty() {
+        let mut r = crate::rng(2);
+        let inst = load_stream(4, 0.0001, 3, 1000.0, |r| random_recursive_tree(5, r), &mut r);
+        assert!(inst.num_jobs() >= 1);
+    }
+
+    #[test]
+    fn bursty_stream_has_bursts() {
+        let mut r = crate::rng(3);
+        let inst = bursty_stream(0.1, 4, 100, 20, 5, 8.0, |r| random_recursive_tree(8, r), &mut r);
+        // At least the 5 bursts of 5 jobs.
+        assert!(inst.num_jobs() >= 25);
+        // Burst times have >= 5 simultaneous releases.
+        let at_zero = inst.jobs().iter().filter(|j| j.release == 0).count();
+        assert!(at_zero >= 5);
+    }
+
+    #[test]
+    fn rates_above_one_allowed() {
+        let mut r = crate::rng(4);
+        let inst = load_stream(16, 1.0, 50, 2.0, |r| random_recursive_tree(2, r), &mut r);
+        // rate = 8 arrivals per step expected: plenty of jobs.
+        assert!(inst.num_jobs() > 200, "{}", inst.num_jobs());
+    }
+}

@@ -1,0 +1,299 @@
+//! Known-OPT packed batched instances.
+//!
+//! The experiments for Theorem 5.6 (Algorithm 𝒜) and Theorem 6.1 (FIFO on
+//! batched instances) need instances whose optimal maximum flow is *known
+//! exactly* — a measured ratio against a loose lower bound would be
+//! meaningless. Two constructions, both certified:
+//!
+//! * [`packed_chains`] — each batch *tiles the full `m × T` rectangle* with
+//!   horizontal chain segments, randomly assigned to `k` jobs. Total batch
+//!   work is exactly `m·T`, so the interval-load bound gives `OPT >= T`,
+//!   and the tiling itself is a schedule with per-job flow `<= T`, so
+//!   `OPT = T`. These are the paper's "hardest instances ... where the
+//!   space/schedule is fully packed".
+//! * [`packed_caterpillars`] — each job is a spine of length exactly `T`
+//!   (so `OPT >= span = T`) with leaf bundles sized so every batch column
+//!   `2..=T` sums to exactly `m`; scheduling each subjob at its depth
+//!   achieves flow `T`, so again `OPT = T`.
+//!
+//! Both constructions also return the per-batch witness so tests can verify
+//! the claimed optimum with the independent feasibility checker.
+
+use crate::Rng;
+use flowtree_dag::{GraphBuilder, JobId, NodeId, Time};
+use flowtree_sim::{Instance, JobSpec, Schedule};
+use rand::Rng as _;
+
+/// A generated batched instance with its certified optimum.
+#[derive(Debug, Clone)]
+pub struct PackedInstance {
+    /// The instance (batches released at `0, T, 2T, ...`).
+    pub instance: Instance,
+    /// The certified optimal maximum flow (`= T`).
+    pub opt: Time,
+    /// An explicit optimal schedule (flow `T` for every job).
+    pub witness: Schedule,
+}
+
+/// Full-rectangle batches of chain segments. `k` jobs per batch, `batches`
+/// batches, batch period and OPT both `t_opt`, machine width `m`.
+///
+/// Every batch column is full (`m` busy processors), so a scheduler that
+/// ever falls behind can never catch up — exactly the regime the paper's
+/// introduction identifies as hard.
+///
+/// ```
+/// use flowtree_workloads::{batched::packed_chains, rng};
+///
+/// let p = packed_chains(4, 6, 2, 3, &mut rng(1));
+/// assert_eq!(p.opt, 6); // certified: witness + interval-load bound
+/// p.witness.verify(&p.instance).unwrap();
+/// ```
+pub fn packed_chains(
+    m: usize,
+    t_opt: Time,
+    k: usize,
+    batches: usize,
+    rng: &mut Rng,
+) -> PackedInstance {
+    assert!(m >= 1 && t_opt >= 1 && k >= 1 && k <= m && batches >= 1);
+    let t = t_opt as usize;
+    let mut jobs: Vec<JobSpec> = Vec::with_capacity(k * batches);
+    let mut witness = Schedule::new(m);
+
+    for b in 0..batches {
+        // Per job: list of (start column, length) segments.
+        let mut segments: Vec<Vec<(usize, usize)>> = vec![Vec::new(); k];
+        for _row in 0..m {
+            // Random partition of [0, t) into segments, each assigned to a
+            // random job.
+            let mut c = 0;
+            while c < t {
+                let len = rng.gen_range(1..=(t - c));
+                let owner = rng.gen_range(0..k);
+                segments[owner].push((c, len));
+                c += len;
+            }
+        }
+        // Ensure every job owns at least one segment: move surplus segments
+        // from the richest job to paupers (there are >= m >= k segments).
+        for j in 0..k {
+            if segments[j].is_empty() {
+                let rich = (0..k)
+                    .max_by_key(|&i| segments[i].len())
+                    .expect("k >= 1");
+                assert!(segments[rich].len() > 1, "not enough segments to share");
+                let seg = segments[rich].pop().unwrap();
+                segments[j].push(seg);
+            }
+        }
+        // Build each job: a forest of chains (one per segment); remember
+        // where each node goes in the witness.
+        let mut placements: Vec<Vec<(usize, u32)>> = vec![Vec::new(); k];
+
+        let release = b as Time * t_opt;
+        for (j, segs) in segments.iter().enumerate() {
+            let n: usize = segs.iter().map(|&(_, l)| l).sum();
+            let mut builder = GraphBuilder::new(n);
+            let mut next = 0u32;
+            for &(start, len) in segs {
+                for i in 0..len {
+                    if i > 0 {
+                        builder.edge(next - 1, next);
+                    }
+                    placements[j].push((start + i, next));
+                    next += 1;
+                }
+            }
+            jobs.push(JobSpec {
+                graph: builder.build().expect("chain forest is a DAG"),
+                release,
+            });
+        }
+
+        // Witness: batch b occupies steps (b*T, (b+1)*T].
+        let base_job = (b * k) as u32;
+        for col in 0..t {
+            let step_t = release + col as Time + 1;
+            while witness.horizon() < step_t {
+                witness.push_step(Vec::new());
+            }
+            let mut picks = Vec::new();
+            for (j, pl) in placements.iter().enumerate() {
+                for &(c, v) in pl {
+                    if c == col {
+                        picks.push((JobId(base_job + j as u32), NodeId(v)));
+                    }
+                }
+            }
+            debug_assert_eq!(picks.len(), m, "column {col} of batch {b} not full");
+            witness.replace_step(step_t, picks);
+        }
+    }
+
+    PackedInstance {
+        instance: Instance::new(jobs),
+        opt: t_opt,
+        witness,
+    }
+}
+
+/// Caterpillar batches: `k <= m` spines of length `T` per batch; leaf
+/// bundles bring every column `2..=T` to exactly `m`. OPT = `T` via the
+/// span bound.
+pub fn packed_caterpillars(
+    m: usize,
+    t_opt: Time,
+    k: usize,
+    batches: usize,
+    rng: &mut Rng,
+) -> PackedInstance {
+    assert!(m >= 1 && t_opt >= 2 && k >= 1 && k <= m && batches >= 1);
+    let t = t_opt as usize;
+    let mut jobs = Vec::with_capacity(k * batches);
+    let mut witness = Schedule::new(m);
+
+    for b in 0..batches {
+        let release = b as Time * t_opt;
+        // legs[j][c] = leaves of job j at depth c+2 (children of spine node
+        // c). Column c+2's load = k + sum_j legs[j][c+1]... we fill columns
+        // 2..=T: spine contributes k, random split of m - k among jobs.
+        let mut legs: Vec<Vec<usize>> = vec![vec![0; t]; k];
+        #[allow(clippy::needless_range_loop)] // col indexes a 2-D structure
+        for col in 1..t {
+            let mut extra = m - k;
+            while extra > 0 {
+                let j = rng.gen_range(0..k);
+                let amount = rng.gen_range(1..=extra);
+                legs[j][col] += amount;
+                extra -= amount;
+            }
+        }
+        for legs_j in &legs {
+            // Spine ids 0..t; leaves appended. Spine node d-1 (depth d) owns
+            // the leaves at depth d+1, i.e. legs_j[d].
+            let spine_legs: Vec<usize> =
+                (0..t).map(|d| if d + 1 < t { legs_j[d + 1] } else { 0 }).collect();
+            jobs.push(JobSpec {
+                graph: flowtree_dag::builder::caterpillar(t, &spine_legs),
+                release,
+            });
+        }
+
+        // Witness: every subjob at its depth.
+        let base_job = (b * k) as u32;
+        for col in 0..t {
+            let step_t = release + col as Time + 1;
+            while witness.horizon() < step_t {
+                witness.push_step(Vec::new());
+            }
+            let mut picks: Vec<(JobId, NodeId)> = Vec::new();
+            for (j, _) in legs.iter().enumerate() {
+                let job = JobId(base_job + j as u32);
+                let g = &jobs[(b * k) + j].graph;
+                let depths = g.depths();
+                for v in g.nodes() {
+                    if depths[v.index()] as usize == col + 1 {
+                        picks.push((job, v));
+                    }
+                }
+            }
+            debug_assert!(picks.len() <= m);
+            witness.replace_step(step_t, picks);
+        }
+    }
+
+    PackedInstance {
+        instance: Instance::new(jobs),
+        opt: t_opt,
+        witness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtree_opt::bounds::combined_lower_bound;
+    use flowtree_sim::metrics::flow_stats;
+
+    #[test]
+    fn packed_chains_certified() {
+        for (m, t, k, b, seed) in
+            [(4usize, 6u64, 2usize, 3usize, 1u64), (8, 5, 3, 4, 2), (3, 9, 3, 2, 3)]
+        {
+            let p = packed_chains(m, t, k, b, &mut crate::rng(seed));
+            // Witness is feasible and achieves flow T for every job.
+            p.witness.verify(&p.instance).unwrap();
+            let stats = flow_stats(&p.instance, &p.witness);
+            assert!(stats.max_flow <= p.opt);
+            // Lower bound matches: OPT >= T via interval load.
+            assert!(combined_lower_bound(&p.instance, m as u64) >= p.opt);
+            // Fully packed: total work = batches * m * T.
+            assert_eq!(p.instance.total_work(), (b as u64) * (m as u64) * t);
+        }
+    }
+
+    #[test]
+    fn packed_chains_shape() {
+        let p = packed_chains(4, 6, 2, 3, &mut crate::rng(9));
+        assert_eq!(p.instance.num_jobs(), 6);
+        assert!(p.instance.is_batched(6));
+        assert!(p.instance.is_out_forest_instance());
+        // Every job's span fits in a batch.
+        for (_, spec) in p.instance.iter() {
+            assert!(spec.graph.span() <= 6);
+        }
+    }
+
+    #[test]
+    fn packed_caterpillars_certified() {
+        for (m, t, k, b, seed) in [(4usize, 5u64, 2usize, 3usize, 1u64), (8, 7, 5, 2, 2)] {
+            let p = packed_caterpillars(m, t, k, b, &mut crate::rng(seed));
+            p.witness.verify(&p.instance).unwrap();
+            let stats = flow_stats(&p.instance, &p.witness);
+            assert!(stats.max_flow <= p.opt);
+            // OPT >= span = T.
+            assert_eq!(p.instance.max_span(), t);
+            // Columns 2..=T of each batch are exactly full: batch work =
+            // k (col 1) + (T-1) * m.
+            let expected = (b as u64) * (k as u64 + (t - 1) * m as u64);
+            assert_eq!(p.instance.total_work(), expected);
+        }
+    }
+
+    #[test]
+    fn caterpillar_jobs_are_out_trees() {
+        let p = packed_caterpillars(6, 5, 3, 2, &mut crate::rng(4));
+        for (_, spec) in p.instance.iter() {
+            assert!(flowtree_dag::classify::is_out_tree(&spec.graph));
+            assert_eq!(spec.graph.span(), 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = packed_chains(4, 6, 2, 2, &mut crate::rng(5));
+        let b = packed_chains(4, 6, 2, 2, &mut crate::rng(5));
+        assert_eq!(a.instance, b.instance);
+    }
+
+    #[test]
+    fn fifo_on_packed_instances_is_moderate() {
+        // Sanity link to Theorem 6.1: FIFO's ratio on a certified batched
+        // instance stays within O(log max(m, OPT)) — here just assert it
+        // completes and the ratio is finite and modest.
+        let m = 8;
+        let p = packed_chains(m, 8, 3, 6, &mut crate::rng(11));
+        let s = flowtree_sim::Engine::new(m)
+            .run(&p.instance, &mut flowtree_core::Fifo::arbitrary())
+            .unwrap();
+        s.verify(&p.instance).unwrap();
+        let stats = flow_stats(&p.instance, &s);
+        let ratio = stats.max_flow as f64 / p.opt as f64;
+        let bound = ((m as f64).max(p.opt as f64)).log2() + 2.0;
+        assert!(
+            ratio <= 2.0 * bound,
+            "FIFO ratio {ratio} suspiciously above the Theorem 6.1 regime"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # flowtree-workloads — instance generators
+//!
+//! Everything the experiments run on:
+//!
+//! * [`adversary`] — the Section 4 **adaptive lower-bound construction**
+//!   that forces FIFO to be Ω(log m)-competitive: a fast sublayer-level
+//!   co-simulation (no node materialization, scales to m = 4096), a
+//!   node-level materializer for replaying the same instance through other
+//!   schedulers, and the witness schedule certifying OPT ≤ m + 1.
+//! * [`batched`] — **known-OPT packed batched instances**: per-batch job
+//!   sets constructed so that the optimal maximum flow is *provably exactly
+//!   `T`* (certified by an explicit witness schedule plus a matching lower
+//!   bound). These drive the Theorem 5.6 / Theorem 6.1 experiments, where a
+//!   certified reference value is essential.
+//! * [`trees`] — random out-tree shapes (recursive trees, Galton–Watson,
+//!   preferential attachment, random caterpillars) modelling fork-heavy
+//!   programs such as the quicksort example from the paper's introduction.
+//! * [`spdags`] — random series-parallel jobs (general fork-join DAGs) for
+//!   the Section 6 experiments, which hold beyond out-trees.
+//! * [`arrivals`] — stochastic arrival streams with a target load factor.
+//! * [`mix`] — named scenario presets blending heterogeneous shapes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod arrivals;
+pub mod batched;
+pub mod mix;
+pub mod spdags;
+pub mod trees;
+
+/// Deterministic, seedable RNG used across generators (ChaCha8 keeps
+/// instances identical across platforms and runs).
+pub type Rng = rand_chacha::ChaCha8Rng;
+
+/// Construct the crate-standard RNG from a seed.
+pub fn rng(seed: u64) -> Rng {
+    use rand::SeedableRng;
+    Rng::seed_from_u64(seed)
+}

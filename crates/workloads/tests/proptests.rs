@@ -1,0 +1,113 @@
+//! Property tests for the generators: certified claims (known OPT, adversary
+//! witness, replay equivalence) must hold for random parameters, not just
+//! the unit tests' choices.
+
+use flowtree_core::{Fifo, TieBreak};
+use flowtree_dag::classify;
+use flowtree_sim::metrics::flow_stats;
+use flowtree_sim::Engine;
+use flowtree_workloads::{adversary, batched, rng, spdags, trees};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn packed_chains_always_certified(
+        m in 2usize..10,
+        t in 2u64..10,
+        batches in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let k = (m / 2).max(1);
+        let p = batched::packed_chains(m, t, k, batches, &mut rng(seed));
+        prop_assert_eq!(p.witness.verify(&p.instance), Ok(()));
+        let stats = flow_stats(&p.instance, &p.witness);
+        prop_assert!(stats.max_flow <= p.opt);
+        prop_assert!(
+            flowtree_opt::bounds::combined_lower_bound(&p.instance, m as u64) >= p.opt
+        );
+        prop_assert!(p.instance.is_out_forest_instance());
+        prop_assert!(p.instance.is_batched(t));
+        prop_assert_eq!(p.instance.total_work(), batches as u64 * m as u64 * t);
+    }
+
+    #[test]
+    fn packed_caterpillars_always_certified(
+        m in 2usize..10,
+        t in 2u64..9,
+        batches in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let k = (m / 2).max(1);
+        let p = batched::packed_caterpillars(m, t, k, batches, &mut rng(seed));
+        prop_assert_eq!(p.witness.verify(&p.instance), Ok(()));
+        prop_assert!(flow_stats(&p.instance, &p.witness).max_flow <= p.opt);
+        prop_assert_eq!(p.instance.max_span(), t); // span certificate
+        for (_, spec) in p.instance.iter() {
+            prop_assert!(classify::is_out_tree(&spec.graph));
+        }
+    }
+
+    #[test]
+    fn adversary_replay_equivalence(m in 3usize..10, jobs in 2usize..8) {
+        let out = adversary::duel(m, m, jobs);
+        let inst = adversary::materialize(&out);
+        let s = Engine::new(m)
+            .with_max_horizon(100_000_000)
+            .run(&inst, &mut Fifo::new(TieBreak::BecameReady))
+            .unwrap();
+        s.verify(&inst).unwrap();
+        prop_assert_eq!(flow_stats(&inst, &s).flows, out.flows);
+    }
+
+    #[test]
+    fn adversary_witness_always_certifies(m in 3usize..12, jobs in 2usize..6) {
+        let out = adversary::duel(m, m, jobs);
+        let inst = adversary::materialize(&out);
+        let w = adversary::witness_schedule(&inst, m);
+        prop_assert_eq!(w.verify(&inst), Ok(()));
+        prop_assert!(flow_stats(&inst, &w).max_flow <= (m as u64) + 1);
+    }
+
+    #[test]
+    fn adversary_layer_sizes_within_construction_bounds(m in 3usize..16, jobs in 1usize..6) {
+        let out = adversary::duel(m, m, jobs);
+        for sizes in &out.layer_sizes {
+            prop_assert_eq!(sizes.len(), m);
+            for &s in sizes {
+                prop_assert!(s >= 2 && s <= m as u32 + 1, "layer size {s}");
+            }
+        }
+        // Flows are at least span (= m) + 1 parallel step... at least m+1.
+        for &f in &out.flows {
+            prop_assert!(f >= m as u64);
+        }
+    }
+
+    #[test]
+    fn random_trees_are_out_trees(n in 1usize..120, seed in 0u64..500) {
+        let mut r = rng(seed);
+        prop_assert!(classify::is_out_tree(&trees::random_recursive_tree(n, &mut r)));
+        prop_assert!(classify::is_out_tree(&trees::preferential_tree(n, 1.0, &mut r)));
+        prop_assert!(classify::is_out_tree(&trees::random_caterpillar(n, 4, &mut r)));
+    }
+
+    #[test]
+    fn sp_jobs_well_formed(target in 1usize..80, seed in 0u64..500) {
+        let mut r = rng(seed);
+        let e = spdags::random_sp_expr(target, &mut r);
+        let g = e.lower();
+        prop_assert_eq!(e.work(), g.work());
+        prop_assert_eq!(e.span(), g.span());
+        prop_assert_eq!(g.sources().len(), 1);
+        prop_assert_eq!(g.sinks().len(), 1);
+    }
+}
+
+#[test]
+fn adversary_opt_upper_is_m_plus_one() {
+    for m in [4usize, 8, 12] {
+        assert_eq!(adversary::duel(m, m, 3).opt_upper, (m as u64) + 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! The Section 4 lower bound, live: watch FIFO's competitive ratio grow
+//! with the machine size on the adaptive adversary, then see Algorithm 𝒜
+//! handle the very same instances with a flat constant ratio.
+//!
+//! ```sh
+//! cargo run --release --example adversary_duel
+//! ```
+
+use flowtree::core::AlgoA;
+use flowtree::prelude::*;
+use flowtree::sim::metrics::flow_stats;
+use flowtree::workloads::adversary;
+
+fn main() {
+    println!("FIFO vs the adaptive adversary (Theorem 4.2)\n");
+    println!(
+        "{:>6} {:>12} {:>8} {:>10} {:>16}",
+        "m", "FIFO flow", "OPT ≤", "ratio ≥", "lg m − lg lg m"
+    );
+    for m in [8usize, 16, 32, 64, 128, 256] {
+        let out = adversary::duel(m, m, 60);
+        println!(
+            "{:>6} {:>12} {:>8} {:>10.3} {:>16.3}",
+            m,
+            out.max_flow,
+            out.opt_upper,
+            out.ratio(),
+            adversary::predicted_ratio(m),
+        );
+    }
+
+    println!("\nSame instances, Algorithm A (Theorem 5.6):\n");
+    println!("{:>6} {:>10} {:>10}", "m", "A flow", "A ratio ≤");
+    for m in [8usize, 16, 32] {
+        let out = adversary::duel(m, m, 20);
+        let inst = adversary::materialize(&out);
+        let mut algo = AlgoA::with_batching(4, (m + 1) as u64);
+        let s = Engine::new(m)
+            .with_max_horizon(10_000_000)
+            .run(&inst, &mut algo)
+            .expect("A completes");
+        s.verify(&inst).expect("feasible");
+        let stats = flow_stats(&inst, &s);
+        println!(
+            "{:>6} {:>10} {:>10.3}",
+            m,
+            stats.max_flow,
+            stats.max_flow as f64 / out.opt_upper as f64,
+        );
+    }
+    println!(
+        "\nFIFO's ratio grows like log m; A's stays a small constant — the\n\
+         paper's headline separation, reproduced."
+    );
+}

@@ -1,0 +1,199 @@
+//! Cross-crate integration tests: generate → schedule → verify → measure →
+//! compare against the paper's bound, for each experiment in miniature.
+
+use flowtree::core::baselines::{LeastRemainingWorkFirst, RandomWorkConserving, RoundRobin};
+use flowtree::core::{AlgoA, Fifo, GuessDoubleA, Lpf, TieBreak};
+use flowtree::prelude::*;
+use flowtree::sim::metrics::flow_stats;
+use flowtree::workloads::{adversary, arrivals, batched, trees};
+
+/// Every scheduler in the repository, boxed.
+fn all_schedulers() -> Vec<Box<dyn OnlineScheduler>> {
+    vec![
+        Box::new(Fifo::new(TieBreak::BecameReady)),
+        Box::new(Fifo::new(TieBreak::LastReady)),
+        Box::new(Fifo::new(TieBreak::Random(3))),
+        Box::new(Fifo::new(TieBreak::HighestHeight)),
+        Box::new(Fifo::new(TieBreak::MostChildren)),
+        Box::new(Lpf::new()),
+        Box::new(AlgoA::with_batching(4, 8)),
+        Box::new(GuessDoubleA::paper()),
+        Box::new(RoundRobin),
+        Box::new(RandomWorkConserving::new(1)),
+        Box::new(LeastRemainingWorkFirst),
+    ]
+}
+
+/// A mixed instance exercising staggered releases and varied shapes.
+fn mixed_instance() -> Instance {
+    let mut rng = flowtree::workloads::rng(1234);
+    let mut jobs = vec![
+        JobSpec { graph: flowtree::dag::builder::chain(9), release: 0 },
+        JobSpec { graph: flowtree::dag::builder::star(14), release: 0 },
+        JobSpec { graph: flowtree::dag::builder::complete_kary(2, 4), release: 3 },
+    ];
+    for i in 0..4 {
+        jobs.push(JobSpec {
+            graph: trees::random_recursive_tree(20, &mut rng),
+            release: 2 * i + 1,
+        });
+    }
+    Instance::new(jobs)
+}
+
+#[test]
+fn every_scheduler_produces_feasible_schedules() {
+    let inst = mixed_instance();
+    let m = 4;
+    let lb = flowtree::opt::bounds::combined_lower_bound(&inst, m as u64);
+    for mut sched in all_schedulers() {
+        let name = sched.name();
+        let s = Engine::new(m)
+            .with_max_horizon(1_000_000)
+            .run(&inst, sched.as_mut())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        s.verify(&inst).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let stats = flow_stats(&inst, &s);
+        assert!(
+            stats.max_flow >= lb,
+            "{name}: flow {} below the certified lower bound {lb}",
+            stats.max_flow
+        );
+    }
+}
+
+#[test]
+fn work_conserving_schedulers_match_serial_makespan_on_one_processor() {
+    // On m = 1 every work-conserving scheduler takes exactly total_work
+    // steps once work is continuously available.
+    let inst = Instance::new(vec![
+        JobSpec { graph: flowtree::dag::builder::chain(5), release: 0 },
+        JobSpec { graph: flowtree::dag::builder::star(6), release: 0 },
+    ]);
+    for tie in [TieBreak::BecameReady, TieBreak::LastReady, TieBreak::HighestHeight] {
+        let s = Engine::new(1).run(&inst, &mut Fifo::new(tie)).unwrap();
+        let stats = flow_stats(&inst, &s);
+        assert_eq!(stats.makespan, inst.total_work());
+    }
+}
+
+#[test]
+fn lower_bound_sandwich_on_small_instances() {
+    // lower bounds <= exact OPT <= every scheduler's flow.
+    let inst = Instance::new(vec![
+        JobSpec { graph: flowtree::dag::builder::star(4), release: 0 },
+        JobSpec { graph: flowtree::dag::builder::chain(4), release: 1 },
+        JobSpec { graph: flowtree::dag::builder::star(3), release: 2 },
+    ]);
+    let m = 4; // AlgoA requires alpha (= 4) to divide m
+    let lb = flowtree::opt::bounds::combined_lower_bound(&inst, m as u64);
+    let opt = flowtree::opt::exact_max_flow(&inst, m, 40).unwrap();
+    assert!(lb <= opt);
+    for mut sched in all_schedulers() {
+        let s = Engine::new(m)
+            .with_max_horizon(1_000_000)
+            .run(&inst, sched.as_mut())
+            .unwrap();
+        s.verify(&inst).unwrap();
+        let stats = flow_stats(&inst, &s);
+        assert!(stats.max_flow >= opt, "{} beat exact OPT", sched.name());
+    }
+}
+
+#[test]
+fn fifo_is_optimal_for_fully_parallel_jobs() {
+    // "For fully parallelizable jobs ... FIFO is optimal" (paper, intro):
+    // jobs of independent unit tasks (one-layer forests = antichains).
+    let m = 4;
+    let inst = Instance::new(vec![
+        JobSpec { graph: flowtree::dag::builder::forest(&vec![flowtree::dag::builder::chain(1); 8]), release: 0 },
+        JobSpec { graph: flowtree::dag::builder::forest(&vec![flowtree::dag::builder::chain(1); 6]), release: 1 },
+        JobSpec { graph: flowtree::dag::builder::forest(&vec![flowtree::dag::builder::chain(1); 7]), release: 2 },
+    ]);
+    let s = Engine::new(m).run(&inst, &mut Fifo::arbitrary()).unwrap();
+    s.verify(&inst).unwrap();
+    let fifo = flow_stats(&inst, &s).max_flow;
+    let opt = flowtree::opt::exact_max_flow(&inst, m, 64).unwrap();
+    assert_eq!(fifo, opt, "FIFO must be optimal on fully parallel jobs");
+}
+
+#[test]
+fn fifo_on_chains_is_within_3x() {
+    // Classical: FIFO is (3 - 2/m)-competitive on sequential jobs.
+    let mut rng = flowtree::workloads::rng(9);
+    let m = 3;
+    let inst = arrivals::load_stream(m, 0.9, 60, 6.0, |r| {
+        use rand::Rng as _;
+        flowtree::dag::builder::chain(r.gen_range(2..=10))
+    }, &mut rng);
+    let s = Engine::new(m).run(&inst, &mut Fifo::arbitrary()).unwrap();
+    s.verify(&inst).unwrap();
+    let fifo = flow_stats(&inst, &s).max_flow;
+    let lb = flowtree::opt::bounds::combined_lower_bound(&inst, m as u64);
+    assert!(
+        (fifo as f64) <= (3.0 - 2.0 / m as f64) * lb as f64 + 1.0,
+        "FIFO flow {fifo} vs lb {lb}"
+    );
+}
+
+#[test]
+fn adversary_to_algo_a_pipeline() {
+    // E8's core claim end-to-end in miniature: materialize the adversary,
+    // certify OPT <= m+1 with the witness, run both FIFO and A.
+    let m = 8;
+    let out = adversary::duel(m, m, 10);
+    let inst = adversary::materialize(&out);
+
+    let w = adversary::witness_schedule(&inst, m);
+    w.verify(&inst).unwrap();
+    assert!(flow_stats(&inst, &w).max_flow <= (m + 1) as u64);
+
+    let s = Engine::new(m).run(&inst, &mut Fifo::arbitrary()).unwrap();
+    s.verify(&inst).unwrap();
+    let fifo_ratio = flow_stats(&inst, &s).max_flow as f64 / (m + 1) as f64;
+    assert!((fifo_ratio - out.ratio()).abs() < 1e-9, "replay consistency");
+
+    let mut a = AlgoA::with_batching(4, (m + 1) as u64);
+    let s = Engine::new(m)
+        .with_max_horizon(1_000_000)
+        .run(&inst, &mut a)
+        .unwrap();
+    s.verify(&inst).unwrap();
+    let a_ratio = flow_stats(&inst, &s).max_flow as f64 / (m + 1) as f64;
+    assert!(a_ratio <= 129.0);
+}
+
+#[test]
+fn packed_batches_certified_and_schedulable_by_everyone() {
+    let m = 8;
+    let p = batched::packed_chains(m, 8, 4, 3, &mut flowtree::workloads::rng(3));
+    p.witness.verify(&p.instance).unwrap();
+    assert_eq!(flow_stats(&p.instance, &p.witness).max_flow, p.opt);
+    for mut sched in all_schedulers() {
+        let s = Engine::new(m)
+            .with_max_horizon(1_000_000)
+            .run(&p.instance, sched.as_mut())
+            .unwrap();
+        s.verify(&p.instance).unwrap();
+        assert!(flow_stats(&p.instance, &s).max_flow >= p.opt);
+    }
+}
+
+#[test]
+fn serde_roundtrip_of_generated_instances() {
+    let p = batched::packed_caterpillars(6, 5, 3, 2, &mut flowtree::workloads::rng(4));
+    let json = serde_json::to_string(&p.instance).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, p.instance);
+}
+
+#[test]
+fn experiments_registry_runs_quickly() {
+    // E1 and E5 as smoke tests of the full experiment plumbing from the
+    // facade crate (the rest run in the analysis crate's own tests).
+    for id in ["e1", "e5"] {
+        let report = flowtree::analysis::experiments::run(id, flowtree::analysis::Effort::Quick)
+            .expect("known id");
+        assert!(!report.render().is_empty());
+    }
+}
