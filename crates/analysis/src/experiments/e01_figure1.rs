@@ -12,7 +12,6 @@ use crate::{Effort, Report, Table};
 use flowtree_core::{Fifo, Lpf, TieBreak};
 use flowtree_dag::sp::figure1_job;
 use flowtree_sim::gantt::{render, GanttOptions};
-use flowtree_sim::metrics::flow_stats;
 use flowtree_sim::{Engine, Instance, OnlineScheduler};
 
 /// Run E1.
@@ -36,17 +35,14 @@ pub fn run(_effort: Effort) -> Report {
     for (label, mut sched) in schedulers {
         let s = Engine::new(m).run(&inst, sched.as_mut()).unwrap();
         s.verify(&inst).unwrap();
-        let stats = flow_stats(&inst, &s);
         table.row(vec![
             label.to_string(),
-            stats.max_flow.to_string(),
+            s.stats.max_flow.to_string(),
             opt.to_string(),
             s.horizon().to_string(),
         ]);
-        report.figure(
-            format!("{label} packing (cells are subjob labels)"),
-            render(&inst, &s, &opts),
-        );
+        report
+            .figure(format!("{label} packing (cells are subjob labels)"), render(&inst, &s, &opts));
     }
     report.table(table);
     report.note(format!(

@@ -28,8 +28,14 @@ pub fn run(effort: Effort) -> Report {
     let mut table = Table::new(
         format!("LPF schedule shape, α = {alpha}"),
         &[
-            "shape", "m", "OPT[m]", "total flow", "flow/OPT", "tail len",
-            "tail bound", "rectangular",
+            "shape",
+            "m",
+            "OPT[m]",
+            "total flow",
+            "flow/OPT",
+            "tail len",
+            "tail bound",
+            "rectangular",
         ],
     );
     let mut example: Option<String> = None;
@@ -56,9 +62,7 @@ pub fn run(effort: Effort) -> Report {
                 // the tail constant at m/α.
                 let profile: String = levels
                     .iter()
-                    .map(|l| {
-                        char::from_digit((l.len() % 36) as u32, 36).unwrap_or('#')
-                    })
+                    .map(|l| char::from_digit((l.len() % 36) as u32, 36).unwrap_or('#'))
                     .collect();
                 example = Some(format!(
                     "{name} on m={m} (p={p}): per-step widths\n{profile}\n\

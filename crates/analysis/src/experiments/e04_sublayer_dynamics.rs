@@ -47,9 +47,7 @@ pub fn run(effort: Effort) -> Report {
     report.table(table);
     report.figure(
         "U(t) over release boundaries",
-        AsciiPlot::new("unfinished sublayers", 64, 12)
-            .series('*', pts)
-            .render(),
+        AsciiPlot::new("unfinished sublayers", 64, 12).series('*', pts).render(),
     );
     report.note(format!(
         "U grew at {grew} of the first {} boundaries and never shrank during the \

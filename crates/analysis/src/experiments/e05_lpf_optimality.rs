@@ -13,10 +13,8 @@ use flowtree_workloads::trees::shape_catalogue;
 
 /// Run E5.
 pub fn run(effort: Effort) -> Report {
-    let mut report = Report::new(
-        "E5",
-        "Corollary 5.4: LPF flow = max_d (d + ⌈W(d)/m⌉) = exact OPT",
-    );
+    let mut report =
+        Report::new("E5", "Corollary 5.4: LPF flow = max_d (d + ⌈W(d)/m⌉) = exact OPT");
 
     // Part A: formula vs LPF at scale.
     let n = effort.pick(500, 20_000);

@@ -22,10 +22,7 @@ fn patterns(p: usize) -> Vec<GrantPattern> {
         ("constant p", Box::new(move |_| p)),
         ("alternate 1/p", Box::new(move |s| if s % 2 == 0 { 1 } else { p })),
         ("sawtooth", Box::new(move |s| 1 + (s % p))),
-        (
-            "pseudo-random",
-            Box::new(move |s| 1 + (s.wrapping_mul(2654435761) >> 7) % p),
-        ),
+        ("pseudo-random", Box::new(move |s| 1 + (s.wrapping_mul(2654435761) >> 7) % p)),
     ]
 }
 

@@ -32,13 +32,7 @@ pub fn run(effort: Effort) -> Report {
         let k = (m / 4).max(1);
         let batches = effort.pick(4, 8);
         let p = packed_chains(m, t_opt, k, batches, &mut flowtree_workloads::rng(m as u64));
-        let a = measure(
-            &p.instance,
-            m,
-            &mut AlgoA::semi_batched(4, t_opt / 2),
-            p.opt,
-            true,
-        );
+        let a = measure(&p.instance, m, &mut AlgoA::semi_batched(4, t_opt / 2), p.opt, true);
         let f = measure(&p.instance, m, &mut Fifo::arbitrary(), p.opt, true);
         packed.row(vec![
             m.to_string(),
@@ -64,13 +58,8 @@ pub fn run(effort: Effort) -> Report {
         // 𝒜 with batching: the releases are multiples of m+1; half must
         // divide into them — use with_batching and half = (m+1), i.e. the
         // working OPT estimate 2(m+1) ≥ OPT.
-        let a = measure(
-            &inst,
-            m,
-            &mut AlgoA::with_batching(4, (m + 1) as u64),
-            out.opt_upper,
-            true,
-        );
+        let a =
+            measure(&inst, m, &mut AlgoA::with_batching(4, (m + 1) as u64), out.opt_upper, true);
         let fifo_ratio = out.ratio(); // from the co-simulation
         adv.row(vec![
             m.to_string(),

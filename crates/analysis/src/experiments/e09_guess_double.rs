@@ -10,23 +10,29 @@
 use crate::ratio::measure_vs_lower_bound;
 use crate::{table::f3, Effort, Report, Table};
 use flowtree_core::GuessDoubleA;
-use flowtree_sim::metrics::flow_stats;
 use flowtree_sim::Engine;
 use flowtree_workloads::arrivals::load_stream;
 use flowtree_workloads::trees::random_recursive_tree;
 
 /// Run E9.
 pub fn run(effort: Effort) -> Report {
-    let mut report = Report::new(
-        "E9",
-        "Theorem 5.7: guess-and-double 𝒜 on arbitrary-release streams",
-    );
+    let mut report =
+        Report::new("E9", "Theorem 5.7: guess-and-double 𝒜 on arbitrary-release streams");
     let m = effort.pick(16usize, 64);
     let horizon = effort.pick(120u64, 600);
     let job_n = 24usize;
     let mut table = Table::new(
         format!("GuessDouble[α=4, β=258] on load-ρ streams, m = {m}"),
-        &["ρ", "jobs", "lower bound", "max flow", "ratio ≤", "final AOPT", "restarts", "≤ 1548"],
+        &[
+            "ρ",
+            "jobs",
+            "lower bound",
+            "max flow",
+            "ratio ≤",
+            "final AOPT",
+            "restarts",
+            "≤ 1548",
+        ],
     );
     for rho in [0.5, 0.9, 1.2] {
         let mut rng = flowtree_workloads::rng((rho * 1000.0) as u64);
@@ -56,25 +62,20 @@ pub fn run(effort: Effort) -> Report {
     // Overhead of not knowing OPT: same instance, guess-double vs a 𝒜 told
     // a good block size up front.
     let mut rng = flowtree_workloads::rng(77);
-    let inst = load_stream(m, 0.9, horizon, job_n as f64, |r| random_recursive_tree(job_n, r), &mut rng);
+    let inst =
+        load_stream(m, 0.9, horizon, job_n as f64, |r| random_recursive_tree(job_n, r), &mut rng);
     let lb = flowtree_opt::bounds::combined_lower_bound(&inst, m as u64).max(1);
     let mut gd = GuessDoubleA::paper();
     let gd_flow = {
-        let s = Engine::new(m)
-            .with_max_horizon(10_000_000)
-            .run(&inst, &mut gd)
-            .unwrap();
+        let s = Engine::new(m).with_max_horizon(10_000_000).run(&inst, &mut gd).unwrap();
         s.verify(&inst).unwrap();
-        flow_stats(&inst, &s).max_flow
+        s.stats.max_flow
     };
     let informed_flow = {
         let mut a = flowtree_core::AlgoA::with_batching(4, lb);
-        let s = Engine::new(m)
-            .with_max_horizon(10_000_000)
-            .run(&inst, &mut a)
-            .unwrap();
+        let s = Engine::new(m).with_max_horizon(10_000_000).run(&inst, &mut a).unwrap();
         s.verify(&inst).unwrap();
-        flow_stats(&inst, &s).max_flow
+        s.stats.max_flow
     };
     let mut t2 = Table::new(
         "price of guessing: same ρ=0.9 stream",

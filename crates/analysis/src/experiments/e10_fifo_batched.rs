@@ -14,7 +14,7 @@
 //! the one that tracks the curve.
 
 use crate::ratio::measure;
-use crate::sweep::parallel_map;
+use crate::sweep::parallel_map_progress;
 use crate::{table::f3, Effort, Report, Table};
 use flowtree_core::Fifo;
 use flowtree_workloads::adversary;
@@ -28,20 +28,44 @@ pub fn run(effort: Effort) -> Report {
     );
     let ms: Vec<usize> = effort.pick(vec![8, 16, 32, 64], vec![8, 16, 32, 64, 128, 256]);
 
-    let rows = parallel_map(ms.clone(), 0, |&m| {
-        let t_opt = (m as u64).max(4);
-        let batches = 6;
-        let chains = packed_chains(m, t_opt, (m / 2).max(1), batches, &mut flowtree_workloads::rng(m as u64));
-        let cats = packed_caterpillars(m, t_opt, (m / 2).max(1), batches, &mut flowtree_workloads::rng(m as u64 + 1));
-        let rc = measure(&chains.instance, m, &mut Fifo::arbitrary(), chains.opt, true);
-        let rk = measure(&cats.instance, m, &mut Fifo::arbitrary(), cats.opt, true);
-        let adv = adversary::duel(m, m, 40);
-        (m, t_opt, rc.ratio(), rk.ratio(), adv.ratio())
-    });
+    let rows = parallel_map_progress(
+        ms.clone(),
+        0,
+        |&m| {
+            let t_opt = (m as u64).max(4);
+            let batches = 6;
+            let chains = packed_chains(
+                m,
+                t_opt,
+                (m / 2).max(1),
+                batches,
+                &mut flowtree_workloads::rng(m as u64),
+            );
+            let cats = packed_caterpillars(
+                m,
+                t_opt,
+                (m / 2).max(1),
+                batches,
+                &mut flowtree_workloads::rng(m as u64 + 1),
+            );
+            let rc = measure(&chains.instance, m, &mut Fifo::arbitrary(), chains.opt, true);
+            let rk = measure(&cats.instance, m, &mut Fifo::arbitrary(), cats.opt, true);
+            let adv = adversary::duel(m, m, 40);
+            (m, t_opt, rc.ratio(), rk.ratio(), adv.ratio())
+        },
+        |done, total| eprintln!("E10: {done}/{total} machine sizes done"),
+    );
 
     let mut table = Table::new(
         "FIFO ratio on batched families (OPT certified)",
-        &["m", "OPT=T", "packed chains", "packed caterpillars", "adversary", "log2 max(m,OPT)"],
+        &[
+            "m",
+            "OPT=T",
+            "packed chains",
+            "packed caterpillars",
+            "adversary",
+            "log2 max(m,OPT)",
+        ],
     );
     for (m, t, rc, rk, ra) in &rows {
         table.row(vec![

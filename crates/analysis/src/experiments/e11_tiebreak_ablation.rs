@@ -16,10 +16,8 @@ use flowtree_workloads::adversary;
 
 /// Run E11.
 pub fn run(effort: Effort) -> Report {
-    let mut report = Report::new(
-        "E11",
-        "Ablation: FIFO intra-job tie-breaks on the adversary family",
-    );
+    let mut report =
+        Report::new("E11", "Ablation: FIFO intra-job tie-breaks on the adversary family");
     let ms: &[usize] = effort.pick(&[8, 16, 32], &[8, 16, 32, 64, 128]);
     let jobs = effort.pick(24, 60);
     let mut table = Table::new(
@@ -70,10 +68,7 @@ mod tests {
         // most-children.
         for col in 2..=5 {
             let other: f64 = t.cell(last, col).parse().unwrap();
-            assert!(
-                bad >= other - 1e-9,
-                "became-ready ({bad}) not the worst (col {col}: {other})"
-            );
+            assert!(bad >= other - 1e-9, "became-ready ({bad}) not the worst (col {col}: {other})");
         }
         let mc: f64 = t.cell(last, 5).parse().unwrap();
         assert!(bad > mc, "adversary should separate became-ready from most-children");

@@ -26,13 +26,7 @@ pub fn run(effort: Effort) -> Report {
     );
     for alpha in [3usize, 4, 6, 8] {
         let p = packed_chains(m, t_opt, k, batches, &mut flowtree_workloads::rng(5));
-        let run = measure(
-            &p.instance,
-            m,
-            &mut AlgoA::semi_batched(alpha, t_opt / 2),
-            p.opt,
-            true,
-        );
+        let run = measure(&p.instance, m, &mut AlgoA::semi_batched(alpha, t_opt / 2), p.opt, true);
         table.row(vec![
             alpha.to_string(),
             run.stats.max_flow.to_string(),

@@ -16,10 +16,8 @@ use flowtree_workloads::adversary;
 
 /// Run E13.
 pub fn run(effort: Effort) -> Report {
-    let mut report = Report::new(
-        "E13",
-        "Extension: speed-augmented FIFO on the Section 4 adversary",
-    );
+    let mut report =
+        Report::new("E13", "Extension: speed-augmented FIFO on the Section 4 adversary");
     let ms: Vec<usize> = effort.pick(vec![8, 16, 32], vec![8, 16, 32, 64]);
     let jobs = effort.pick(20, 40);
 
@@ -46,12 +44,7 @@ pub fn run(effort: Effort) -> Report {
         &["m", "s = 1", "s = 2", "s = 3"],
     );
     for (m, ratios) in &rows {
-        table.row(vec![
-            m.to_string(),
-            f3(ratios[0]),
-            f3(ratios[1]),
-            f3(ratios[2]),
-        ]);
+        table.row(vec![m.to_string(), f3(ratios[0]), f3(ratios[1]), f3(ratios[2])]);
     }
     report.table(table);
     report.note(

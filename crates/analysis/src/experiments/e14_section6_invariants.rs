@@ -28,8 +28,15 @@ pub fn run(effort: Effort) -> Report {
     let mut table = Table::new(
         "Prop 6.2 / Lemma 6.4 / Lemma 6.5 ledger (FIFO, batched instances)",
         &[
-            "family", "m", "OPT", "log τ", "worst z/OPT", "min 6.4 slack",
-            "max alive", "max flow", "thm 6.1 bound",
+            "family",
+            "m",
+            "OPT",
+            "log τ",
+            "worst z/OPT",
+            "min 6.4 slack",
+            "max alive",
+            "max flow",
+            "thm 6.1 bound",
         ],
     );
 

@@ -89,10 +89,8 @@ fn search(
 
 /// Run E15.
 pub fn run(effort: Effort) -> Report {
-    let mut report = Report::new(
-        "E15",
-        "Extension: LPF is optimal for trees, not for DAGs (witness search)",
-    );
+    let mut report =
+        Report::new("E15", "Extension: LPF is optimal for trees, not for DAGs (witness search)");
 
     // Part 1: the deterministic witness.
     let w = witness_dag();

@@ -10,10 +10,8 @@
 //! SJF-like policies.
 
 use crate::{table::f3, Effort, Report, Table};
-use flowtree_core::baselines::{LeastRemainingWorkFirst, RandomWorkConserving, RoundRobin};
-use flowtree_core::{Fifo, GuessDoubleA, Lpf, TieBreak};
-use flowtree_sim::metrics::flow_stats;
-use flowtree_sim::{Engine, OnlineScheduler};
+use flowtree_core::SchedulerSpec;
+use flowtree_sim::Engine;
 use flowtree_workloads::mix::Scenario;
 
 /// Run E16.
@@ -34,23 +32,14 @@ pub fn run(effort: Effort) -> Report {
             ),
             &["scheduler", "max flow", "ratio ≤", "mean flow", "utilization"],
         );
-        let mut schedulers: Vec<Box<dyn OnlineScheduler>> = vec![
-            Box::new(Fifo::new(TieBreak::BecameReady)),
-            Box::new(Fifo::new(TieBreak::HighestHeight)),
-            Box::new(Fifo::new(TieBreak::MostChildren)),
-            Box::new(Lpf::new()),
-            Box::new(GuessDoubleA::paper()),
-            Box::new(RoundRobin),
-            Box::new(RandomWorkConserving::new(7)),
-            Box::new(LeastRemainingWorkFirst),
-        ];
-        for sched in schedulers.iter_mut() {
-            let s = Engine::new(m)
+        for spec in SchedulerSpec::matrix() {
+            let mut sched = spec.build();
+            let report = Engine::new(m)
                 .with_max_horizon(100_000_000)
                 .run(&inst, sched.as_mut())
                 .unwrap_or_else(|e| panic!("{}: {e}", sched.name()));
-            s.verify(&inst).unwrap();
-            let stats = flow_stats(&inst, &s);
+            report.verify(&inst).unwrap();
+            let stats = &report.stats;
             table.row(vec![
                 sched.name(),
                 stats.max_flow.to_string(),

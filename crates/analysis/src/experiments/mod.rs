@@ -42,8 +42,8 @@ use crate::{Effort, Report};
 
 /// All experiment ids in order.
 pub const ALL: [&str; 17] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-    "e14", "e15", "e16", "e17",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17",
 ];
 
 /// Run an experiment by id ("e1".."e17"); `None` for unknown ids.

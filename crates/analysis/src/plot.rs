@@ -138,9 +138,7 @@ mod tests {
 
     #[test]
     fn constant_series_does_not_divide_by_zero() {
-        let p = AsciiPlot::new("c", 30, 8)
-            .series('#', vec![(1.0, 5.0), (2.0, 5.0)])
-            .render();
+        let p = AsciiPlot::new("c", 30, 8).series('#', vec![(1.0, 5.0), (2.0, 5.0)]).render();
         assert_eq!(p.matches('#').count(), 2);
     }
 }

@@ -1,7 +1,7 @@
 //! Run-and-measure helpers shared by the experiments.
 
 use flowtree_dag::Time;
-use flowtree_sim::metrics::{flow_stats, FlowStats};
+use flowtree_sim::metrics::FlowStats;
 use flowtree_sim::{Engine, Instance, OnlineScheduler};
 
 /// Outcome of running one scheduler on one instance.
@@ -36,16 +36,16 @@ pub fn measure(
     reference_exact: bool,
 ) -> Run {
     let name = scheduler.name();
-    let schedule = Engine::new(m)
+    let report = Engine::new(m)
         .with_max_horizon(horizon_for(instance))
         .run(instance, scheduler)
         .unwrap_or_else(|e| panic!("{name} failed: {e}"));
-    schedule
+    report
         .verify(instance)
         .unwrap_or_else(|e| panic!("{name} produced an infeasible schedule: {e}"));
     Run {
         scheduler: name,
-        stats: flow_stats(instance, &schedule),
+        stats: report.stats,
         reference,
         reference_exact,
     }

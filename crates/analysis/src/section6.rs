@@ -62,15 +62,11 @@ impl Section6 {
     /// OPT); the instance must be batched with that period.
     pub fn new(instance: &Instance, schedule: &Schedule, m: usize, opt: Time) -> Self {
         assert!(opt >= 1 && m >= 1);
-        assert!(
-            instance.is_batched(opt),
-            "Section 6 requires releases at multiples of OPT"
-        );
+        assert!(instance.is_batched(opt), "Section 6 requires releases at multiples of OPT");
         let horizon = schedule.horizon();
         let num_batches = (instance.last_release() / opt + 1) as usize;
-        let batch_of = |job: flowtree_dag::JobId| -> usize {
-            (instance.release(job) / opt) as usize
-        };
+        let batch_of =
+            |job: flowtree_dag::JobId| -> usize { (instance.release(job) / opt) as usize };
 
         let releases: Vec<Time> = (0..num_batches).map(|k| k as Time * opt).collect();
         let mut works = vec![0u64; num_batches];
@@ -252,8 +248,8 @@ impl Section6 {
                 if hi < j {
                     continue;
                 }
-                let window: Vec<usize> = (j..=hi.min(self.num_batches().saturating_sub(1)))
-                    .collect();
+                let window: Vec<usize> =
+                    (j..=hi.min(self.num_batches().saturating_sub(1))).collect();
                 if window.is_empty() {
                     continue;
                 }
@@ -274,9 +270,8 @@ impl Section6 {
                 // (13): Σw/m <= Σ_{k=1..ℓ+1}(1 − 2^{-k})·OPT, compared in
                 // integers scaled by 2^{ℓ+1}.
                 let pow: u128 = 1u128 << (l + 1).min(63);
-                let rhs13_scaled: u128 = (1..=(l as u32 + 1))
-                    .map(|k| (pow - (pow >> k)) * self.opt as u128)
-                    .sum();
+                let rhs13_scaled: u128 =
+                    (1..=(l as u32 + 1)).map(|k| (pow - (pow >> k)) * self.opt as u128).sum();
                 let lhs_scaled = sum_w as u128 * pow;
                 if lhs_scaled > rhs13_scaled * self.m as u128 {
                     return Err(format!(
@@ -317,7 +312,7 @@ mod tests {
             .run(instance, &mut Fifo::new(TieBreak::BecameReady))
             .unwrap();
         s.verify(instance).unwrap();
-        s
+        s.schedule
     }
 
     #[test]

@@ -15,21 +15,46 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
+    parallel_map_progress(inputs, threads, f, |_, _| {})
+}
+
+/// [`parallel_map`] with a progress callback: `progress(done, total)` runs
+/// on the coordinating thread after each result lands (so `done` is
+/// monotone, ending at `total`). Long sweeps report liveness through it
+/// without the workers sharing any state.
+pub fn parallel_map_progress<I, O, F, P>(
+    inputs: Vec<I>,
+    threads: usize,
+    f: F,
+    mut progress: P,
+) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+    P: FnMut(usize, usize),
+{
     let n = inputs.len();
     if n == 0 {
         return Vec::new();
     }
     let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
     } else {
         threads
     }
     .min(n);
 
     if threads <= 1 {
-        return inputs.iter().map(&f).collect();
+        return inputs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                let o = f(x);
+                progress(i + 1, n);
+                o
+            })
+            .collect();
     }
 
     let (task_tx, task_rx) = channel::unbounded::<usize>();
@@ -56,13 +81,13 @@ where
         }
         drop(out_tx);
         let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+        let mut done = 0;
         while let Ok((i, o)) = out_rx.recv() {
             slots[i] = Some(o);
+            done += 1;
+            progress(done, n);
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("worker delivered every slot"))
-            .collect()
+        slots.into_iter().map(|s| s.expect("worker delivered every slot")).collect()
     })
 }
 
@@ -96,12 +121,41 @@ mod tests {
     }
 
     #[test]
+    fn progress_is_monotone_and_complete() {
+        let mut seen = Vec::new();
+        let out = parallel_map_progress(
+            (0..32).collect(),
+            4,
+            |&x: &i32| x,
+            |done, total| {
+                assert_eq!(total, 32);
+                seen.push(done);
+            },
+        );
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+        assert_eq!(seen, (1..=32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn progress_fires_on_single_thread_path() {
+        let mut seen = Vec::new();
+        parallel_map_progress(
+            vec![5, 6],
+            1,
+            |&x: &i32| x,
+            |done, total| {
+                seen.push((done, total));
+            },
+        );
+        assert_eq!(seen, vec![(1, 2), (2, 2)]);
+    }
+
+    #[test]
     fn actually_runs_concurrently_enough() {
         // All tasks get executed exactly once.
         let counter = AtomicUsize::new(0);
-        let _ = parallel_map((0..64).collect(), 8, |_: &i32| {
-            counter.fetch_add(1, Ordering::Relaxed)
-        });
+        let _ =
+            parallel_map((0..64).collect(), 8, |_: &i32| counter.fetch_add(1, Ordering::Relaxed));
         assert_eq!(counter.load(Ordering::Relaxed), 64);
     }
 }

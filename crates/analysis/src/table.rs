@@ -21,12 +21,7 @@ impl Table {
 
     /// Append a row (must match the column count).
     pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(
-            cells.len(),
-            self.columns.len(),
-            "row width mismatch in table '{}'",
-            self.title
-        );
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch in table '{}'", self.title);
         self.rows.push(cells);
         self
     }
@@ -56,7 +51,11 @@ impl Table {
     pub fn column_f64(&self, col: usize) -> Vec<f64> {
         self.rows
             .iter()
-            .map(|r| r[col].parse::<f64>().unwrap_or_else(|_| panic!("non-numeric cell '{}'", r[col])))
+            .map(|r| {
+                r[col]
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| panic!("non-numeric cell '{}'", r[col]))
+            })
             .collect()
     }
 
@@ -101,14 +100,7 @@ impl Table {
             }
         }
         let mut out = String::new();
-        out.push_str(
-            &self
-                .columns
-                .iter()
-                .map(|c| esc(c))
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        out.push_str(&self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));

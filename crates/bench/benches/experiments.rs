@@ -15,8 +15,8 @@ fn bench_experiments(c: &mut Criterion) {
         // steps; keep the heavier ones in the group but with few samples.
         group.bench_function(id, |b| {
             b.iter(|| {
-                let report = experiments::run(black_box(id), Effort::Quick)
-                    .expect("known experiment id");
+                let report =
+                    experiments::run(black_box(id), Effort::Quick).expect("known experiment id");
                 black_box(report.tables.len())
             })
         });

@@ -16,10 +16,8 @@ use std::hint::black_box;
 fn bench_lpf(c: &mut Criterion) {
     let mut group = c.benchmark_group("lpf_levels");
     for &n in &[1_000usize, 10_000, 100_000] {
-        let g = flowtree_workloads::trees::random_recursive_tree(
-            n,
-            &mut flowtree_workloads::rng(1),
-        );
+        let g =
+            flowtree_workloads::trees::random_recursive_tree(n, &mut flowtree_workloads::rng(1));
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             b.iter(|| black_box(lpf_levels(black_box(g), 16)).len())
@@ -29,10 +27,8 @@ fn bench_lpf(c: &mut Criterion) {
 }
 
 fn bench_mc(c: &mut Criterion) {
-    let g = flowtree_workloads::trees::random_recursive_tree(
-        50_000,
-        &mut flowtree_workloads::rng(2),
-    );
+    let g =
+        flowtree_workloads::trees::random_recursive_tree(50_000, &mut flowtree_workloads::rng(2));
     let p = 16;
     let opt = DepthProfile::new(&g).opt_single_job(64);
     let levels = lpf_levels(&g, p);
@@ -55,10 +51,8 @@ fn bench_mc(c: &mut Criterion) {
 }
 
 fn bench_profile(c: &mut Criterion) {
-    let g = flowtree_workloads::trees::random_recursive_tree(
-        200_000,
-        &mut flowtree_workloads::rng(3),
-    );
+    let g =
+        flowtree_workloads::trees::random_recursive_tree(200_000, &mut flowtree_workloads::rng(3));
     c.benchmark_group("depth_profile")
         .throughput(Throughput::Elements(g.work()))
         .bench_function("corollary_5_4", |b| {

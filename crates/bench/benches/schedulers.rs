@@ -4,9 +4,8 @@
 //! Algorithm 𝒜, for materializing LPF schedules per group.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use flowtree_core::baselines::{LeastRemainingWorkFirst, RandomWorkConserving, RoundRobin};
-use flowtree_core::{AlgoA, Fifo, GuessDoubleA, Lpf, TieBreak};
-use flowtree_sim::{Engine, Instance, JobSpec, OnlineScheduler};
+use flowtree_core::{SchedulerSpec, TieBreak};
+use flowtree_sim::{Engine, Instance, JobSpec};
 use std::hint::black_box;
 
 fn instance() -> Instance {
@@ -28,25 +27,25 @@ fn bench_schedulers(c: &mut Criterion) {
     group.throughput(Throughput::Elements(inst.total_work()));
     group.sample_size(20);
 
-    let cases: Vec<(&str, Box<dyn Fn() -> Box<dyn OnlineScheduler>>)> = vec![
-        ("fifo", Box::new(|| Box::new(Fifo::new(TieBreak::BecameReady)))),
-        ("fifo_height", Box::new(|| Box::new(Fifo::new(TieBreak::HighestHeight)))),
-        ("lpf", Box::new(|| Box::new(Lpf::new()))),
-        ("algo_a", Box::new(|| Box::new(AlgoA::with_batching(4, 16)))),
-        ("guess_double", Box::new(|| Box::new(GuessDoubleA::paper()))),
-        ("round_robin", Box::new(|| Box::new(RoundRobin))),
-        ("random_wc", Box::new(|| Box::new(RandomWorkConserving::new(1)))),
-        ("lrwf", Box::new(|| Box::new(LeastRemainingWorkFirst))),
+    let cases: Vec<(&str, SchedulerSpec)> = vec![
+        ("fifo", SchedulerSpec::Fifo(TieBreak::BecameReady)),
+        ("fifo_height", SchedulerSpec::Fifo(TieBreak::HighestHeight)),
+        ("lpf", SchedulerSpec::Lpf),
+        ("algo_a", SchedulerSpec::AlgoA { alpha: 4, half: 16 }),
+        ("guess_double", SchedulerSpec::GuessDouble),
+        ("round_robin", SchedulerSpec::RoundRobin),
+        ("random_wc", SchedulerSpec::RandomWc { seed: 1 }),
+        ("lrwf", SchedulerSpec::Lrwf),
     ];
-    for (name, make) in cases {
+    for (name, spec) in cases {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let mut sched = make();
-                let s = Engine::new(m)
+                let mut sched = spec.build();
+                let report = Engine::new(m)
                     .with_max_horizon(10_000_000)
                     .run(black_box(&inst), sched.as_mut())
                     .unwrap();
-                black_box(s.horizon())
+                black_box(report.horizon())
             })
         });
     }

@@ -1,8 +1,8 @@
 //! `flowtree-repro gen` — generate an instance and write it as JSON.
 
 use flowtree_sim::Instance;
-use flowtree_workloads::{adversary, arrivals, batched, mix, rng, trees};
 use flowtree_sim::JobSpec;
+use flowtree_workloads::{adversary, arrivals, batched, mix, rng, trees};
 
 /// Options parsed from the command line.
 pub struct GenOptions {
@@ -15,13 +15,7 @@ pub struct GenOptions {
 
 impl Default for GenOptions {
     fn default() -> Self {
-        GenOptions {
-            family: String::new(),
-            m: 8,
-            jobs: 16,
-            seed: 42,
-            out: None,
-        }
+        GenOptions { family: String::new(), m: 8, jobs: 16, seed: 42, out: None }
     }
 }
 
@@ -52,14 +46,8 @@ pub fn generate(opts: &GenOptions) -> Result<Instance, String> {
         }
         "packed-caterpillars" => {
             let t = (opts.m as u64).max(2);
-            batched::packed_caterpillars(
-                opts.m,
-                t,
-                (opts.m / 2).max(1),
-                opts.jobs.max(1),
-                &mut r,
-            )
-            .instance
+            batched::packed_caterpillars(opts.m, t, (opts.m / 2).max(1), opts.jobs.max(1), &mut r)
+                .instance
         }
         "stream" => arrivals::load_stream(
             opts.m,
@@ -80,12 +68,7 @@ pub fn generate(opts: &GenOptions) -> Result<Instance, String> {
                 })
                 .collect(),
         ),
-        other => {
-            return Err(format!(
-                "unknown family '{other}'; known: {}",
-                FAMILIES.join(", ")
-            ))
-        }
+        other => return Err(format!("unknown family '{other}'; known: {}", FAMILIES.join(", "))),
     };
     Ok(inst)
 }
@@ -96,28 +79,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "-m" => {
-                opts.m = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("-m needs a number")?
-            }
+            "-m" => opts.m = it.next().and_then(|v| v.parse().ok()).ok_or("-m needs a number")?,
             "--jobs" => {
-                opts.jobs = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--jobs needs a number")?
+                opts.jobs = it.next().and_then(|v| v.parse().ok()).ok_or("--jobs needs a number")?
             }
             "--seed" => {
-                opts.seed = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--seed needs a number")?
+                opts.seed = it.next().and_then(|v| v.parse().ok()).ok_or("--seed needs a number")?
             }
             "-o" | "--out" => opts.out = Some(it.next().ok_or("-o needs a path")?.clone()),
-            fam if !fam.starts_with('-') && opts.family.is_empty() => {
-                opts.family = fam.to_string()
-            }
+            fam if !fam.starts_with('-') && opts.family.is_empty() => opts.family = fam.to_string(),
             other => return Err(format!("unknown gen option '{other}'")),
         }
     }
@@ -153,13 +123,7 @@ mod tests {
     #[test]
     fn all_families_generate() {
         for fam in FAMILIES {
-            let opts = GenOptions {
-                family: fam.to_string(),
-                m: 8,
-                jobs: 4,
-                seed: 1,
-                out: None,
-            };
+            let opts = GenOptions { family: fam.to_string(), m: 8, jobs: 4, seed: 1, out: None };
             let inst = generate(&opts).unwrap_or_else(|e| panic!("{fam}: {e}"));
             assert!(inst.num_jobs() >= 1, "{fam}");
             // Round-trips through JSON.

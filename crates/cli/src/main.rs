@@ -9,6 +9,8 @@
 //! flowtree-repro gen adversary -m 16 --jobs 20 -o inst.json
 //! flowtree-repro simulate guess-double inst.json -m 16 --gantt --dump sched.json
 //! flowtree-repro verify inst.json sched.json
+//! flowtree-repro trace service --scheduler lpf -m 8 -o run.jsonl
+//! flowtree-repro stats service --scheduler lpf -m 8
 //! ```
 
 use flowtree_analysis::{experiments, Effort};
@@ -16,11 +18,14 @@ use std::process::ExitCode;
 
 mod gen;
 mod simulate;
+mod trace;
 
 fn usage() -> &'static str {
     "usage: flowtree-repro [--full] [--csv DIR] [--list] [e1..e16 | all]...\n\
      \u{20}      flowtree-repro gen <family> [-m M] [--jobs N] [--seed S] [-o FILE]\n\
      \u{20}      flowtree-repro simulate <scheduler> <instance.json> [-m M] [--gantt]\n\
+     \u{20}      flowtree-repro trace <scenario> [--scheduler S] [-m M] [-o FILE]\n\
+     \u{20}      flowtree-repro stats <scenario> [--scheduler S] [-m M]\n\
      Runs the reproduction experiments for 'Scheduling Out-Trees Online to\n\
      Optimize Maximum Flow' (SPAA 2024) and prints markdown reports."
 }
@@ -40,6 +45,24 @@ fn main() -> ExitCode {
         }
         Some("simulate") => {
             return match simulate::run(&raw[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("trace") => {
+            return match trace::run_trace(&raw[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("stats") => {
+            return match trace::run_stats(&raw[1..]) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("{e}");
@@ -149,9 +172,7 @@ fn verify_cmd(args: &[String]) -> Result<String, String> {
         &std::fs::read_to_string(sched_path).map_err(|e| format!("read {sched_path}: {e}"))?,
     )
     .map_err(|e| format!("parse {sched_path}: {e}"))?;
-    schedule
-        .verify(&instance)
-        .map_err(|e| format!("INFEASIBLE: {e}"))?;
+    schedule.verify(&instance).map_err(|e| format!("INFEASIBLE: {e}"))?;
     let stats = flowtree_sim::metrics::flow_stats(&instance, &schedule);
     Ok(format!(
         "feasible: {} jobs, max flow {}, mean flow {:.2}, makespan {}",

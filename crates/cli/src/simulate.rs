@@ -1,47 +1,7 @@
 //! `flowtree-repro simulate` — run a scheduler on a JSON instance file.
 
-use flowtree_core::baselines::{LeastRemainingWorkFirst, RandomWorkConserving, RoundRobin};
-use flowtree_core::{AlgoA, Fifo, GuessDoubleA, Lpf, TieBreak};
-use flowtree_sim::metrics::flow_stats;
-use flowtree_sim::{Engine, Instance, OnlineScheduler};
-
-/// Known scheduler names.
-pub const SCHEDULERS: &[&str] = &[
-    "fifo",
-    "fifo-last",
-    "fifo-random",
-    "fifo-lpf",
-    "fifo-mc",
-    "lpf",
-    "algo-a",
-    "guess-double",
-    "round-robin",
-    "random-wc",
-    "lrwf",
-];
-
-/// Construct a scheduler by name (`half` parameterizes algo-a).
-pub fn make_scheduler(name: &str, half: u64) -> Result<Box<dyn OnlineScheduler>, String> {
-    Ok(match name {
-        "fifo" => Box::new(Fifo::new(TieBreak::BecameReady)),
-        "fifo-last" => Box::new(Fifo::new(TieBreak::LastReady)),
-        "fifo-random" => Box::new(Fifo::new(TieBreak::Random(1))),
-        "fifo-lpf" => Box::new(Fifo::new(TieBreak::HighestHeight)),
-        "fifo-mc" => Box::new(Fifo::new(TieBreak::MostChildren)),
-        "lpf" => Box::new(Lpf::new()),
-        "algo-a" => Box::new(AlgoA::with_batching(4, half.max(1))),
-        "guess-double" => Box::new(GuessDoubleA::paper()),
-        "round-robin" => Box::new(RoundRobin),
-        "random-wc" => Box::new(RandomWorkConserving::new(1)),
-        "lrwf" => Box::new(LeastRemainingWorkFirst),
-        other => {
-            return Err(format!(
-                "unknown scheduler '{other}'; known: {}",
-                SCHEDULERS.join(", ")
-            ))
-        }
-    })
-}
+use flowtree_core::{SchedulerSpec, SCHEDULER_NAMES};
+use flowtree_sim::{Engine, Instance};
 
 /// Run the `simulate` subcommand.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -54,23 +14,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "-m" => {
-                m = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("-m needs a number")?
-            }
+            "-m" => m = it.next().and_then(|v| v.parse().ok()).ok_or("-m needs a number")?,
             "--half" => {
-                half = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--half needs a number")?
+                half = it.next().and_then(|v| v.parse().ok()).ok_or("--half needs a number")?
             }
             "--gantt" => gantt = true,
             "--dump" => dump = Some(it.next().ok_or("--dump needs a path")?.clone()),
-            v if !v.starts_with('-') && scheduler_name.is_empty() => {
-                scheduler_name = v.to_string()
-            }
+            v if !v.starts_with('-') && scheduler_name.is_empty() => scheduler_name = v.to_string(),
             v if !v.starts_with('-') && path.is_empty() => path = v.to_string(),
             other => return Err(format!("unknown simulate option '{other}'")),
         }
@@ -80,7 +30,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "usage: flowtree-repro simulate <scheduler> <instance.json> [-m M] [--half H] \
              [--gantt] [--dump schedule.json]\n\
              schedulers: {}",
-            SCHEDULERS.join(", ")
+            SCHEDULER_NAMES.join(", ")
         ));
     }
 
@@ -88,16 +38,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let instance: Instance =
         serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
 
-    let mut sched = make_scheduler(&scheduler_name, half)?;
-    let schedule = Engine::new(m)
+    let spec = SchedulerSpec::parse(&scheduler_name, half)?;
+    let mut sched = spec.build();
+    let report = Engine::new(m)
         .with_max_horizon(1_000_000_000)
         .run(&instance, sched.as_mut())
         .map_err(|e| format!("simulation failed: {e}"))?;
-    schedule
-        .verify(&instance)
-        .map_err(|e| format!("infeasible schedule: {e}"))?;
+    report.verify(&instance).map_err(|e| format!("infeasible schedule: {e}"))?;
 
-    let stats = flow_stats(&instance, &schedule);
+    let stats = &report.stats;
     let lb = flowtree_opt::bounds::combined_lower_bound(&instance, m as u64).max(1);
     println!("scheduler     : {}", sched.name());
     println!("jobs          : {}", instance.num_jobs());
@@ -110,7 +59,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     println!("lower bound   : {lb}");
     println!("ratio (<=)    : {:.3}", stats.max_flow as f64 / lb as f64);
     if let Some(path) = dump {
-        let json = serde_json::to_string(&schedule).map_err(|e| e.to_string())?;
+        let json = serde_json::to_string(&report.schedule).map_err(|e| e.to_string())?;
         std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("wrote schedule to {path}");
     }
@@ -119,7 +68,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "\n{}",
             flowtree_sim::gantt::render(
                 &instance,
-                &schedule,
+                &report.schedule,
                 &flowtree_sim::gantt::GanttOptions { max_steps: 120, ..Default::default() },
             )
         );
@@ -134,18 +83,18 @@ mod tests {
     #[test]
     fn all_scheduler_names_resolve_and_run() {
         let inst = Instance::single(flowtree_dag::builder::star(6));
-        for name in SCHEDULERS {
-            let mut s = make_scheduler(name, 4).unwrap_or_else(|e| panic!("{e}"));
-            let sched = Engine::new(8)
+        for name in SCHEDULER_NAMES {
+            let mut s = SchedulerSpec::parse(name, 4).unwrap_or_else(|e| panic!("{e}")).build();
+            let report = Engine::new(8)
                 .with_max_horizon(100_000)
                 .run(&inst, s.as_mut())
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
-            sched.verify(&inst).unwrap();
+            report.verify(&inst).unwrap();
         }
     }
 
     #[test]
     fn unknown_scheduler_is_an_error() {
-        assert!(make_scheduler("sjf-magic", 1).is_err());
+        assert!(SchedulerSpec::parse("sjf-magic", 1).is_err());
     }
 }

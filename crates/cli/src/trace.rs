@@ -1,0 +1,187 @@
+//! `flowtree-repro trace` / `flowtree-repro stats` — run a scheduler on a
+//! scenario preset and stream a JSONL event trace (or print the aggregate
+//! counters the probe subsystem collects).
+
+use flowtree_core::{SchedulerSpec, SCHEDULER_NAMES};
+use flowtree_sim::{Engine, Instance, JsonlTrace, RunReport};
+use flowtree_workloads::mix::Scenario;
+use std::io::Write;
+
+/// Options shared by `trace` and `stats`.
+struct Opts {
+    scenario: String,
+    scheduler: String,
+    m: usize,
+    jobs: usize,
+    seed: u64,
+    half: u64,
+    out: Option<String>,
+}
+
+fn parse_opts(cmd: &str, args: &[String], allow_out: bool) -> Result<Opts, String> {
+    let mut o = Opts {
+        scenario: String::new(),
+        scheduler: "fifo".to_string(),
+        m: 8,
+        jobs: 16,
+        seed: 42,
+        half: 8,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-m" => o.m = it.next().and_then(|v| v.parse().ok()).ok_or("-m needs a number")?,
+            "--jobs" => {
+                o.jobs = it.next().and_then(|v| v.parse().ok()).ok_or("--jobs needs a number")?
+            }
+            "--seed" => {
+                o.seed = it.next().and_then(|v| v.parse().ok()).ok_or("--seed needs a number")?
+            }
+            "--half" => {
+                o.half = it.next().and_then(|v| v.parse().ok()).ok_or("--half needs a number")?
+            }
+            "--scheduler" => o.scheduler = it.next().ok_or("--scheduler needs a name")?.clone(),
+            "-o" if allow_out => o.out = Some(it.next().ok_or("-o needs a path")?.clone()),
+            v if !v.starts_with('-') && o.scenario.is_empty() => o.scenario = v.to_string(),
+            other => return Err(format!("unknown {cmd} option '{other}'")),
+        }
+    }
+    if o.scenario.is_empty() {
+        let out = if allow_out { " [-o FILE]" } else { "" };
+        return Err(format!(
+            "usage: flowtree-repro {cmd} <scenario> [--scheduler S] [-m M] [--jobs N] \
+             [--seed S] [--half H]{out}\n\
+             scenarios: {}\n\
+             schedulers: {}",
+            scenario_names().join(", "),
+            SCHEDULER_NAMES.join(", ")
+        ));
+    }
+    Ok(o)
+}
+
+fn scenario_names() -> Vec<&'static str> {
+    Scenario::presets(1).iter().map(|s| s.name).collect()
+}
+
+fn build_instance(o: &Opts) -> Result<Instance, String> {
+    let scenario = Scenario::presets(o.jobs)
+        .into_iter()
+        .find(|s| s.name == o.scenario)
+        .ok_or_else(|| {
+            format!("unknown scenario '{}'; known: {}", o.scenario, scenario_names().join(", "))
+        })?;
+    Ok(scenario.instantiate(&mut flowtree_workloads::rng(o.seed)))
+}
+
+fn run_engine(
+    o: &Opts,
+    instance: &Instance,
+    trace: Option<&mut JsonlTrace<Vec<u8>>>,
+) -> Result<RunReport, String> {
+    let mut sched = SchedulerSpec::parse(&o.scheduler, o.half)?.build();
+    let mut engine = Engine::new(o.m).with_max_horizon(100_000_000);
+    let report = match trace {
+        Some(t) => engine.with_probe(t).run(instance, sched.as_mut()),
+        None => engine.run(instance, sched.as_mut()),
+    }
+    .map_err(|e| format!("simulation failed: {e}"))?;
+    report.verify(instance).map_err(|e| format!("infeasible schedule: {e}"))?;
+    Ok(report)
+}
+
+/// Run `trace <scenario>`: emit the JSONL event stream of one run to stdout
+/// (or `-o FILE`).
+pub fn run_trace(args: &[String]) -> Result<(), String> {
+    let o = parse_opts("trace", args, true)?;
+    let instance = build_instance(&o)?;
+    let (jsonl, _report) = trace_run(&o, &instance)?;
+    match &o.out {
+        Some(path) => {
+            std::fs::write(path, &jsonl).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {} trace lines to {path}", jsonl.lines().count());
+        }
+        None => {
+            std::io::stdout()
+                .write_all(jsonl.as_bytes())
+                .map_err(|e| format!("write stdout: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Run one traced simulation, returning the JSONL text and the report.
+fn trace_run(o: &Opts, instance: &Instance) -> Result<(String, RunReport), String> {
+    let mut trace = JsonlTrace::new(Vec::new());
+    let report = run_engine(o, instance, Some(&mut trace))?;
+    let buf = trace.finish().map_err(|e| format!("trace error: {e}"))?;
+    let jsonl = String::from_utf8(buf).expect("trace emits UTF-8");
+    Ok((jsonl, report))
+}
+
+/// Run `stats <scenario>`: print the aggregate counters of one run.
+pub fn run_stats(args: &[String]) -> Result<(), String> {
+    let o = parse_opts("stats", args, false)?;
+    let instance = build_instance(&o)?;
+    let report = run_engine(&o, &instance, None)?;
+    let c = &report.counters;
+    println!("scenario        : {}", o.scenario);
+    println!("scheduler       : {}", o.scheduler);
+    println!("jobs            : {}", instance.num_jobs());
+    println!("m               : {}", o.m);
+    println!("steps (horizon) : {}", c.steps);
+    println!("dispatched      : {}", c.dispatched);
+    println!("idle slots      : {}", c.idle_slots);
+    println!("idle steps      : {}", c.idle_steps);
+    println!("max ready depth : {}", c.max_ready_depth);
+    println!("utilization     : {:.3}", c.utilization());
+    println!("max flow        : {}", report.stats.max_flow);
+    println!("mean flow       : {:.2}", report.stats.mean_flow);
+    println!("makespan        : {}", report.stats.makespan);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtree_sim::Replay;
+
+    fn opts(scenario: &str) -> Opts {
+        Opts {
+            scenario: scenario.to_string(),
+            scheduler: "fifo".to_string(),
+            m: 4,
+            jobs: 8,
+            seed: 42,
+            half: 8,
+            out: None,
+        }
+    }
+
+    /// Acceptance check: on every scenario preset, the emitted JSONL replays
+    /// to exactly the schedule's per-job flows.
+    #[test]
+    fn traced_flows_match_flow_stats_on_all_presets() {
+        for name in scenario_names() {
+            let o = opts(name);
+            let instance = build_instance(&o).unwrap();
+            let (jsonl, report) = trace_run(&o, &instance).unwrap();
+            let replay = Replay::from_str(&jsonl).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let flows: Vec<_> = replay.flows().into_iter().map(Option::unwrap).collect();
+            assert_eq!(flows, report.stats.flows, "scenario '{name}'");
+            assert_eq!(replay.schedule, report.schedule, "scenario '{name}'");
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_is_an_error() {
+        assert!(build_instance(&opts("nope")).is_err());
+    }
+
+    #[test]
+    fn stats_args_reject_output_flag() {
+        let args = vec!["service".to_string(), "-o".to_string(), "x".to_string()];
+        assert!(parse_opts("stats", &args, false).is_err());
+    }
+}

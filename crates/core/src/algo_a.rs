@@ -165,13 +165,7 @@ impl AlgoA {
             .map(|l| l.into_iter().map(|(_, v)| v).collect())
             .collect();
 
-        self.groups.push(Group {
-            start: t,
-            origin,
-            union,
-            levels,
-            mc: None,
-        });
+        self.groups.push(Group { start: t, origin, union, levels, mc: None });
     }
 }
 
@@ -296,9 +290,7 @@ mod tests {
         let m = 8;
         let opt = union_opt(&inst, m as u64);
         let half = opt.div_ceil(2);
-        let s = Engine::new(m)
-            .run(&inst, &mut AlgoA::semi_batched(4, half))
-            .unwrap();
+        let s = Engine::new(m).run(&inst, &mut AlgoA::semi_batched(4, half)).unwrap();
         s.verify(&inst).unwrap();
         let stats = flow_stats(&inst, &s);
         // Theorem 5.6 bound (beta/2 = 129), hugely loose in practice; the
@@ -320,9 +312,7 @@ mod tests {
             jobs.push(JobSpec { graph: chain(4), release: i * half });
         }
         let inst = Instance::new(jobs);
-        let s = Engine::new(m)
-            .run(&inst, &mut AlgoA::semi_batched(4, half))
-            .unwrap();
+        let s = Engine::new(m).run(&inst, &mut AlgoA::semi_batched(4, half)).unwrap();
         s.verify(&inst).unwrap();
         let stats = flow_stats(&inst, &s);
         assert!(
@@ -352,9 +342,7 @@ mod tests {
             JobSpec { graph: chain(2), release: 7 },
         ]);
         let m = 8;
-        let s = Engine::new(m)
-            .run(&inst, &mut AlgoA::with_batching(4, half))
-            .unwrap();
+        let s = Engine::new(m).run(&inst, &mut AlgoA::with_batching(4, half)).unwrap();
         s.verify(&inst).unwrap();
         // Jobs arriving at 1 are deferred to 4: nothing of job 1 may run in
         // steps 2..=4.
@@ -375,14 +363,11 @@ mod tests {
         let inst = Instance::single(g.clone());
         let (m, alpha) = (8, 4);
         let half = 16; // comfortably >= span so the whole job is head
-        let s = Engine::new(m)
-            .run(&inst, &mut AlgoA::semi_batched(alpha, half))
-            .unwrap();
+        let s = Engine::new(m).run(&inst, &mut AlgoA::semi_batched(alpha, half)).unwrap();
         s.verify(&inst).unwrap();
         let levels = crate::lpf::lpf_levels(&g, m / alpha);
         for (i, level) in levels.iter().enumerate() {
-            let mut got: Vec<u32> =
-                s.at(i as Time + 1).iter().map(|&(_, v)| v.0).collect();
+            let mut got: Vec<u32> = s.at(i as Time + 1).iter().map(|&(_, v)| v.0).collect();
             let mut want = level.clone();
             got.sort_unstable();
             want.sort_unstable();
@@ -401,15 +386,10 @@ mod tests {
         for i in 0..5u64 {
             // Each group: work 3 * m * half (heavy — the system overloads,
             // which stresses the FIFO tail pool).
-            jobs.push(JobSpec {
-                graph: star((3 * m * half as usize) - 1),
-                release: i * half,
-            });
+            jobs.push(JobSpec { graph: star((3 * m * half as usize) - 1), release: i * half });
         }
         let inst = Instance::new(jobs);
-        let s = Engine::new(m)
-            .run(&inst, &mut AlgoA::semi_batched(4, half))
-            .unwrap();
+        let s = Engine::new(m).run(&inst, &mut AlgoA::semi_batched(4, half)).unwrap();
         s.verify(&inst).unwrap();
     }
 
@@ -448,8 +428,7 @@ mod tests {
                     }
                     if t == 1 {
                         sel.push(JobId(0), NodeId(1));
-                        self.inner
-                            .enqueue(JobId(0), Some(vec![false, false, true, true]));
+                        self.inner.enqueue(JobId(0), Some(vec![false, false, true, true]));
                         self.primed = true;
                         return;
                     }
@@ -480,9 +459,7 @@ mod tests {
             jobs.push(JobSpec { graph: g.clone(), release: i * half });
         }
         let inst = Instance::new(jobs);
-        let s = Engine::new(m)
-            .run(&inst, &mut AlgoA::semi_batched(4, half))
-            .unwrap();
+        let s = Engine::new(m).run(&inst, &mut AlgoA::semi_batched(4, half)).unwrap();
         s.verify(&inst).unwrap();
         let stats = flow_stats(&inst, &s);
         assert!(stats.max_flow <= 129 * 2 * half);
@@ -491,10 +468,7 @@ mod tests {
     #[test]
     fn name_reports_parameters() {
         assert_eq!(AlgoA::semi_batched(4, 7).name(), "AlgoA[alpha=4,half=7]");
-        assert_eq!(
-            AlgoA::with_batching(8, 3).name(),
-            "AlgoA[alpha=8,half=3,batched]"
-        );
+        assert_eq!(AlgoA::with_batching(8, 3).name(), "AlgoA[alpha=8,half=3,batched]");
     }
 
     #[test]

@@ -68,9 +68,7 @@ pub struct RandomWorkConserving {
 impl RandomWorkConserving {
     /// Seeded constructor.
     pub fn new(seed: u64) -> Self {
-        RandomWorkConserving {
-            state: seed ^ 0x2545F4914F6CDD1D,
-        }
+        RandomWorkConserving { state: seed ^ 0x2545F4914F6CDD1D }
     }
 
     fn next(&mut self) -> u64 {
@@ -188,13 +186,9 @@ mod tests {
     #[test]
     fn random_wc_is_work_conserving_and_seeded() {
         let inst = wide_pair();
-        let a = Engine::new(4)
-            .run(&inst, &mut RandomWorkConserving::new(1))
-            .unwrap();
+        let a = Engine::new(4).run(&inst, &mut RandomWorkConserving::new(1)).unwrap();
         a.verify(&inst).unwrap();
-        let b = Engine::new(4)
-            .run(&inst, &mut RandomWorkConserving::new(1))
-            .unwrap();
+        let b = Engine::new(4).run(&inst, &mut RandomWorkConserving::new(1)).unwrap();
         assert_eq!(a, b);
         // Work conservation: roots first (2), then 16 leaves over 4 full
         // steps => makespan 5 regardless of randomness.
@@ -210,14 +204,10 @@ mod tests {
             jobs.push(JobSpec { graph: chain(2), release: t });
         }
         let inst = Instance::new(jobs);
-        let s = Engine::new(2)
-            .run(&inst, &mut LeastRemainingWorkFirst)
-            .unwrap();
+        let s = Engine::new(2).run(&inst, &mut LeastRemainingWorkFirst).unwrap();
         s.verify(&inst).unwrap();
         let lrwf = flow_stats(&inst, &s);
-        let s2 = Engine::new(2)
-            .run(&inst, &mut crate::fifo::Fifo::arbitrary())
-            .unwrap();
+        let s2 = Engine::new(2).run(&inst, &mut crate::fifo::Fifo::arbitrary()).unwrap();
         let fifo = flow_stats(&inst, &s2);
         // The star's flow under LRWF is at least as bad as under FIFO.
         assert!(lrwf.flows[0] >= fifo.flows[0]);

@@ -146,8 +146,7 @@ impl Fifo {
             TieBreak::BecameReady => {
                 self.scratch.clear();
                 self.scratch.extend_from_slice(ready);
-                self.scratch
-                    .sort_by_key(|&v| view.ready_seq(job, NodeId(v)));
+                self.scratch.sort_by_key(|&v| view.ready_seq(job, NodeId(v)));
                 for &v in &self.scratch[..k] {
                     sel.push(job, NodeId(v));
                 }
@@ -155,8 +154,7 @@ impl Fifo {
             TieBreak::LastReady => {
                 self.scratch.clear();
                 self.scratch.extend_from_slice(ready);
-                self.scratch
-                    .sort_by_key(|&v| std::cmp::Reverse(view.ready_seq(job, NodeId(v))));
+                self.scratch.sort_by_key(|&v| std::cmp::Reverse(view.ready_seq(job, NodeId(v))));
                 for &v in &self.scratch[..k] {
                     sel.push(job, NodeId(v));
                 }
@@ -179,8 +177,7 @@ impl Fifo {
                 self.scratch.clear();
                 self.scratch.extend_from_slice(ready);
                 // Stable sort: priority desc, became-ready order among ties.
-                self.scratch
-                    .sort_by(|&a, &b| prio[b as usize].cmp(&prio[a as usize]));
+                self.scratch.sort_by(|&a, &b| prio[b as usize].cmp(&prio[a as usize]));
                 for &v in &self.scratch[..k] {
                     sel.push(job, NodeId(v));
                 }
@@ -200,9 +197,7 @@ impl OnlineScheduler for Fifo {
             let g = view.graph(job);
             self.priority[job.index()] = Some(match self.tie {
                 TieBreak::HighestHeight => g.heights(),
-                TieBreak::MostChildren => {
-                    g.nodes().map(|v| g.out_degree(v) as u32).collect()
-                }
+                TieBreak::MostChildren => g.nodes().map(|v| g.out_degree(v) as u32).collect(),
                 _ => unreachable!(),
             });
         }
@@ -256,7 +251,7 @@ mod tests {
     fn run(inst: &Instance, m: usize, tie: TieBreak) -> flowtree_sim::Schedule {
         let s = Engine::new(m).run(inst, &mut Fifo::new(tie)).unwrap();
         s.verify(inst).unwrap();
-        s
+        s.schedule
     }
 
     #[test]
@@ -372,17 +367,10 @@ mod tests {
             } else {
                 // Constraint (2): scheduled jobs arrived no later than any
                 // skipped ready subjob's job.
-                let max_sched = picks
-                    .iter()
-                    .map(|&(j, _)| inst.release(j))
-                    .max()
-                    .unwrap();
+                let max_sched = picks.iter().map(|&(j, _)| inst.release(j)).max().unwrap();
                 for &job in st.alive() {
-                    let scheduled: Vec<_> = picks
-                        .iter()
-                        .filter(|&&(j, _)| j == job)
-                        .map(|&(_, v)| v.0)
-                        .collect();
+                    let scheduled: Vec<_> =
+                        picks.iter().filter(|&&(j, _)| j == job).map(|&(_, v)| v.0).collect();
                     let skipped = st.ready(job).len() - scheduled.len();
                     if skipped > 0 {
                         assert!(

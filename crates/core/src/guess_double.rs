@@ -84,10 +84,8 @@ impl GuessDoubleA {
         self.inner = AlgoA::with_batching(self.alpha, self.aopt);
         for &job in view.alive() {
             let g = view.graph(job);
-            let remaining: Vec<bool> = g
-                .nodes()
-                .map(|v| view.completion(job, v).is_none())
-                .collect();
+            let remaining: Vec<bool> =
+                g.nodes().map(|v| view.completion(job, v).is_none()).collect();
             debug_assert!(remaining.iter().any(|&r| r), "alive job with nothing left");
             self.inner.enqueue(job, Some(remaining));
             self.virtual_release[job.index()] = t;
@@ -169,19 +167,13 @@ mod tests {
         // bound against the certified per-job lower bound (conservative).
         let mut jobs = Vec::new();
         for i in 0..10u64 {
-            jobs.push(JobSpec {
-                graph: complete_kary(2, 4),
-                release: i * 3 + (i % 2),
-            });
+            jobs.push(JobSpec { graph: complete_kary(2, 4), release: i * 3 + (i % 2) });
             jobs.push(JobSpec { graph: star(9), release: i * 3 + 1 });
         }
         let inst = Instance::new(jobs);
         let m = 8;
         let mut sched = GuessDoubleA::paper();
-        let s = Engine::new(m)
-            .with_max_horizon(2_000_000)
-            .run(&inst, &mut sched)
-            .unwrap();
+        let s = Engine::new(m).with_max_horizon(2_000_000).run(&inst, &mut sched).unwrap();
         s.verify(&inst).unwrap();
         let stats = flow_stats(&inst, &s);
         let lb = inst.per_job_lower_bound(m as u64).max(1);

@@ -22,6 +22,8 @@
 //!   clairvoyant algorithm of Theorem 5.7).
 //! * [`baselines`] — classical comparators: Graham list scheduling,
 //!   round-robin equipartition, random work-conserving.
+//! * [`registry`] — a declarative [`SchedulerSpec`] covering every entry
+//!   above, shared by the CLI, the E16 matrix, and the benchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,9 +34,11 @@ pub mod fifo;
 pub mod guess_double;
 pub mod lpf;
 pub mod mc;
+pub mod registry;
 
 pub use algo_a::AlgoA;
 pub use fifo::{Fifo, TieBreak};
 pub use guess_double::GuessDoubleA;
 pub use lpf::Lpf;
 pub use mc::McReplay;
+pub use registry::{build_scheduler, SchedulerSpec, SCHEDULER_NAMES};

@@ -43,11 +43,7 @@ pub fn lpf_levels(g: &JobGraph, p: usize) -> Vec<Vec<u32>> {
 /// executed" sets, and it means restricted heights equal full-graph heights.
 /// Used by the guess-and-double wrapper, which restarts Algorithm 𝒜 on the
 /// unexecuted portions of jobs.
-pub fn lpf_levels_restricted(
-    g: &JobGraph,
-    remaining: Option<&[bool]>,
-    p: usize,
-) -> Vec<Vec<u32>> {
+pub fn lpf_levels_restricted(g: &JobGraph, remaining: Option<&[bool]>, p: usize) -> Vec<Vec<u32>> {
     let picks = lpf_levels_forest(&[(g, remaining)], p);
     picks
         .into_iter()
@@ -61,10 +57,7 @@ pub fn lpf_levels_restricted(
 ///
 /// All parts are treated as one out-forest (the paper's "view all the jobs
 /// arriving at the same time as being one job", Section 5.3).
-pub fn lpf_levels_forest(
-    parts: &[(&JobGraph, Option<&[bool]>)],
-    p: usize,
-) -> Vec<Vec<(u32, u32)>> {
+pub fn lpf_levels_forest(parts: &[(&JobGraph, Option<&[bool]>)], p: usize) -> Vec<Vec<(u32, u32)>> {
     assert!(p >= 1, "need at least one processor");
     for (g, mask) in parts {
         if let Some(mask) = mask {
@@ -73,18 +66,12 @@ pub fn lpf_levels_forest(
         }
     }
 
-    let included = |pi: usize, v: u32| -> bool {
-        parts[pi].1.is_none_or(|m| m[v as usize])
-    };
+    let included = |pi: usize, v: u32| -> bool { parts[pi].1.is_none_or(|m| m[v as usize]) };
 
     // Heights per part (restricted heights == full heights on a
     // descendant-closed set).
     let heights: Vec<Vec<u32>> = parts.iter().map(|(g, _)| g.heights()).collect();
-    let max_h = heights
-        .iter()
-        .flat_map(|h| h.iter().copied())
-        .max()
-        .unwrap_or(0) as usize;
+    let max_h = heights.iter().flat_map(|h| h.iter().copied()).max().unwrap_or(0) as usize;
 
     // Buckets of ready nodes by height; cur scans downward. General DAGs
     // are supported: a node becomes ready when its *last* included parent
@@ -100,11 +87,9 @@ pub fn lpf_levels_forest(
                 continue;
             }
             total_remaining += 1;
-            let unfinished_parents = g
-                .parents(flowtree_dag::NodeId(v))
-                .iter()
-                .filter(|&&u| included(pi, u))
-                .count() as u32;
+            let unfinished_parents =
+                g.parents(flowtree_dag::NodeId(v)).iter().filter(|&&u| included(pi, u)).count()
+                    as u32;
             part_indeg[v as usize] = unfinished_parents;
             if unfinished_parents == 0 {
                 buckets[heights[pi][v as usize] as usize].push((pi as u32, v));
@@ -161,9 +146,8 @@ pub fn lpf_levels_forest(
 /// Is `mask` descendant-closed in `g` (every child of a remaining node is
 /// remaining)? Debug-checked by the restricted LPF variants.
 pub fn descendant_closed(g: &JobGraph, mask: &[bool]) -> bool {
-    g.nodes().all(|v| {
-        !mask[v.index()] || g.children(v).iter().all(|&c| mask[c as usize])
-    })
+    g.nodes()
+        .all(|v| !mask[v.index()] || g.children(v).iter().all(|&c| mask[c as usize]))
 }
 
 /// The head/tail split of a materialized LPF schedule (paper, Section 5.3):
@@ -191,16 +175,8 @@ impl RectangleTail {
     pub fn measure(levels: &[Vec<u32>], opt: Time, p: usize) -> Self {
         let (_, tail) = head_tail(levels, opt);
         let len = tail.len();
-        let full_steps = tail
-            .iter()
-            .take(len.saturating_sub(1))
-            .filter(|l| l.len() == p)
-            .count();
-        RectangleTail {
-            len,
-            full_steps,
-            last_width: tail.last().map_or(0, Vec::len),
-        }
+        let full_steps = tail.iter().take(len.saturating_sub(1)).filter(|l| l.len() == p).count();
+        RectangleTail { len, full_steps, last_width: tail.last().map_or(0, Vec::len) }
     }
 
     /// Is the tail a perfect rectangle except possibly the final step?
@@ -228,9 +204,7 @@ pub struct Lpf {
 impl Lpf {
     /// Create the multi-job LPF scheduler.
     pub fn new() -> Self {
-        Lpf {
-            inner: Fifo::new(TieBreak::HighestHeight),
-        }
+        Lpf { inner: Fifo::new(TieBreak::HighestHeight) }
     }
 }
 
@@ -268,12 +242,7 @@ mod tests {
         let mut s = flowtree_sim::Schedule::new(p);
         for level in levels {
             assert!(level.len() <= p, "level wider than p");
-            s.push_step(
-                level
-                    .iter()
-                    .map(|&v| (JobId(0), flowtree_dag::NodeId(v)))
-                    .collect(),
-            );
+            s.push_step(level.iter().map(|&v| (JobId(0), flowtree_dag::NodeId(v))).collect());
         }
         s.verify(&inst).unwrap();
     }
@@ -455,17 +424,14 @@ mod tests {
                     when[v as usize] = i + 1;
                 }
             }
-            let parent_of = |v: u32| -> Option<u32> {
-                g.parents(flowtree_dag::NodeId(v)).first().copied()
-            };
+            let parent_of =
+                |v: u32| -> Option<u32> { g.parents(flowtree_dag::NodeId(v)).first().copied() };
             for (i, level) in levels.iter().enumerate() {
                 let t = i + 1;
                 if level.len() == p {
                     continue; // not idle
                 }
-                let all_leaves = level
-                    .iter()
-                    .all(|&v| g.out_degree(flowtree_dag::NodeId(v)) == 0);
+                let all_leaves = level.iter().all(|&v| g.out_degree(flowtree_dag::NodeId(v)) == 0);
                 if all_leaves {
                     assert_eq!(t, levels.len(), "all-leaf idle step must be last");
                     continue;
@@ -477,9 +443,8 @@ mod tests {
                     // Walk ancestors: hop k up must run at step t - k.
                     let mut cur = j;
                     for s in (1..t).rev() {
-                        let up = parent_of(cur).unwrap_or_else(|| {
-                            panic!("non-leaf at idle step {t} lacks depth {t}")
-                        });
+                        let up = parent_of(cur)
+                            .unwrap_or_else(|| panic!("non-leaf at idle step {t} lacks depth {t}"));
                         assert_eq!(
                             when[up as usize],
                             s,

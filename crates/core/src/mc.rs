@@ -49,10 +49,7 @@ impl McReplay {
         let mut level_of = vec![usize::MAX; n];
         for (li, level) in levels.iter().enumerate() {
             for &v in level {
-                assert!(
-                    level_of[v as usize] == usize::MAX,
-                    "node v{v} appears twice in levels"
-                );
+                assert!(level_of[v as usize] == usize::MAX, "node v{v} appears twice in levels");
                 level_of[v as usize] = li;
             }
         }
@@ -82,8 +79,15 @@ impl McReplay {
         let remaining = remaining_in_level.iter().sum();
         // Nodes outside `levels` count as processed (in the infinite past).
         let processed: Vec<bool> = (0..n).map(|v| level_of[v] == usize::MAX).collect();
-        let processed_step: Vec<usize> =
-            (0..n).map(|v| if level_of[v] == usize::MAX { 0 } else { usize::MAX }).collect();
+        let processed_step: Vec<usize> = (0..n)
+            .map(|v| {
+                if level_of[v] == usize::MAX {
+                    0
+                } else {
+                    usize::MAX
+                }
+            })
+            .collect();
         McReplay {
             levels: sorted,
             front: 0,
@@ -132,8 +136,7 @@ impl McReplay {
                 }
                 let p = self.parent[v as usize];
                 let ready = p == u32::MAX
-                    || (self.processed[p as usize]
-                        && self.processed_step[p as usize] < step);
+                    || (self.processed[p as usize] && self.processed_step[p as usize] < step);
                 if ready {
                     self.processed[v as usize] = true;
                     self.processed_step[v as usize] = step;
@@ -170,7 +173,11 @@ mod tests {
 
     /// Drive MC with a grant sequence; check feasibility of the produced
     /// order and Lemma 5.5 (full grants until done). Returns steps taken.
-    fn drive(graph: &JobGraph, levels: Vec<Vec<u32>>, grants: &mut dyn FnMut(usize) -> usize) -> usize {
+    fn drive(
+        graph: &JobGraph,
+        levels: Vec<Vec<u32>>,
+        grants: &mut dyn FnMut(usize) -> usize,
+    ) -> usize {
         let expected: usize = levels.iter().map(Vec::len).sum();
         let mut mc = McReplay::new(graph, levels);
         let mut done_step = vec![0usize; graph.n()];

@@ -1,0 +1,198 @@
+//! Name-indexed scheduler registry.
+//!
+//! Every scheduler in the repository, constructible from a declarative
+//! [`SchedulerSpec`] — so the CLI, the experiment matrix (E16), and the
+//! benchmarks share one list instead of three hand-built ones. A spec is a
+//! plain value: it can be parsed from a CLI name, compared, copied, and
+//! turned into a live scheduler with [`build_scheduler`].
+
+use crate::baselines::{LeastRemainingWorkFirst, RandomWorkConserving, RoundRobin};
+use crate::{AlgoA, Fifo, GuessDoubleA, Lpf, TieBreak};
+use flowtree_dag::Time;
+use flowtree_sim::OnlineScheduler;
+
+/// Canonical CLI names, one per registry entry (order matches `--help`).
+pub const SCHEDULER_NAMES: &[&str] = &[
+    "fifo",
+    "fifo-last",
+    "fifo-random",
+    "fifo-lpf",
+    "fifo-mc",
+    "lpf",
+    "algo-a",
+    "guess-double",
+    "round-robin",
+    "random-wc",
+    "lrwf",
+];
+
+/// A declarative description of a scheduler configuration.
+///
+/// Unlike a `Box<dyn OnlineScheduler>`, a spec is `Copy + Eq`: lists of
+/// specs can be stored in constants, compared in tests, and rebuilt fresh
+/// for every run (schedulers are stateful, so each run needs a new one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerSpec {
+    /// The FIFO family with a concrete intra-job tie-break.
+    Fifo(TieBreak),
+    /// Longest Path First (clairvoyant, Section 5.1).
+    Lpf,
+    /// Algorithm 𝒜 with the batching reduction (`alpha >= 3`, `half >= 1`).
+    AlgoA {
+        /// Processor-augmentation parameter α of Section 5.3.
+        alpha: usize,
+        /// Half-batch length of the Section 5.4 reduction.
+        half: Time,
+    },
+    /// Guess-and-double wrapper with the paper's constants (Theorem 5.7).
+    GuessDouble,
+    /// Round-robin equipartition baseline.
+    RoundRobin,
+    /// Random work-conserving baseline with a fixed seed.
+    RandomWc {
+        /// RNG seed (fixed so runs are reproducible).
+        seed: u64,
+    },
+    /// Least-remaining-work-first baseline.
+    Lrwf,
+}
+
+impl SchedulerSpec {
+    /// The canonical CLI name for this spec (parameters are not encoded).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerSpec::Fifo(TieBreak::BecameReady) => "fifo",
+            SchedulerSpec::Fifo(TieBreak::LastReady) => "fifo-last",
+            SchedulerSpec::Fifo(TieBreak::Random(_)) => "fifo-random",
+            SchedulerSpec::Fifo(TieBreak::HighestHeight) => "fifo-lpf",
+            SchedulerSpec::Fifo(TieBreak::MostChildren) => "fifo-mc",
+            SchedulerSpec::Lpf => "lpf",
+            SchedulerSpec::AlgoA { .. } => "algo-a",
+            SchedulerSpec::GuessDouble => "guess-double",
+            SchedulerSpec::RoundRobin => "round-robin",
+            SchedulerSpec::RandomWc { .. } => "random-wc",
+            SchedulerSpec::Lrwf => "lrwf",
+        }
+    }
+
+    /// Parse a CLI name into a spec. `half` parameterizes `algo-a`; the
+    /// other entries ignore it. Parameterized entries get the same fixed
+    /// defaults the CLI has always used (seed 1).
+    pub fn parse(name: &str, half: Time) -> Result<Self, String> {
+        Ok(match name {
+            "fifo" => SchedulerSpec::Fifo(TieBreak::BecameReady),
+            "fifo-last" => SchedulerSpec::Fifo(TieBreak::LastReady),
+            "fifo-random" => SchedulerSpec::Fifo(TieBreak::Random(1)),
+            "fifo-lpf" => SchedulerSpec::Fifo(TieBreak::HighestHeight),
+            "fifo-mc" => SchedulerSpec::Fifo(TieBreak::MostChildren),
+            "lpf" => SchedulerSpec::Lpf,
+            "algo-a" => SchedulerSpec::AlgoA { alpha: 4, half: half.max(1) },
+            "guess-double" => SchedulerSpec::GuessDouble,
+            "round-robin" => SchedulerSpec::RoundRobin,
+            "random-wc" => SchedulerSpec::RandomWc { seed: 1 },
+            "lrwf" => SchedulerSpec::Lrwf,
+            other => {
+                return Err(format!(
+                    "unknown scheduler '{other}'; known: {}",
+                    SCHEDULER_NAMES.join(", ")
+                ))
+            }
+        })
+    }
+
+    /// Every registry entry, in [`SCHEDULER_NAMES`] order.
+    pub fn all(half: Time) -> Vec<SchedulerSpec> {
+        SCHEDULER_NAMES
+            .iter()
+            .map(|n| SchedulerSpec::parse(n, half).expect("registry names parse"))
+            .collect()
+    }
+
+    /// The canonical comparison set used by the E16 scheduler matrix:
+    /// the three deterministic FIFO tie-breaks, LPF, guess-and-double 𝒜,
+    /// and the three classical baselines.
+    pub fn matrix() -> Vec<SchedulerSpec> {
+        vec![
+            SchedulerSpec::Fifo(TieBreak::BecameReady),
+            SchedulerSpec::Fifo(TieBreak::HighestHeight),
+            SchedulerSpec::Fifo(TieBreak::MostChildren),
+            SchedulerSpec::Lpf,
+            SchedulerSpec::GuessDouble,
+            SchedulerSpec::RoundRobin,
+            SchedulerSpec::RandomWc { seed: 7 },
+            SchedulerSpec::Lrwf,
+        ]
+    }
+
+    /// Build a fresh scheduler from this spec.
+    pub fn build(&self) -> Box<dyn OnlineScheduler> {
+        build_scheduler(*self)
+    }
+}
+
+/// Build a fresh scheduler from `spec` (see [`SchedulerSpec::build`]).
+pub fn build_scheduler(spec: SchedulerSpec) -> Box<dyn OnlineScheduler> {
+    match spec {
+        SchedulerSpec::Fifo(tie) => Box::new(Fifo::new(tie)),
+        SchedulerSpec::Lpf => Box::new(Lpf::new()),
+        SchedulerSpec::AlgoA { alpha, half } => Box::new(AlgoA::with_batching(alpha, half)),
+        SchedulerSpec::GuessDouble => Box::new(GuessDoubleA::paper()),
+        SchedulerSpec::RoundRobin => Box::new(RoundRobin),
+        SchedulerSpec::RandomWc { seed } => Box::new(RandomWorkConserving::new(seed)),
+        SchedulerSpec::Lrwf => Box::new(LeastRemainingWorkFirst),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtree_sim::{Engine, Instance};
+
+    #[test]
+    fn every_name_parses_and_roundtrips() {
+        for &name in SCHEDULER_NAMES {
+            let spec = SchedulerSpec::parse(name, 8).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(spec.name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        assert!(SchedulerSpec::parse("sjf-magic", 1).is_err());
+        assert!(SchedulerSpec::parse("", 1).is_err());
+    }
+
+    #[test]
+    fn all_matches_name_list() {
+        let all = SchedulerSpec::all(8);
+        assert_eq!(all.len(), SCHEDULER_NAMES.len());
+        for (spec, &name) in all.iter().zip(SCHEDULER_NAMES) {
+            assert_eq!(spec.name(), name);
+        }
+    }
+
+    #[test]
+    fn every_spec_builds_and_runs() {
+        let inst = Instance::single(flowtree_dag::builder::star(6));
+        for spec in SchedulerSpec::all(4) {
+            let mut s = spec.build();
+            let report = Engine::new(8)
+                .with_max_horizon(100_000)
+                .run(&inst, s.as_mut())
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+            report.verify(&inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn matrix_is_the_canonical_eight() {
+        let m = SchedulerSpec::matrix();
+        assert_eq!(m.len(), 8);
+        let names: Vec<_> = m.iter().map(|s| s.name()).collect();
+        // All distinct (the matrix never lists a configuration twice).
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -26,17 +26,11 @@ use proptest::prelude::*;
 /// were recorded this step).
 fn reference_fifo(instance: &Instance, m: usize) -> Vec<Vec<Time>> {
     let _n_jobs = instance.num_jobs();
-    let mut complete: Vec<Vec<Time>> = instance
-        .jobs()
-        .iter()
-        .map(|j| vec![0; j.graph.n()])
-        .collect();
+    let mut complete: Vec<Vec<Time>> =
+        instance.jobs().iter().map(|j| vec![0; j.graph.n()]).collect();
     // became-ready sequence per (job, node); usize::MAX = not yet ready.
-    let mut seq: Vec<Vec<usize>> = instance
-        .jobs()
-        .iter()
-        .map(|j| vec![usize::MAX; j.graph.n()])
-        .collect();
+    let mut seq: Vec<Vec<usize>> =
+        instance.jobs().iter().map(|j| vec![usize::MAX; j.graph.n()]).collect();
     let mut next_seq = 0usize;
     let mut remaining: usize = instance.jobs().iter().map(|j| j.graph.n()).sum();
     let mut t: Time = 0;
@@ -49,10 +43,10 @@ fn reference_fifo(instance: &Instance, m: usize) -> Vec<Vec<Time>> {
     // within one wave we order by (parent's completion step, parent id,
     // child list position). We emulate exactly that.
     let mark_ready = |t: Time,
-                          instance: &Instance,
-                          complete: &Vec<Vec<Time>>,
-                          seq: &mut Vec<Vec<usize>>,
-                          next_seq: &mut usize| {
+                      instance: &Instance,
+                      complete: &Vec<Vec<Time>>,
+                      seq: &mut Vec<Vec<usize>>,
+                      next_seq: &mut usize| {
         for (j, spec) in instance.jobs().iter().enumerate() {
             if spec.release != t {
                 continue;
@@ -77,13 +71,9 @@ fn reference_fifo(instance: &Instance, m: usize) -> Vec<Vec<Time>> {
             for v in spec.graph.nodes() {
                 if complete[j][v.index()] == t {
                     for &c in spec.graph.children(v) {
-                        let all_done = spec
-                            .graph
-                            .parents(flowtree_dag::NodeId(c))
-                            .iter()
-                            .all(|&u| {
-                                complete[j][u as usize] != 0
-                                    && complete[j][u as usize] <= t
+                        let all_done =
+                            spec.graph.parents(flowtree_dag::NodeId(c)).iter().all(|&u| {
+                                complete[j][u as usize] != 0 && complete[j][u as usize] <= t
                             });
                         if all_done && seq[j][c as usize] == usize::MAX {
                             enabled.push((j, seq[j][v.index()], c));
@@ -190,12 +180,8 @@ fn reference_agrees_on_adversary_instances() {
     let reference = reference_fifo(&inst, m);
     let stats = flowtree_sim::metrics::flow_stats(&inst, &s);
     for (id, spec) in inst.iter() {
-        let ref_completion = spec
-            .graph
-            .nodes()
-            .map(|v| reference[id.index()][v.index()])
-            .max()
-            .unwrap();
+        let ref_completion =
+            spec.graph.nodes().map(|v| reference[id.index()][v.index()]).max().unwrap();
         assert_eq!(
             stats.flows[id.index()],
             ref_completion - spec.release,

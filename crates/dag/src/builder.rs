@@ -37,9 +37,7 @@ pub fn complete_kary(k: usize, height: usize) -> JobGraph {
     let mut level = 1usize;
     for _ in 0..height {
         total += level;
-        level = level
-            .checked_mul(k)
-            .expect("complete_kary size overflows usize");
+        level = level.checked_mul(k).expect("complete_kary size overflows usize");
     }
     let mut b = GraphBuilder::new(total);
     // BFS numbering: children of node v are k*v + 1 ..= k*v + k (as in a heap).

@@ -10,8 +10,7 @@ use crate::graph::{JobGraph, NodeId};
 /// Is `g` a single chain (each node has <= 1 parent and <= 1 child, one
 /// component)?
 pub fn is_chain(g: &JobGraph) -> bool {
-    g.nodes()
-        .all(|v| g.in_degree(v) <= 1 && g.out_degree(v) <= 1)
+    g.nodes().all(|v| g.in_degree(v) <= 1 && g.out_degree(v) <= 1)
         && g.sources().len() == 1
         && g.num_edges() == g.n() - 1
 }
@@ -43,9 +42,7 @@ pub fn is_in_tree(g: &JobGraph) -> bool {
 /// lower-bound jobs are layered out-forests.
 pub fn is_layered(g: &JobGraph) -> bool {
     let d = g.depths();
-    g.edges()
-        .iter()
-        .all(|&(u, v)| d[v as usize] == d[u as usize] + 1)
+    g.edges().iter().all(|&(u, v)| d[v as usize] == d[u as usize] + 1)
 }
 
 /// Reverse all edges, turning an out-forest into an in-forest and vice versa.
@@ -93,11 +90,7 @@ pub fn out_forest_roots(g: &JobGraph) -> Vec<u32> {
     let mut root = vec![u32::MAX; g.n()];
     for &v in g.topo_order() {
         let p = g.parents(NodeId(v));
-        root[v as usize] = if p.is_empty() {
-            v
-        } else {
-            root[p[0] as usize]
-        };
+        root[v as usize] = if p.is_empty() { v } else { root[p[0] as usize] };
     }
     root
 }

@@ -5,14 +5,16 @@
 //! representation is immutable after construction via [`GraphBuilder`],
 //! which validates acyclicity.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 /// Identifier of a subjob (vertex) within a single job's DAG.
 ///
 /// Node ids are dense indices `0..n` local to one [`JobGraph`]; ids of
 /// different jobs are unrelated (the paper's vertex sets are disjoint).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
+
+serde::impl_serde_newtype!(NodeId(u32));
 
 impl NodeId {
     /// The node id as a usize index.
@@ -228,10 +230,7 @@ impl JobGraph {
                 b.edge(new_id[u as usize], new_id[v as usize]);
             }
         }
-        (
-            b.build().expect("subgraph of a DAG is a DAG"),
-            old_id,
-        )
+        (b.build().expect("subgraph of a DAG is a DAG"), old_id)
     }
 
     /// Disjoint union of jobs: relabels each graph's nodes into one graph.
@@ -251,43 +250,32 @@ impl JobGraph {
             }
             off += g.n;
         }
-        (
-            b.build().expect("union of DAGs is a DAG"),
-            offsets,
-        )
+        (b.build().expect("union of DAGs is a DAG"), offsets)
     }
 }
 
 // Serde: serialize as (n, edges) and rebuild (re-validating) on deserialize,
 // so a hand-edited instance file cannot smuggle in a cyclic "DAG".
 impl Serialize for JobGraph {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        #[derive(Serialize)]
-        struct Repr {
-            n: u32,
-            edges: Vec<(u32, u32)>,
-        }
-        Repr {
-            n: self.n,
-            edges: self.edges(),
-        }
-        .serialize(s)
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("n".to_string(), self.n.to_value()),
+            ("edges".to_string(), self.edges().to_value()),
+        ])
     }
 }
 
-impl<'de> Deserialize<'de> for JobGraph {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        #[derive(Deserialize)]
-        struct Repr {
-            n: u32,
-            edges: Vec<(u32, u32)>,
-        }
-        let r = Repr::deserialize(d)?;
-        let mut b = GraphBuilder::new(r.n as usize);
-        for (u, v) in r.edges {
+impl Deserialize for JobGraph {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let n = u32::from_value(v.get("n").ok_or_else(|| SerdeError::missing_field("n"))?)?;
+        let edges = Vec::<(u32, u32)>::from_value(
+            v.get("edges").ok_or_else(|| SerdeError::missing_field("edges"))?,
+        )?;
+        let mut b = GraphBuilder::new(n as usize);
+        for (u, v) in edges {
             b.edge(u, v);
         }
-        b.build().map_err(serde::de::Error::custom)
+        b.build().map_err(SerdeError::custom)
     }
 }
 
@@ -302,10 +290,7 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Start a builder for a graph with `n` nodes (ids `0..n`).
     pub fn new(n: usize) -> Self {
-        GraphBuilder {
-            n,
-            edges: Vec::new(),
-        }
+        GraphBuilder { n, edges: Vec::new() }
     }
 
     /// Append `k` fresh nodes, returning the id of the first.
@@ -384,9 +369,7 @@ impl GraphBuilder {
         }
 
         // Kahn's algorithm for acyclicity + topological order.
-        let mut indeg: Vec<u32> = (0..n)
-            .map(|i| parent_start[i + 1] - parent_start[i])
-            .collect();
+        let mut indeg: Vec<u32> = (0..n).map(|i| parent_start[i + 1] - parent_start[i]).collect();
         let mut queue: Vec<u32> = (0..n32).filter(|&v| indeg[v as usize] == 0).collect();
         let mut topo = Vec::with_capacity(n);
         let mut head = 0;
@@ -406,14 +389,7 @@ impl GraphBuilder {
             return Err(GraphError::Cyclic);
         }
 
-        Ok(JobGraph {
-            n: n32,
-            child_start,
-            children,
-            parent_start,
-            parents,
-            topo,
-        })
+        Ok(JobGraph { n: n32, child_start, children, parent_start, parents, topo })
     }
 }
 
@@ -449,10 +425,7 @@ mod tests {
     fn out_of_range_edge_rejected() {
         let mut b = GraphBuilder::new(2);
         b.edge(0, 2);
-        assert_eq!(
-            b.build().unwrap_err(),
-            GraphError::NodeOutOfRange { node: 2, n: 2 }
-        );
+        assert_eq!(b.build().unwrap_err(), GraphError::NodeOutOfRange { node: 2, n: 2 });
     }
 
     #[test]

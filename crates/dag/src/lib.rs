@@ -46,19 +46,10 @@ pub type Time = u64;
 
 /// Identifier of a job within an instance (index into the instance's job
 /// list). Jobs are independent: their vertex sets are disjoint.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u32);
+
+serde::impl_serde_newtype!(JobId(u32));
 
 impl JobId {
     /// The job id as a usize index.

@@ -20,11 +20,7 @@ pub fn to_dot(g: &JobGraph, name: &str, highlight: &[u32]) -> String {
         } else {
             ""
         };
-        let _ = writeln!(
-            s,
-            "  v{i} [label=\"v{i}\\nh={} d={}\"{fill}];",
-            heights[i], depths[i]
-        );
+        let _ = writeln!(s, "  v{i} [label=\"v{i}\\nh={} d={}\"{fill}];", heights[i], depths[i]);
     }
     for (u, v) in g.edges() {
         let _ = writeln!(s, "  v{u} -> v{v};");
@@ -62,11 +58,7 @@ pub fn critical_path(g: &JobGraph) -> Vec<u32> {
         .expect("non-empty graph has a source");
     let mut path = vec![cur.0];
     loop {
-        let next = g
-            .children(cur)
-            .iter()
-            .copied()
-            .max_by_key(|&c| heights[c as usize]);
+        let next = g.children(cur).iter().copied().max_by_key(|&c| heights[c as usize]);
         match next {
             Some(c) => {
                 path.push(c);

@@ -48,9 +48,7 @@ impl SpExpr {
         match self {
             SpExpr::Strand(len) => *len as u64,
             SpExpr::Series(parts) => parts.iter().map(SpExpr::span).sum(),
-            SpExpr::Parallel(parts) => {
-                2 + parts.iter().map(SpExpr::span).max().unwrap_or(0)
-            }
+            SpExpr::Parallel(parts) => 2 + parts.iter().map(SpExpr::span).max().unwrap_or(0),
         }
     }
 
@@ -92,8 +90,7 @@ impl SpExpr {
             SpExpr::Parallel(parts) => {
                 assert!(!parts.is_empty(), "empty parallel");
                 let fork = b.add_nodes(1);
-                let branch_ends: Vec<(u32, u32)> =
-                    parts.iter().map(|p| p.emit(b)).collect();
+                let branch_ends: Vec<(u32, u32)> = parts.iter().map(|p| p.emit(b)).collect();
                 let join = b.add_nodes(1);
                 for (e, x) in branch_ends {
                     b.edge(fork, e);

@@ -10,37 +10,31 @@ use proptest::prelude::*;
 /// goes from a lower to a higher id (guaranteeing acyclicity).
 fn arb_dag(max_n: usize) -> impl Strategy<Value = JobGraph> {
     (1..=max_n).prop_flat_map(|n| {
-        let pairs: Vec<(u32, u32)> = (0..n as u32)
-            .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
-            .collect();
-        proptest::sample::subsequence(pairs.clone(), 0..=pairs.len()).prop_map(
-            move |edges| {
-                let mut b = GraphBuilder::new(n);
-                for (u, v) in edges {
-                    b.edge(u, v);
-                }
-                b.build().expect("forward edges are acyclic")
-            },
-        )
+        let pairs: Vec<(u32, u32)> =
+            (0..n as u32).flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v))).collect();
+        proptest::sample::subsequence(pairs.clone(), 0..=pairs.len()).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                b.edge(u, v);
+            }
+            b.build().expect("forward edges are acyclic")
+        })
     })
 }
 
 /// Strategy: random out-tree by the "random recursive tree" process — node i
 /// attaches to a uniformly random earlier node.
 fn arb_out_tree(max_n: usize) -> impl Strategy<Value = JobGraph> {
-    (1..=max_n)
-        .prop_flat_map(|n| {
-            proptest::collection::vec(0..usize::MAX, n.saturating_sub(1)).prop_map(
-                move |choices| {
-                    let mut b = GraphBuilder::new(n);
-                    for (i, &c) in choices.iter().enumerate() {
-                        let v = i + 1;
-                        b.edge((c % v) as u32, v as u32);
-                    }
-                    b.build().expect("recursive tree is acyclic")
-                },
-            )
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(0..usize::MAX, n.saturating_sub(1)).prop_map(move |choices| {
+            let mut b = GraphBuilder::new(n);
+            for (i, &c) in choices.iter().enumerate() {
+                let v = i + 1;
+                b.edge((c % v) as u32, v as u32);
+            }
+            b.build().expect("recursive tree is acyclic")
         })
+    })
 }
 
 proptest! {

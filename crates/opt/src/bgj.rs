@@ -37,11 +37,7 @@ pub fn bgj_schedule(g: &JobGraph, deadlines: &[i64], m: usize) -> (Vec<Vec<u32>>
 
     // List-schedule by earliest modified deadline among ready nodes.
     let mut indeg: Vec<u32> = g.nodes().map(|v| g.in_degree(v) as u32).collect();
-    let mut ready: Vec<u32> = g
-        .nodes()
-        .filter(|&v| indeg[v.index()] == 0)
-        .map(|v| v.0)
-        .collect();
+    let mut ready: Vec<u32> = g.nodes().filter(|&v| indeg[v.index()] == 0).map(|v| v.0).collect();
     let mut schedule: Vec<Vec<u32>> = Vec::new();
     let mut lmax = i64::MIN;
     let mut remaining = g.n();
@@ -104,20 +100,13 @@ mod tests {
             let ready: Vec<u32> = g
                 .nodes()
                 .filter(|&v| {
-                    done >> v.0 & 1 == 0
-                        && g.parents(v).iter().all(|&u| done >> u & 1 == 1)
+                    done >> v.0 & 1 == 0 && g.parents(v).iter().all(|&u| done >> u & 1 == 1)
                 })
                 .map(|v| v.0)
                 .collect();
             let k = m.min(ready.len());
             // Enumerate k-subsets.
-            fn combos(
-                ready: &[u32],
-                k: usize,
-                start: usize,
-                acc: u32,
-                out: &mut Vec<u32>,
-            ) {
+            fn combos(ready: &[u32], k: usize, start: usize, acc: u32, out: &mut Vec<u32>) {
                 if k == 0 {
                     out.push(acc);
                     return;
@@ -146,7 +135,7 @@ mod tests {
     #[test]
     fn chain_with_tight_deadlines() {
         let g = chain(4); // also an in-forest
-        // Deadlines exactly at positions: lateness 0.
+                          // Deadlines exactly at positions: lateness 0.
         assert_eq!(bgj_max_lateness(&g, &[1, 2, 3, 4], 2), 0);
         // Root (node 0) deadline 0 is impossible: lateness 1.
         assert_eq!(bgj_max_lateness(&g, &[0, 2, 3, 4], 2), 1);
@@ -206,10 +195,7 @@ mod tests {
             for m in 1..=4usize {
                 let d = vec![0i64; g.n()];
                 // Lmax with all deadlines 0 == makespan.
-                assert_eq!(
-                    bgj_max_lateness(&g, &d, m),
-                    crate::hu::hu_makespan(&g, m) as i64
-                );
+                assert_eq!(bgj_max_lateness(&g, &d, m), crate::hu::hu_makespan(&g, m) as i64);
             }
         }
     }

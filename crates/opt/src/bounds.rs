@@ -18,12 +18,7 @@ pub fn job_lower_bound(g: &JobGraph, m: u64) -> u64 {
 /// The best per-job bound over the whole instance: any schedule must give
 /// each job at least its own single-job optimum of flow.
 pub fn max_job_lower_bound(instance: &Instance, m: u64) -> u64 {
-    instance
-        .jobs()
-        .iter()
-        .map(|j| job_lower_bound(&j.graph, m))
-        .max()
-        .unwrap_or(0)
+    instance.jobs().iter().map(|j| job_lower_bound(&j.graph, m)).max().unwrap_or(0)
 }
 
 /// The strongest bound this crate offers without exact search: the max of

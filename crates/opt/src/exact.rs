@@ -17,7 +17,6 @@
 //! algorithms on miniatures (the experiment harness uses constructed
 //! known-OPT instances at scale instead).
 
-
 use flowtree_sim::Instance;
 use std::collections::HashSet;
 
@@ -91,14 +90,7 @@ impl<'a> Searcher<'a> {
     }
 
     /// DFS over (time, completed set).
-    fn dfs(
-        &self,
-        t: u64,
-        done: u64,
-        full: u64,
-        f: u64,
-        failed: &mut HashSet<(u64, u64)>,
-    ) -> bool {
+    fn dfs(&self, t: u64, done: u64, full: u64, f: u64, failed: &mut HashSet<(u64, u64)>) -> bool {
         if done == full {
             return true;
         }
@@ -131,11 +123,8 @@ impl<'a> Searcher<'a> {
                     return false;
                 }
                 if spec.release <= t {
-                    let preds_done = spec
-                        .graph
-                        .parents(v)
-                        .iter()
-                        .all(|&u| done >> (b + u as usize) & 1 == 1);
+                    let preds_done =
+                        spec.graph.parents(v).iter().all(|&u| done >> (b + u as usize) & 1 == 1);
                     if preds_done {
                         ready.push(g);
                     }
@@ -318,9 +307,7 @@ mod tests {
     fn overload_window_instance() {
         // Three star(5)s at consecutive releases on m=2: interval bound
         // predicts F >= ceil(18/2) - 2 = 7; exact must be >= that.
-        let jobs: Vec<JobSpec> = (0..3)
-            .map(|i| JobSpec { graph: star(5), release: i })
-            .collect();
+        let jobs: Vec<JobSpec> = (0..3).map(|i| JobSpec { graph: star(5), release: i }).collect();
         let inst = Instance::new(jobs);
         let opt = exact_max_flow(&inst, 2, 64).unwrap();
         let lb = crate::interval::interval_load_lower_bound(&inst, 2);

@@ -19,10 +19,7 @@ use flowtree_dag::{classify, JobGraph, NodeId};
 /// Panics if `g` is not an in-forest.
 pub fn hu_schedule(g: &JobGraph, m: usize) -> Vec<Vec<u32>> {
     assert!(m >= 1);
-    assert!(
-        classify::is_in_forest(g),
-        "Hu's algorithm requires an in-forest"
-    );
+    assert!(classify::is_in_forest(g), "Hu's algorithm requires an in-forest");
     // Level of v = longest path from v to its root = our height... in an
     // in-forest each node has <= 1 child, so the path to the root is unique
     // and its length is the node's height in the DAG sense.
@@ -92,12 +89,7 @@ mod tests {
         let inst = Instance::single(g.clone());
         let mut s = flowtree_sim::Schedule::new(m);
         for level in levels {
-            s.push_step(
-                level
-                    .iter()
-                    .map(|&v| (flowtree_dag::JobId(0), NodeId(v)))
-                    .collect(),
-            );
+            s.push_step(level.iter().map(|&v| (flowtree_dag::JobId(0), NodeId(v))).collect());
         }
         s.verify(&inst).unwrap();
     }
@@ -146,10 +138,7 @@ mod tests {
         let g = reverse(&flowtree_dag::builder::caterpillar(3, &[2, 1, 2]));
         for m in 1..=3usize {
             let inst = Instance::single(g.clone());
-            assert_eq!(
-                hu_makespan(&g, m),
-                crate::exact::exact_max_flow(&inst, m, 64).unwrap()
-            );
+            assert_eq!(hu_makespan(&g, m), crate::exact::exact_max_flow(&inst, m, 64).unwrap());
         }
     }
 

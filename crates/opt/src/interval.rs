@@ -68,9 +68,7 @@ mod tests {
 
     #[test]
     fn burst_of_simultaneous_jobs_accumulates() {
-        let jobs = (0..5)
-            .map(|_| JobSpec { graph: star(9), release: 0 })
-            .collect();
+        let jobs = (0..5).map(|_| JobSpec { graph: star(9), release: 0 }).collect();
         let inst = Instance::new(jobs);
         // 50 units at time 0 on m=5: F >= 10.
         assert_eq!(interval_load_lower_bound(&inst, 5), 10);
@@ -80,9 +78,7 @@ mod tests {
     fn spread_arrivals_relax_the_bound() {
         // Same 50 units spread over releases 0, 10, 20, 30, 40 on m=5: each
         // batch fits in its own gap; only the single-batch window binds.
-        let jobs = (0..5)
-            .map(|i| JobSpec { graph: star(9), release: i * 10 })
-            .collect();
+        let jobs = (0..5).map(|i| JobSpec { graph: star(9), release: i * 10 }).collect();
         let inst = Instance::new(jobs);
         assert_eq!(interval_load_lower_bound(&inst, 5), 2);
     }
@@ -91,9 +87,7 @@ mod tests {
     fn overload_across_windows_detected() {
         // Arrivals of 12 units each at t = 0, 1, 2 on m = 2: window [0,2]
         // holds 36 units => F >= 18 - 2 = 16; window [0,0] gives only 6.
-        let jobs = (0..3)
-            .map(|i| JobSpec { graph: star(11), release: i })
-            .collect();
+        let jobs = (0..3).map(|i| JobSpec { graph: star(11), release: i }).collect();
         let inst = Instance::new(jobs);
         assert_eq!(interval_load_lower_bound(&inst, 2), 16);
     }

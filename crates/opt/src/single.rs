@@ -60,22 +60,15 @@ mod tests {
     fn matches_profile_for_one_job() {
         let g = complete_kary(2, 5);
         for m in 1..=8 {
-            assert_eq!(
-                single_job_opt(&g, m),
-                DepthProfile::new(&g).opt_single_job(m)
-            );
+            assert_eq!(single_job_opt(&g, m), DepthProfile::new(&g).opt_single_job(m));
         }
     }
 
     #[test]
     fn group_opt_equals_union_opt() {
         let parts = [chain(5), star(7), caterpillar(3, &[2, 0, 4])];
-        let inst = Instance::new(
-            parts
-                .iter()
-                .map(|g| JobSpec { graph: g.clone(), release: 3 })
-                .collect(),
-        );
+        let inst =
+            Instance::new(parts.iter().map(|g| JobSpec { graph: g.clone(), release: 3 }).collect());
         let refs: Vec<&flowtree_dag::JobGraph> = parts.iter().collect();
         let (union, _) = flowtree_dag::JobGraph::disjoint_union(&refs);
         for m in 1..=6 {

@@ -15,8 +15,16 @@
 //! Every selection is validated online (readiness, distinctness — capacity
 //! is enforced by [`Selection`] itself), so scheduler bugs surface as
 //! [`EngineError`]s at the offending step instead of as corrupt results.
+//!
+//! A run returns a [`RunReport`]: the recorded [`Schedule`] plus
+//! [`FlowStats`] and the engine's internal [`Counters`], so callers no
+//! longer recompute flow statistics ad hoc. Attach a custom
+//! [`Probe`](crate::probe::Probe) with [`Engine::with_probe`] to observe
+//! per-step events (tracing, custom instrumentation).
 
 use crate::instance::Instance;
+use crate::metrics::FlowStats;
+use crate::probe::{Counters, NullProbe, Probe, StepStat};
 use crate::schedule::Schedule;
 use crate::scheduler::{OnlineScheduler, Selection, SimView};
 use crate::state::SimState;
@@ -70,21 +78,57 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// Simulation driver. Construct with the machine size, then [`run`](Self::run).
+/// The result of a completed [`Engine::run`]: the recorded schedule plus the
+/// metrics every caller used to recompute by hand.
+///
+/// Dereferences to its [`Schedule`], so schedule accessors (`horizon`,
+/// `load`, `at`, `verify`, `completion_times`, …) work directly on the
+/// report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The recorded feasible schedule.
+    pub schedule: Schedule,
+    /// Flow statistics of the completed schedule (what
+    /// [`metrics::flow_stats`](crate::metrics::flow_stats) computes).
+    pub stats: FlowStats,
+    /// The engine's internal per-step counters.
+    pub counters: Counters,
+}
+
+impl std::ops::Deref for RunReport {
+    type Target = Schedule;
+
+    fn deref(&self) -> &Schedule {
+        &self.schedule
+    }
+}
+
+/// Simulation driver. Construct with the machine size, optionally attach a
+/// [`Probe`] via [`with_probe`](Self::with_probe), then [`run`](Self::run).
 #[derive(Debug, Clone)]
-pub struct Engine {
+pub struct Engine<P: Probe = NullProbe> {
     m: usize,
     /// Hard cap on simulated steps; `None` derives a generous default from
     /// the instance (every scheduler that never idles unnecessarily finishes
     /// well below it).
     max_horizon: Option<Time>,
+    probe: P,
 }
 
-impl Engine {
-    /// An engine over `m` identical processors.
+impl Engine<NullProbe> {
+    /// An engine over `m` identical processors, with no instrumentation
+    /// (the [`NullProbe`] hooks compile away).
     pub fn new(m: usize) -> Self {
         assert!(m >= 1, "need at least one processor");
-        Engine { m, max_horizon: None }
+        Engine { m, max_horizon: None, probe: NullProbe }
+    }
+}
+
+impl<P: Probe> Engine<P> {
+    /// Attach `probe`; its hooks fire at every step of subsequent runs.
+    /// Pass `&mut probe` to keep ownership for inspection after the run.
+    pub fn with_probe<Q: Probe>(self, probe: Q) -> Engine<Q> {
+        Engine { m: self.m, max_horizon: self.max_horizon, probe }
     }
 
     /// Override the safety horizon (default: `last_release + total_work +
@@ -100,13 +144,15 @@ impl Engine {
         self.m
     }
 
-    /// Drive `scheduler` over `instance` to completion; returns the recorded
-    /// schedule. The caller should usually also run [`Schedule::verify`].
+    /// Drive `scheduler` over `instance` to completion. Returns the recorded
+    /// schedule bundled with its flow statistics and step counters. The
+    /// caller should usually also run [`Schedule::verify`] (via the report's
+    /// deref).
     pub fn run(
-        &self,
+        &mut self,
         instance: &Instance,
         scheduler: &mut dyn OnlineScheduler,
-    ) -> Result<Schedule, EngineError> {
+    ) -> Result<RunReport, EngineError> {
         let clair = scheduler.clairvoyance();
         let horizon = self.max_horizon.unwrap_or_else(|| {
             instance.last_release() + instance.total_work() + instance.max_span() + 4
@@ -114,7 +160,11 @@ impl Engine {
 
         let mut state = SimState::new(instance);
         let mut schedule = Schedule::new(self.m);
+        let mut counters = Counters::default();
         let mut t: Time = 0;
+
+        counters.on_start(self.m, instance.num_jobs());
+        self.probe.on_start(self.m, instance.num_jobs());
 
         while !state.all_done() {
             if t > horizon {
@@ -122,10 +172,13 @@ impl Engine {
             }
 
             for job in state.release_due(instance, t) {
+                counters.on_release(t, job);
+                self.probe.on_release(t, job);
                 let view = SimView::new(instance, &state, self.m, clair);
                 scheduler.on_arrival(t, job, &view);
             }
 
+            let ready_depth = state.total_ready();
             let mut sel = Selection::new(self.m);
             {
                 let view = SimView::new(instance, &state, self.m, clair);
@@ -150,15 +203,43 @@ impl Engine {
                 }
             }
 
+            counters.on_select(t, &picks);
+            self.probe.on_select(t, &picks);
             for &(j, v) in &picks {
+                self.probe.on_dispatch(t, j, v);
                 state.complete(instance, j, v, t + 1);
             }
+
+            let stat = StepStat {
+                scheduled: picks.len(),
+                idle_procs: self.m - picks.len(),
+                ready_depth,
+            };
+            counters.on_step(t, stat);
+            self.probe.on_step(t, stat);
+
+            // A job completes at t+1 when this step ran its last subjob.
+            // Fire once per job (a step may run several of its subjobs).
+            for (i, &(j, _)) in picks.iter().enumerate() {
+                if state.unfinished(j) == 0 && !picks[..i].iter().any(|&(pj, _)| pj == j) {
+                    counters.on_complete(t + 1, j);
+                    self.probe.on_complete(t + 1, j);
+                }
+            }
+
             state.prune_alive();
             schedule.push_step(picks);
             t += 1;
         }
 
-        Ok(schedule)
+        counters.on_finish(t);
+        self.probe.on_finish(t);
+
+        // O(jobs), from the counters alone — no second pass over the
+        // schedule, so an uninstrumented run costs the same as returning the
+        // bare schedule did.
+        let stats = counters.flow_stats();
+        Ok(RunReport { schedule, stats, counters })
     }
 }
 
@@ -279,10 +360,7 @@ mod tests {
     #[test]
     fn lazy_scheduler_hits_horizon() {
         let inst = two_job_instance();
-        let err = Engine::new(2)
-            .with_max_horizon(50)
-            .run(&inst, &mut Lazy)
-            .unwrap_err();
+        let err = Engine::new(2).with_max_horizon(50).run(&inst, &mut Lazy).unwrap_err();
         assert_eq!(err, EngineError::HorizonExceeded { horizon: 50 });
     }
 
@@ -290,20 +368,14 @@ mod tests {
     fn unready_selection_rejected() {
         let inst = two_job_instance();
         let err = Engine::new(2).run(&inst, &mut Eager).unwrap_err();
-        assert_eq!(
-            err,
-            EngineError::NotReady { t: 0, job: JobId(0), node: NodeId(1) }
-        );
+        assert_eq!(err, EngineError::NotReady { t: 0, job: JobId(0), node: NodeId(1) });
     }
 
     #[test]
     fn duplicate_selection_rejected() {
         let inst = two_job_instance();
         let err = Engine::new(2).run(&inst, &mut Doubler).unwrap_err();
-        assert_eq!(
-            err,
-            EngineError::DuplicateSelection { t: 0, job: JobId(0), node: NodeId(0) }
-        );
+        assert_eq!(err, EngineError::DuplicateSelection { t: 0, job: JobId(0), node: NodeId(0) });
     }
 
     #[test]

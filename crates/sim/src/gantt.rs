@@ -22,11 +22,7 @@ pub struct GanttOptions {
 
 impl Default for GanttOptions {
     fn default() -> Self {
-        GanttOptions {
-            label_nodes: false,
-            idle: '.',
-            max_steps: 0,
-        }
+        GanttOptions { label_nodes: false, idle: '.', max_steps: 0 }
     }
 }
 

@@ -1,10 +1,9 @@
 //! Problem instances: a set of jobs with release times.
 
 use flowtree_dag::{classify, DepthProfile, JobGraph, JobId, Time};
-use serde::{Deserialize, Serialize};
 
 /// One job of an instance: a DAG plus its release (arrival) time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobSpec {
     /// The precedence DAG of unit-time subjobs.
     pub graph: JobGraph,
@@ -17,9 +16,29 @@ pub struct JobSpec {
 /// into this sorted order, so `JobId` order *is* FIFO arrival order (ties
 /// broken by insertion, matching "arrived no later" in the paper's FIFO
 /// definition).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Instance {
     jobs: Vec<JobSpec>,
+}
+
+serde::impl_serde_struct!(JobSpec { graph, release });
+
+impl serde::Serialize for Instance {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![("jobs".to_string(), serde::Serialize::to_value(&self.jobs))])
+    }
+}
+
+impl serde::Deserialize for Instance {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let jobs = Vec::<JobSpec>::from_value(
+            v.get("jobs").ok_or_else(|| serde::Error::missing_field("jobs"))?,
+        )?;
+        if jobs.is_empty() {
+            return Err(serde::Error::custom("instance must contain at least one job"));
+        }
+        Ok(Instance::new(jobs))
+    }
 }
 
 impl Instance {
@@ -62,10 +81,7 @@ impl Instance {
 
     /// Iterator over `(JobId, &JobSpec)` in arrival order.
     pub fn iter(&self) -> impl Iterator<Item = (JobId, &JobSpec)> + '_ {
-        self.jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| (JobId(i as u32), j))
+        self.jobs.iter().enumerate().map(|(i, j)| (JobId(i as u32), j))
     }
 
     /// Total work over all jobs.

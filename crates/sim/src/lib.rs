@@ -22,7 +22,11 @@
 //!   [feasibility checker](Schedule::verify) re-checking Section 3's four
 //!   conditions from scratch;
 //! * flow/utilization [`metrics`] and an ASCII [`gantt`] renderer used to
-//!   reproduce the paper's Figure 1.
+//!   reproduce the paper's Figure 1;
+//! * a [`probe`] subsystem for per-step instrumentation — runs return a
+//!   [`RunReport`] (schedule + stats + counters), and probes like
+//!   [`JsonlTrace`] stream events that [`replay`] parses back into
+//!   schedules, flows, and Gantt charts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,15 +35,19 @@ pub mod engine;
 pub mod gantt;
 pub mod instance;
 pub mod metrics;
+pub mod probe;
+pub mod replay;
 pub mod schedule;
 pub mod scheduler;
 pub mod speed;
 pub mod state;
 pub mod trace;
 
-pub use engine::{Engine, EngineError};
+pub use engine::{Engine, EngineError, RunReport};
 pub use instance::{Instance, JobSpec};
 pub use metrics::FlowStats;
+pub use probe::{Counters, JsonlTrace, NullProbe, Probe, StepStat};
+pub use replay::Replay;
 pub use schedule::{FeasibilityError, Schedule};
 pub use scheduler::{Clairvoyance, OnlineScheduler, Selection, SimView};
 pub use state::SimState;

@@ -28,8 +28,7 @@ pub fn flow_stats(instance: &Instance, schedule: &Schedule) -> FlowStats {
     let mut flows = Vec::with_capacity(instance.num_jobs());
     let mut makespan = 0;
     for (id, spec) in instance.iter() {
-        let c = completions[id.index()]
-            .unwrap_or_else(|| panic!("job {id} never scheduled"));
+        let c = completions[id.index()].unwrap_or_else(|| panic!("job {id} never scheduled"));
         assert!(
             c > spec.release,
             "job {id} completes at {c} before its release {}",
@@ -39,8 +38,7 @@ pub fn flow_stats(instance: &Instance, schedule: &Schedule) -> FlowStats {
         makespan = makespan.max(c);
     }
     let max_flow = flows.iter().copied().max().unwrap_or(0);
-    let mean_flow =
-        flows.iter().map(|&f| f as f64).sum::<f64>() / flows.len() as f64;
+    let mean_flow = flows.iter().map(|&f| f as f64).sum::<f64>() / flows.len() as f64;
 
     let mut busy = 0u64;
     let mut idle_steps = 0u64;

@@ -1,0 +1,363 @@
+//! Per-step instrumentation hooks for the simulation engine.
+//!
+//! A [`Probe`] observes an [`Engine`](crate::Engine) run without influencing
+//! it: the engine invokes the hooks at fixed points of its loop, in event
+//! order ([`on_start`](Probe::on_start), then per step
+//! [`on_release`](Probe::on_release)* → [`on_select`](Probe::on_select) →
+//! [`on_dispatch`](Probe::on_dispatch)* → [`on_complete`](Probe::on_complete)*
+//! → [`on_step`](Probe::on_step), and finally [`on_finish`](Probe::on_finish)).
+//!
+//! The default probe is [`NullProbe`], whose empty inlined hooks compile
+//! away entirely — an uninstrumented `Engine::new(m)` pays nothing. The
+//! engine additionally maintains its own internal [`Counters`] (a handful of
+//! integer updates per step), which every run returns in
+//! [`RunReport::counters`](crate::RunReport::counters).
+//!
+//! Built-in probes:
+//!
+//! * [`Counters`] — O(1)-per-event aggregate counters (steps, idle slots,
+//!   per-job flows, ready-depth high-water mark);
+//! * [`JsonlTrace`] — streams every event as one JSON Lines record to any
+//!   `io::Write`; [`crate::replay`] parses the stream back.
+
+use crate::metrics::FlowStats;
+use flowtree_dag::{JobId, NodeId, Time};
+use std::io::Write;
+
+/// Per-step summary handed to [`Probe::on_step`] after the step's picks have
+/// been validated and applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepStat {
+    /// Number of subjobs dispatched this step.
+    pub scheduled: usize,
+    /// Processors left idle this step (`m - scheduled`).
+    pub idle_procs: usize,
+    /// Number of ready subjobs the scheduler could choose from (measured
+    /// before the selection was applied).
+    pub ready_depth: usize,
+}
+
+/// Observer of one engine run. All hooks default to no-ops, so probes
+/// implement only what they need.
+///
+/// `&mut P` also implements `Probe`, so a probe can be attached by mutable
+/// reference and inspected after the run:
+///
+/// ```
+/// use flowtree_sim::{Engine, Instance, probe::Counters};
+/// # use flowtree_sim::{Selection, SimView, OnlineScheduler, Clairvoyance};
+/// # use flowtree_dag::{builder::chain, NodeId, Time};
+/// # struct Greedy;
+/// # impl OnlineScheduler for Greedy {
+/// #     fn clairvoyance(&self) -> Clairvoyance { Clairvoyance::NonClairvoyant }
+/// #     fn select(&mut self, _t: Time, view: &SimView<'_>, sel: &mut Selection) {
+/// #         for &job in view.alive() {
+/// #             for &v in view.ready(job) {
+/// #                 if !sel.push(job, NodeId(v)) { return; }
+/// #             }
+/// #         }
+/// #     }
+/// # }
+/// let inst = Instance::single(chain(3));
+/// let mut counters = Counters::default();
+/// Engine::new(2).with_probe(&mut counters).run(&inst, &mut Greedy).unwrap();
+/// assert_eq!(counters.steps, 3);
+/// ```
+pub trait Probe {
+    /// The run is starting on `m` processors over `num_jobs` jobs.
+    #[inline]
+    fn on_start(&mut self, m: usize, num_jobs: usize) {
+        let _ = (m, num_jobs);
+    }
+
+    /// `job` was released at time `t`.
+    #[inline]
+    fn on_release(&mut self, t: Time, job: JobId) {
+        let _ = (t, job);
+    }
+
+    /// The scheduler's (validated) selection for the step running during
+    /// `(t, t+1]`.
+    #[inline]
+    fn on_select(&mut self, t: Time, picks: &[(JobId, NodeId)]) {
+        let _ = (t, picks);
+    }
+
+    /// One subjob of the selection was dispatched (fires once per pick,
+    /// after [`on_select`](Self::on_select)).
+    #[inline]
+    fn on_dispatch(&mut self, t: Time, job: JobId, node: NodeId) {
+        let _ = (t, job, node);
+    }
+
+    /// `job` ran its last subjob during this step and completes at time `t`
+    /// (its completion time `C_i`).
+    #[inline]
+    fn on_complete(&mut self, t: Time, job: JobId) {
+        let _ = (t, job);
+    }
+
+    /// The step starting at `t` finished; `stat` summarizes it.
+    #[inline]
+    fn on_step(&mut self, t: Time, stat: StepStat) {
+        let _ = (t, stat);
+    }
+
+    /// The run completed after `horizon` steps (the schedule's horizon).
+    #[inline]
+    fn on_finish(&mut self, horizon: Time) {
+        let _ = horizon;
+    }
+}
+
+/// The do-nothing probe: every hook is an empty `#[inline]` default, so an
+/// `Engine<NullProbe>` monomorphizes to the uninstrumented loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {}
+
+/// Forwarding impl so callers can keep ownership of their probe:
+/// `engine.with_probe(&mut probe)`.
+impl<P: Probe + ?Sized> Probe for &mut P {
+    #[inline]
+    fn on_start(&mut self, m: usize, num_jobs: usize) {
+        (**self).on_start(m, num_jobs)
+    }
+    #[inline]
+    fn on_release(&mut self, t: Time, job: JobId) {
+        (**self).on_release(t, job)
+    }
+    #[inline]
+    fn on_select(&mut self, t: Time, picks: &[(JobId, NodeId)]) {
+        (**self).on_select(t, picks)
+    }
+    #[inline]
+    fn on_dispatch(&mut self, t: Time, job: JobId, node: NodeId) {
+        (**self).on_dispatch(t, job, node)
+    }
+    #[inline]
+    fn on_complete(&mut self, t: Time, job: JobId) {
+        (**self).on_complete(t, job)
+    }
+    #[inline]
+    fn on_step(&mut self, t: Time, stat: StepStat) {
+        (**self).on_step(t, stat)
+    }
+    #[inline]
+    fn on_finish(&mut self, horizon: Time) {
+        (**self).on_finish(horizon)
+    }
+}
+
+/// Aggregate run counters: O(1) integer updates per event.
+///
+/// The engine maintains one internally for every run (returned in
+/// [`RunReport::counters`](crate::RunReport::counters)); it can also be
+/// attached as an explicit probe.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Counters {
+    /// Machine size of the observed run.
+    pub m: usize,
+    /// Steps simulated (== the schedule's horizon).
+    pub steps: u64,
+    /// Subjobs dispatched in total (== total work on completion).
+    pub dispatched: u64,
+    /// Idle processor-slots summed over all steps.
+    pub idle_slots: u64,
+    /// Steps with at least one idle processor.
+    pub idle_steps: u64,
+    /// High-water mark of the ready pool (max subjobs simultaneously ready).
+    pub max_ready_depth: usize,
+    /// Per-job release times, indexed by job id (`None` until released).
+    pub releases: Vec<Option<Time>>,
+    /// Per-job completion times, indexed by job id (`None` until complete).
+    pub completions: Vec<Option<Time>>,
+}
+
+impl Counters {
+    /// Per-job flow `F_i = C_i - r_i`; `None` for jobs not yet complete.
+    pub fn flows(&self) -> Vec<Option<Time>> {
+        self.completions
+            .iter()
+            .zip(&self.releases)
+            .map(|(c, r)| Some(c.as_ref()? - r.as_ref()?))
+            .collect()
+    }
+
+    /// Maximum flow over completed jobs (`None` when no job completed).
+    pub fn max_flow(&self) -> Option<Time> {
+        self.flows().into_iter().flatten().max()
+    }
+
+    /// Fraction of processor-slots busy over the simulated steps.
+    pub fn utilization(&self) -> f64 {
+        let total = self.steps * self.m as u64;
+        if total == 0 {
+            0.0
+        } else {
+            (total - self.idle_slots) as f64 / total as f64
+        }
+    }
+
+    /// [`FlowStats`] of a completed run, derived from the counters alone in
+    /// O(jobs) — no pass over the schedule. Agrees exactly with
+    /// [`metrics::flow_stats`](crate::metrics::flow_stats) on any
+    /// engine-produced run: the engine stops the moment the last job
+    /// completes, so `steps == makespan`, and `idle_steps`/`idle_slots`
+    /// already cover exactly the window `[1, makespan]` that `flow_stats`
+    /// scans.
+    ///
+    /// Panics if some job never completed, mirroring `flow_stats` on a
+    /// partial schedule.
+    pub fn flow_stats(&self) -> FlowStats {
+        let mut flows = Vec::with_capacity(self.completions.len());
+        let mut makespan = 0;
+        for (id, (c, r)) in self.completions.iter().zip(&self.releases).enumerate() {
+            let c = c.unwrap_or_else(|| panic!("job {id} never scheduled"));
+            let r = r.unwrap_or_else(|| panic!("job {id} completed without a release"));
+            assert!(c > r, "job {id} completes at {c} before its release {r}");
+            flows.push(c - r);
+            makespan = makespan.max(c);
+        }
+        let max_flow = flows.iter().copied().max().unwrap_or(0);
+        let mean_flow = if flows.is_empty() {
+            0.0
+        } else {
+            flows.iter().sum::<Time>() as f64 / flows.len() as f64
+        };
+        FlowStats {
+            flows,
+            max_flow,
+            mean_flow,
+            makespan,
+            utilization: self.utilization(),
+            idle_steps: self.idle_steps,
+        }
+    }
+}
+
+impl Probe for Counters {
+    fn on_start(&mut self, m: usize, num_jobs: usize) {
+        *self = Counters {
+            m,
+            releases: vec![None; num_jobs],
+            completions: vec![None; num_jobs],
+            ..Counters::default()
+        };
+    }
+
+    fn on_release(&mut self, t: Time, job: JobId) {
+        self.releases[job.index()] = Some(t);
+    }
+
+    fn on_complete(&mut self, t: Time, job: JobId) {
+        self.completions[job.index()] = Some(t);
+    }
+
+    fn on_step(&mut self, _t: Time, stat: StepStat) {
+        self.steps += 1;
+        self.dispatched += stat.scheduled as u64;
+        self.idle_slots += stat.idle_procs as u64;
+        if stat.idle_procs > 0 {
+            self.idle_steps += 1;
+        }
+        self.max_ready_depth = self.max_ready_depth.max(stat.ready_depth);
+    }
+}
+
+/// Streams every probe event as one JSON Lines record.
+///
+/// Record shapes (one per line, in event order):
+///
+/// ```text
+/// {"ev":"start","m":2,"jobs":3}
+/// {"ev":"release","t":0,"job":1}
+/// {"ev":"step","t":0,"picks":[[1,0],[0,2]],"idle":0,"ready":4}
+/// {"ev":"complete","t":3,"job":1}
+/// {"ev":"finish","horizon":7}
+/// ```
+///
+/// `picks` entries are `[job, node]` pairs. The per-pick
+/// [`on_dispatch`](Probe::on_dispatch) events are folded into the `step`
+/// record (they duplicate `picks`), keeping the stream one line per step.
+/// [`crate::replay`] parses this format back into events, a
+/// [`Schedule`](crate::Schedule), and per-job flows.
+///
+/// Write errors are sticky: the first error stops further output and is
+/// surfaced by [`finish`](Self::finish) (or swallowed on drop, matching the
+/// usual buffered-writer contract).
+#[derive(Debug)]
+pub struct JsonlTrace<W: Write> {
+    out: W,
+    /// The current step's picks, formatted as a JSON array; filled by
+    /// `on_select`, consumed by `on_step` (which owns the step record).
+    picks_json: String,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlTrace<W> {
+    /// Trace into `out`. Wrap files in a `BufWriter`; the trace writes one
+    /// small record per event.
+    pub fn new(out: W) -> Self {
+        JsonlTrace { out, picks_json: String::new(), error: None }
+    }
+
+    /// Flush and return the writer, surfacing any write error encountered
+    /// during the run.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn record(&mut self, line: std::fmt::Arguments<'_>) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.out.write_fmt(format_args!("{line}\n")) {
+            self.error = Some(e);
+        }
+    }
+}
+
+impl<W: Write> Probe for JsonlTrace<W> {
+    fn on_start(&mut self, m: usize, num_jobs: usize) {
+        self.record(format_args!(r#"{{"ev":"start","m":{m},"jobs":{num_jobs}}}"#));
+    }
+
+    fn on_release(&mut self, t: Time, job: JobId) {
+        self.record(format_args!(r#"{{"ev":"release","t":{t},"job":{}}}"#, job.0));
+    }
+
+    fn on_select(&mut self, _t: Time, picks: &[(JobId, NodeId)]) {
+        use std::fmt::Write as _;
+        self.picks_json.clear();
+        self.picks_json.push('[');
+        for (i, (j, v)) in picks.iter().enumerate() {
+            if i > 0 {
+                self.picks_json.push(',');
+            }
+            let _ = write!(self.picks_json, "[{},{}]", j.0, v.0);
+        }
+        self.picks_json.push(']');
+    }
+
+    fn on_step(&mut self, t: Time, stat: StepStat) {
+        let picks = std::mem::take(&mut self.picks_json);
+        self.record(format_args!(
+            r#"{{"ev":"step","t":{t},"picks":{picks},"idle":{},"ready":{}}}"#,
+            stat.idle_procs, stat.ready_depth
+        ));
+    }
+
+    fn on_complete(&mut self, t: Time, job: JobId) {
+        self.record(format_args!(r#"{{"ev":"complete","t":{t},"job":{}}}"#, job.0));
+    }
+
+    fn on_finish(&mut self, horizon: Time) {
+        self.record(format_args!(r#"{{"ev":"finish","horizon":{horizon}}}"#));
+    }
+}

@@ -9,19 +9,20 @@
 
 use crate::instance::Instance;
 use flowtree_dag::{JobId, NodeId, Time};
-use serde::{Deserialize, Serialize};
 
 /// A complete recorded schedule on `m` processors.
 ///
 /// Serializes as `{ m, steps }`; deserialization performs only structural
 /// checks (per-step capacity) — run [`verify`](Self::verify) against the
 /// instance to validate a loaded schedule fully.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     m: usize,
     /// `steps[i]` = subjobs run during time step `i + 1`.
     steps: Vec<Vec<(JobId, NodeId)>>,
 }
+
+serde::impl_serde_struct!(Schedule { m, steps });
 
 /// Violations reported by [`Schedule::verify`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,10 +126,7 @@ impl Schedule {
 
     /// Iterate `(t, &picks)` over all steps.
     pub fn iter(&self) -> impl Iterator<Item = (Time, &[(JobId, NodeId)])> + '_ {
-        self.steps
-            .iter()
-            .enumerate()
-            .map(|(i, p)| ((i + 1) as Time, p.as_slice()))
+        self.steps.iter().enumerate().map(|(i, p)| ((i + 1) as Time, p.as_slice()))
     }
 
     /// Completion time `C_i` of each job: the max step in which one of its
@@ -147,11 +145,8 @@ impl Schedule {
     /// Check the four feasibility conditions of Section 3 against `instance`.
     pub fn verify(&self, instance: &Instance) -> Result<(), FeasibilityError> {
         // Completion time per (job, node); detects duplicates.
-        let mut completion: Vec<Vec<Time>> = instance
-            .jobs()
-            .iter()
-            .map(|j| vec![0; j.graph.n()])
-            .collect();
+        let mut completion: Vec<Vec<Time>> =
+            instance.jobs().iter().map(|j| vec![0; j.graph.n()]).collect();
 
         for (t, picks) in self.iter() {
             if picks.len() > self.m {
@@ -162,9 +157,7 @@ impl Schedule {
                 });
             }
             for &(j, v) in picks {
-                if j.index() >= instance.num_jobs()
-                    || v.index() >= instance.graph(j).n()
-                {
+                if j.index() >= instance.num_jobs() || v.index() >= instance.graph(j).n() {
                     return Err(FeasibilityError::UnknownSubjob(j, v));
                 }
                 let slot = &mut completion[j.index()][v.index()];
@@ -207,13 +200,7 @@ impl Schedule {
         let steps = self
             .steps
             .iter()
-            .map(|picks| {
-                picks
-                    .iter()
-                    .copied()
-                    .filter(|&(j, _)| instance.release(j) <= r)
-                    .collect()
-            })
+            .map(|picks| picks.iter().copied().filter(|&(j, _)| instance.release(j) <= r).collect())
             .collect();
         Schedule { m: self.m, steps }
     }
@@ -259,10 +246,7 @@ mod tests {
     #[test]
     fn capacity_violation_detected() {
         let mut s = Schedule::new(1);
-        s.steps.push(vec![
-            (JobId(0), NodeId(0)),
-            (JobId(1), NodeId(0)),
-        ]);
+        s.steps.push(vec![(JobId(0), NodeId(0)), (JobId(1), NodeId(0))]);
         assert!(matches!(
             s.verify(&inst()),
             Err(FeasibilityError::CapacityExceeded { t: 1, count: 2, m: 1 })
@@ -273,10 +257,7 @@ mod tests {
     fn duplicate_detected() {
         let mut s = ok_schedule();
         s.push_step(vec![(JobId(0), NodeId(0))]);
-        assert_eq!(
-            s.verify(&inst()),
-            Err(FeasibilityError::DuplicateRun(JobId(0), NodeId(0)))
-        );
+        assert_eq!(s.verify(&inst()), Err(FeasibilityError::DuplicateRun(JobId(0), NodeId(0))));
     }
 
     #[test]
@@ -310,10 +291,7 @@ mod tests {
         s.push_step(vec![(JobId(0), NodeId(0)), (JobId(0), NodeId(1))]);
         s.push_step(vec![(JobId(1), NodeId(0))]);
         s.push_step(vec![(JobId(1), NodeId(1)), (JobId(1), NodeId(2))]);
-        assert!(matches!(
-            s.verify(&inst()),
-            Err(FeasibilityError::PrecedenceViolation { .. })
-        ));
+        assert!(matches!(s.verify(&inst()), Err(FeasibilityError::PrecedenceViolation { .. })));
     }
 
     #[test]
@@ -329,10 +307,7 @@ mod tests {
     fn unknown_subjob_detected() {
         let mut s = Schedule::new(2);
         s.push_step(vec![(JobId(0), NodeId(7))]);
-        assert_eq!(
-            s.verify(&inst()),
-            Err(FeasibilityError::UnknownSubjob(JobId(0), NodeId(7)))
-        );
+        assert_eq!(s.verify(&inst()), Err(FeasibilityError::UnknownSubjob(JobId(0), NodeId(7))));
     }
 
     #[test]

@@ -44,12 +44,7 @@ impl<'a> SimView<'a> {
         m: usize,
         clairvoyance: Clairvoyance,
     ) -> Self {
-        SimView {
-            instance,
-            state,
-            m,
-            clairvoyance,
-        }
+        SimView { instance, state, m, clairvoyance }
     }
 
     /// Number of processors.
@@ -131,10 +126,7 @@ pub struct Selection {
 
 impl Selection {
     pub(crate) fn new(capacity: usize) -> Self {
-        Selection {
-            picks: Vec::new(),
-            capacity,
-        }
+        Selection { picks: Vec::new(), capacity }
     }
 
     /// Schedule `(job, node)` for the coming step. Returns `false` (and
@@ -194,9 +186,7 @@ mod tests {
     use crate::instance::{Instance, JobSpec};
     use flowtree_dag::builder::chain;
 
-    fn view_fixture(
-        clair: Clairvoyance,
-    ) -> (Instance, SimState) {
+    fn view_fixture(clair: Clairvoyance) -> (Instance, SimState) {
         let inst = Instance::new(vec![
             JobSpec { graph: chain(2), release: 0 },
             JobSpec { graph: chain(2), release: 10 },

@@ -56,7 +56,7 @@ pub fn run_with_speed(
     if let Some(h) = max_horizon {
         engine = engine.with_max_horizon(h);
     }
-    let micro = engine.run(&scaled, scheduler)?;
+    let micro = engine.run(&scaled, scheduler)?.schedule;
     debug_assert_eq!(micro.verify(&scaled), Ok(()));
 
     let completions = micro.completion_times(&scaled);

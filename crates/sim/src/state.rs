@@ -53,8 +53,7 @@ impl SimState {
             .iter()
             .map(|spec| {
                 let g = &spec.graph;
-                let indeg: Vec<u32> =
-                    g.nodes().map(|v| g.in_degree(v) as u32).collect();
+                let indeg: Vec<u32> = g.nodes().map(|v| g.in_degree(v) as u32).collect();
                 JobState {
                     ready: Vec::new(),
                     pos: vec![NOT_READY; g.n()],
@@ -184,10 +183,7 @@ impl SimState {
 
     /// Total ready subjobs over all alive jobs.
     pub fn total_ready(&self) -> usize {
-        self.alive
-            .iter()
-            .map(|j| self.jobs[j.index()].ready.len())
-            .sum()
+        self.alive.iter().map(|j| self.jobs[j.index()].ready.len()).sum()
     }
 
     /// Are all jobs finished?

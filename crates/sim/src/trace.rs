@@ -16,8 +16,7 @@ use flowtree_dag::Time;
 pub fn job_timelines(instance: &Instance, schedule: &Schedule) -> Vec<String> {
     let horizon = schedule.horizon();
     let completions = schedule.completion_times(instance);
-    let mut per_step: Vec<Vec<u32>> =
-        vec![vec![0; horizon as usize + 1]; instance.num_jobs()];
+    let mut per_step: Vec<Vec<u32>> = vec![vec![0; horizon as usize + 1]; instance.num_jobs()];
     for (t, picks) in schedule.iter() {
         for &(j, _) in picks {
             per_step[j.index()][t as usize] += 1;
@@ -56,15 +55,8 @@ pub fn render_timelines(instance: &Instance, schedule: &Schedule) -> String {
     let mut out = String::new();
     out.push_str("           (. unreleased  - waiting  digit running  blank done)\n");
     for (id, spec) in instance.iter() {
-        let flow = completions[id.index()]
-            .map(|c| c - spec.release)
-            .unwrap_or(0);
-        out.push_str(&format!(
-            "J{:<4} |{}| flow {}\n",
-            id.0,
-            lines[id.index()],
-            flow
-        ));
+        let flow = completions[id.index()].map(|c| c - spec.release).unwrap_or(0);
+        out.push_str(&format!("J{:<4} |{}| flow {}\n", id.0, lines[id.index()], flow));
     }
     out
 }

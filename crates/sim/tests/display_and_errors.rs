@@ -3,9 +3,7 @@
 
 use flowtree_dag::builder::chain;
 use flowtree_dag::{GraphError, JobId, NodeId};
-use flowtree_sim::{
-    EngineError, FeasibilityError, Instance, JobSpec, Schedule,
-};
+use flowtree_sim::{EngineError, FeasibilityError, Instance, JobSpec, Schedule};
 
 #[test]
 fn graph_error_messages() {
@@ -14,18 +12,9 @@ fn graph_error_messages() {
         "node v5 out of range (n = 3)"
     );
     assert_eq!(GraphError::SelfLoop(2).to_string(), "self-loop at v2");
-    assert_eq!(
-        GraphError::Cyclic.to_string(),
-        "edge set contains a directed cycle"
-    );
-    assert_eq!(
-        GraphError::DuplicateEdge(1, 2).to_string(),
-        "duplicate edge (v1, v2)"
-    );
-    assert_eq!(
-        GraphError::Empty.to_string(),
-        "job graph must contain at least one subjob"
-    );
+    assert_eq!(GraphError::Cyclic.to_string(), "edge set contains a directed cycle");
+    assert_eq!(GraphError::DuplicateEdge(1, 2).to_string(), "duplicate edge (v1, v2)");
+    assert_eq!(GraphError::Empty.to_string(), "job graph must contain at least one subjob");
 }
 
 #[test]
@@ -43,12 +32,8 @@ fn feasibility_error_messages() {
         "J0/v7 never scheduled"
     );
     assert_eq!(
-        FeasibilityError::PrecedenceViolation {
-            job: JobId(0),
-            pred: NodeId(1),
-            succ: NodeId(2),
-        }
-        .to_string(),
+        FeasibilityError::PrecedenceViolation { job: JobId(0), pred: NodeId(1), succ: NodeId(2) }
+            .to_string(),
         "J0: edge v1 -> v2 violated"
     );
     assert_eq!(
@@ -68,8 +53,7 @@ fn engine_error_messages() {
         "t=4: scheduler selected unready subjob J1/v0"
     );
     assert_eq!(
-        EngineError::DuplicateSelection { t: 1, job: JobId(0), node: NodeId(2) }
-            .to_string(),
+        EngineError::DuplicateSelection { t: 1, job: JobId(0), node: NodeId(2) }.to_string(),
         "t=1: scheduler selected J0/v2 twice"
     );
     assert_eq!(
@@ -87,8 +71,7 @@ fn errors_are_std_error() {
     let e: Box<dyn std::error::Error> =
         Box::new(FeasibilityError::DuplicateRun(JobId(0), NodeId(0)));
     assert!(!e.to_string().is_empty());
-    let e: Box<dyn std::error::Error> =
-        Box::new(EngineError::HorizonExceeded { horizon: 1 });
+    let e: Box<dyn std::error::Error> = Box::new(EngineError::HorizonExceeded { horizon: 1 });
     assert!(!e.to_string().is_empty());
 }
 

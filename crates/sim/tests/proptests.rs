@@ -4,9 +4,7 @@
 
 use flowtree_dag::{GraphBuilder, JobGraph, NodeId, Time};
 use flowtree_sim::metrics::flow_stats;
-use flowtree_sim::{
-    Clairvoyance, Engine, Instance, JobSpec, OnlineScheduler, Selection, SimView,
-};
+use flowtree_sim::{Clairvoyance, Engine, Instance, JobSpec, OnlineScheduler, Selection, SimView};
 use proptest::prelude::*;
 
 /// Random out-tree via the recursive-attachment process.
@@ -23,14 +21,9 @@ fn arb_tree(max_n: usize) -> impl Strategy<Value = JobGraph> {
 }
 
 fn arb_instance(max_jobs: usize, max_n: usize, max_r: Time) -> impl Strategy<Value = Instance> {
-    proptest::collection::vec((arb_tree(max_n), 0..=max_r), 1..=max_jobs)
-        .prop_map(|jobs| {
-            Instance::new(
-                jobs.into_iter()
-                    .map(|(graph, release)| JobSpec { graph, release })
-                    .collect(),
-            )
-        })
+    proptest::collection::vec((arb_tree(max_n), 0..=max_r), 1..=max_jobs).prop_map(|jobs| {
+        Instance::new(jobs.into_iter().map(|(graph, release)| JobSpec { graph, release }).collect())
+    })
 }
 
 /// A work-conserving scheduler whose per-step choices are driven by a seed —
@@ -128,7 +121,7 @@ proptest! {
             }
         }
         // Restriction at the last release is the identity.
-        prop_assert_eq!(s.restrict_to_released_by(&inst, r_max), s);
+        prop_assert_eq!(s.restrict_to_released_by(&inst, r_max), s.schedule);
     }
 
     #[test]

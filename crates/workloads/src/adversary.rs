@@ -119,8 +119,7 @@ pub fn duel(m: usize, layers: usize, num_jobs: usize) -> DuelOutcome {
             for j in &jobs {
                 if j.release < t && j.completion.is_none() {
                     alive += 1;
-                    let done_sublayers =
-                        2 * j.layer as u64 + u64::from(j.pending == Pending::Key);
+                    let done_sublayers = 2 * j.layer as u64 + u64::from(j.pending == Pending::Key);
                     u += 2 * layers as u64 - done_sublayers;
                 }
             }
@@ -343,11 +342,7 @@ mod tests {
         assert!(out.max_flow >= out.opt_upper);
         assert_eq!(out.flows.len(), 6);
         assert!(out.layer_sizes.iter().all(|s| s.len() == 4));
-        assert!(out
-            .layer_sizes
-            .iter()
-            .flatten()
-            .all(|&s| (1..=5).contains(&s)));
+        assert!(out.layer_sizes.iter().flatten().all(|&s| (1..=5).contains(&s)));
     }
 
     #[test]

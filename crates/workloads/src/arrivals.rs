@@ -98,8 +98,10 @@ mod tests {
     #[test]
     fn overload_generates_more_work() {
         let m = 4;
-        let lo = load_stream(m, 0.3, 300, 10.0, |r| random_recursive_tree(10, r), &mut crate::rng(1));
-        let hi = load_stream(m, 1.5, 300, 10.0, |r| random_recursive_tree(10, r), &mut crate::rng(1));
+        let lo =
+            load_stream(m, 0.3, 300, 10.0, |r| random_recursive_tree(10, r), &mut crate::rng(1));
+        let hi =
+            load_stream(m, 1.5, 300, 10.0, |r| random_recursive_tree(10, r), &mut crate::rng(1));
         assert!(hi.total_work() > 2 * lo.total_work());
     }
 

@@ -79,9 +79,7 @@ pub fn packed_chains(
         // from the richest job to paupers (there are >= m >= k segments).
         for j in 0..k {
             if segments[j].is_empty() {
-                let rich = (0..k)
-                    .max_by_key(|&i| segments[i].len())
-                    .expect("k >= 1");
+                let rich = (0..k).max_by_key(|&i| segments[i].len()).expect("k >= 1");
                 assert!(segments[rich].len() > 1, "not enough segments to share");
                 let seg = segments[rich].pop().unwrap();
                 segments[j].push(seg);
@@ -131,11 +129,7 @@ pub fn packed_chains(
         }
     }
 
-    PackedInstance {
-        instance: Instance::new(jobs),
-        opt: t_opt,
-        witness,
-    }
+    PackedInstance { instance: Instance::new(jobs), opt: t_opt, witness }
 }
 
 /// Caterpillar batches: `k <= m` spines of length `T` per batch; leaf
@@ -203,11 +197,7 @@ pub fn packed_caterpillars(
         }
     }
 
-    PackedInstance {
-        instance: Instance::new(jobs),
-        opt: t_opt,
-        witness,
-    }
+    PackedInstance { instance: Instance::new(jobs), opt: t_opt, witness }
 }
 
 #[cfg(test)]

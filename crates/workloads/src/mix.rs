@@ -109,11 +109,7 @@ impl Scenario {
 
     /// All presets (for sweep-style experiments).
     pub fn presets(jobs: usize) -> Vec<Scenario> {
-        vec![
-            Scenario::sort_farm(jobs),
-            Scenario::service(jobs),
-            Scenario::analytics(jobs),
-        ]
+        vec![Scenario::sort_farm(jobs), Scenario::service(jobs), Scenario::analytics(jobs)]
     }
 
     /// Materialize the scenario into an instance.
@@ -141,10 +137,7 @@ impl Scenario {
             }
             Arrivals::Periodic(period) => {
                 for i in 0..self.jobs {
-                    jobs.push(JobSpec {
-                        graph: pick_shape(rng),
-                        release: i as Time * period,
-                    });
+                    jobs.push(JobSpec { graph: pick_shape(rng), release: i as Time * period });
                 }
             }
             Arrivals::Random { num, den, horizon } => {

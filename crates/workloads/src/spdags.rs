@@ -21,10 +21,7 @@ pub fn random_sp_expr(target: usize, rng: &mut Rng) -> SpExpr {
     let parts = rng.gen_range(2..=3.min(target / 2).max(2));
     let mut budgets = vec![target / parts; parts];
     budgets[0] += target - budgets.iter().sum::<usize>();
-    let children: Vec<SpExpr> = budgets
-        .iter()
-        .map(|&b| random_sp_expr(b.max(1), rng))
-        .collect();
+    let children: Vec<SpExpr> = budgets.iter().map(|&b| random_sp_expr(b.max(1), rng)).collect();
     if rng.gen_bool(0.5) {
         SpExpr::Series(children)
     } else {
@@ -41,12 +38,8 @@ pub fn random_sp_job(target: usize, rng: &mut Rng) -> JobGraph {
 /// `parallel_for` over `width` strands of length `body`.
 pub fn map_reduce_job(rounds: usize, width: usize, body: usize) -> JobGraph {
     assert!(rounds >= 1 && width >= 1 && body >= 1);
-    SpExpr::Series(
-        (0..rounds)
-            .map(|_| SpExpr::parallel_for(width, SpExpr::Strand(body)))
-            .collect(),
-    )
-    .lower()
+    SpExpr::Series((0..rounds).map(|_| SpExpr::parallel_for(width, SpExpr::Strand(body))).collect())
+        .lower()
 }
 
 #[cfg(test)]

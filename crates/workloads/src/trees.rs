@@ -97,14 +97,8 @@ pub fn shape_catalogue(n: usize, rng: &mut Rng) -> Vec<(&'static str, JobGraph)>
     vec![
         ("recursive", random_recursive_tree(n, rng)),
         ("preferential", preferential_tree(n, 0.5, rng)),
-        (
-            "galton-watson",
-            galton_watson(n, &[0.3, 0.2, 0.3, 0.2], rng),
-        ),
-        (
-            "caterpillar",
-            random_caterpillar((n / 4).max(1), 6, rng),
-        ),
+        ("galton-watson", galton_watson(n, &[0.3, 0.2, 0.3, 0.2], rng)),
+        ("caterpillar", random_caterpillar((n / 4).max(1), 6, rng)),
         ("quicksort", random_quicksort_tree(n * 2, 2, rng)),
         ("chain", builder::chain(n)),
         ("star", builder::star(n.saturating_sub(1))),
@@ -159,9 +153,8 @@ mod tests {
     fn galton_watson_subcritical_dies_out() {
         // E[children] = 0.3 < 1: trees stay tiny even with a huge cap.
         let mut r = crate::rng(10);
-        let sizes: Vec<usize> = (0..30)
-            .map(|_| galton_watson(100_000, &[0.7, 0.3], &mut r).n())
-            .collect();
+        let sizes: Vec<usize> =
+            (0..30).map(|_| galton_watson(100_000, &[0.7, 0.3], &mut r).n()).collect();
         let avg = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
         assert!(avg < 50.0, "subcritical GW exploded: avg {avg}");
     }
@@ -190,16 +183,11 @@ mod tests {
         let cat = shape_catalogue(32, &mut r);
         assert_eq!(cat.len(), 7);
         for (name, g) in &cat {
-            assert!(
-                classify::is_out_forest(g),
-                "{name} is not an out-forest"
-            );
+            assert!(classify::is_out_forest(g), "{name} is not an out-forest");
             assert!(g.work() >= 1);
         }
         // Spread of spans: chain has span n, star has span 2.
-        let span = |name: &str| {
-            cat.iter().find(|(k, _)| *k == name).unwrap().1.span()
-        };
+        let span = |name: &str| cat.iter().find(|(k, _)| *k == name).unwrap().1.span();
         assert_eq!(span("chain"), 32);
         assert_eq!(span("star"), 2);
     }

@@ -8,7 +8,6 @@
 
 use flowtree::core::AlgoA;
 use flowtree::prelude::*;
-use flowtree::sim::metrics::flow_stats;
 use flowtree::workloads::adversary;
 
 fn main() {
@@ -40,7 +39,7 @@ fn main() {
             .run(&inst, &mut algo)
             .expect("A completes");
         s.verify(&inst).expect("feasible");
-        let stats = flow_stats(&inst, &s);
+        let stats = &s.stats;
         println!(
             "{:>6} {:>10} {:>10.3}",
             m,

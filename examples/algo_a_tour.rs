@@ -14,7 +14,6 @@ use flowtree::core::lpf::{head_tail, lpf_levels, RectangleTail};
 use flowtree::core::{AlgoA, McReplay};
 use flowtree::dag::DepthProfile;
 use flowtree::prelude::*;
-use flowtree::sim::metrics::flow_stats;
 use flowtree::workloads::batched::packed_chains;
 
 fn main() {
@@ -61,11 +60,9 @@ fn main() {
     let t_opt = 8u64;
     let packed = packed_chains(m, t_opt, 4, 6, &mut rng);
     let mut algo = AlgoA::semi_batched(alpha, t_opt / 2);
-    let s = Engine::new(m)
-        .run(&packed.instance, &mut algo)
-        .expect("A completes");
+    let s = Engine::new(m).run(&packed.instance, &mut algo).expect("A completes");
     s.verify(&packed.instance).expect("feasible");
-    let stats = flow_stats(&packed.instance, &s);
+    let stats = &s.stats;
     println!(
         "Algorithm A on 6 packed batches (OPT = {t_opt} exactly): max flow {}, ratio {:.2} (bound: 129)",
         stats.max_flow,

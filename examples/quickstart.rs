@@ -7,7 +7,6 @@
 
 use flowtree::prelude::*;
 use flowtree::sim::gantt;
-use flowtree::sim::metrics::flow_stats;
 use flowtree::workloads::trees;
 
 fn main() {
@@ -17,9 +16,15 @@ fn main() {
     // a sequential chain arriving over time.
     let mut rng = flowtree::workloads::rng(1);
     let instance = Instance::new(vec![
-        JobSpec { graph: trees::random_quicksort_tree(48, 2, &mut rng), release: 0 },
+        JobSpec {
+            graph: trees::random_quicksort_tree(48, 2, &mut rng),
+            release: 0,
+        },
         JobSpec { graph: flowtree::dag::builder::chain(8), release: 2 },
-        JobSpec { graph: trees::random_quicksort_tree(48, 2, &mut rng), release: 4 },
+        JobSpec {
+            graph: trees::random_quicksort_tree(48, 2, &mut rng),
+            release: 4,
+        },
     ]);
     println!(
         "instance: {} jobs, total work {}, max span {}",
@@ -43,7 +48,7 @@ fn main() {
             .run(&instance, sched.as_mut())
             .expect("scheduler completes");
         schedule.verify(&instance).expect("feasible");
-        let stats = flow_stats(&instance, &schedule);
+        let stats = &schedule.stats;
         println!(
             "{name:<28} max flow {:>3}  (ratio vs LB {:.2}), mean flow {:.1}, util {:.2}",
             stats.max_flow,

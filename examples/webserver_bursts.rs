@@ -10,7 +10,6 @@
 
 use flowtree::core::baselines::RoundRobin;
 use flowtree::prelude::*;
-use flowtree::sim::metrics::flow_stats;
 use flowtree::workloads::{arrivals, trees};
 
 fn main() {
@@ -19,12 +18,12 @@ fn main() {
     // Handlers: small fork-join-ish out-trees (fan out, fan back via
     // independent subtasks). Bursts: 12 jobs every 40 steps.
     let instance = arrivals::bursty_stream(
-        0.4,           // background load factor
+        0.4, // background load factor
         m,
-        400,           // horizon
-        40,            // burst period
-        12,            // burst size
-        24.0,          // mean job work
+        400,  // horizon
+        40,   // burst period
+        12,   // burst size
+        24.0, // mean job work
         |r| trees::random_recursive_tree(24, r),
         &mut rng,
     );
@@ -54,7 +53,7 @@ fn main() {
             .run(&instance, sched.as_mut())
             .expect("completes");
         s.verify(&instance).expect("feasible");
-        let stats = flow_stats(&instance, &s);
+        let stats = &s.stats;
         println!(
             "{:<34} {:>9} {:>9.1} {:>10.2} {:>6.2}",
             name,

@@ -1,27 +1,14 @@
 //! Cross-crate integration tests: generate → schedule → verify → measure →
 //! compare against the paper's bound, for each experiment in miniature.
 
-use flowtree::core::baselines::{LeastRemainingWorkFirst, RandomWorkConserving, RoundRobin};
-use flowtree::core::{AlgoA, Fifo, GuessDoubleA, Lpf, TieBreak};
+use flowtree::core::{AlgoA, Fifo, SchedulerSpec, TieBreak};
 use flowtree::prelude::*;
 use flowtree::sim::metrics::flow_stats;
 use flowtree::workloads::{adversary, arrivals, batched, trees};
 
-/// Every scheduler in the repository, boxed.
+/// Every scheduler in the repository, built from the registry.
 fn all_schedulers() -> Vec<Box<dyn OnlineScheduler>> {
-    vec![
-        Box::new(Fifo::new(TieBreak::BecameReady)),
-        Box::new(Fifo::new(TieBreak::LastReady)),
-        Box::new(Fifo::new(TieBreak::Random(3))),
-        Box::new(Fifo::new(TieBreak::HighestHeight)),
-        Box::new(Fifo::new(TieBreak::MostChildren)),
-        Box::new(Lpf::new()),
-        Box::new(AlgoA::with_batching(4, 8)),
-        Box::new(GuessDoubleA::paper()),
-        Box::new(RoundRobin),
-        Box::new(RandomWorkConserving::new(1)),
-        Box::new(LeastRemainingWorkFirst),
-    ]
+    SchedulerSpec::all(8).iter().map(|spec| spec.build()).collect()
 }
 
 /// A mixed instance exercising staggered releases and varied shapes.
@@ -30,7 +17,10 @@ fn mixed_instance() -> Instance {
     let mut jobs = vec![
         JobSpec { graph: flowtree::dag::builder::chain(9), release: 0 },
         JobSpec { graph: flowtree::dag::builder::star(14), release: 0 },
-        JobSpec { graph: flowtree::dag::builder::complete_kary(2, 4), release: 3 },
+        JobSpec {
+            graph: flowtree::dag::builder::complete_kary(2, 4),
+            release: 3,
+        },
     ];
     for i in 0..4 {
         jobs.push(JobSpec {
@@ -53,11 +43,10 @@ fn every_scheduler_produces_feasible_schedules() {
             .run(&inst, sched.as_mut())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         s.verify(&inst).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let stats = flow_stats(&inst, &s);
         assert!(
-            stats.max_flow >= lb,
+            s.stats.max_flow >= lb,
             "{name}: flow {} below the certified lower bound {lb}",
-            stats.max_flow
+            s.stats.max_flow
         );
     }
 }
@@ -72,8 +61,7 @@ fn work_conserving_schedulers_match_serial_makespan_on_one_processor() {
     ]);
     for tie in [TieBreak::BecameReady, TieBreak::LastReady, TieBreak::HighestHeight] {
         let s = Engine::new(1).run(&inst, &mut Fifo::new(tie)).unwrap();
-        let stats = flow_stats(&inst, &s);
-        assert_eq!(stats.makespan, inst.total_work());
+        assert_eq!(s.stats.makespan, inst.total_work());
     }
 }
 
@@ -90,13 +78,9 @@ fn lower_bound_sandwich_on_small_instances() {
     let opt = flowtree::opt::exact_max_flow(&inst, m, 40).unwrap();
     assert!(lb <= opt);
     for mut sched in all_schedulers() {
-        let s = Engine::new(m)
-            .with_max_horizon(1_000_000)
-            .run(&inst, sched.as_mut())
-            .unwrap();
+        let s = Engine::new(m).with_max_horizon(1_000_000).run(&inst, sched.as_mut()).unwrap();
         s.verify(&inst).unwrap();
-        let stats = flow_stats(&inst, &s);
-        assert!(stats.max_flow >= opt, "{} beat exact OPT", sched.name());
+        assert!(s.stats.max_flow >= opt, "{} beat exact OPT", sched.name());
     }
 }
 
@@ -106,13 +90,22 @@ fn fifo_is_optimal_for_fully_parallel_jobs() {
     // jobs of independent unit tasks (one-layer forests = antichains).
     let m = 4;
     let inst = Instance::new(vec![
-        JobSpec { graph: flowtree::dag::builder::forest(&vec![flowtree::dag::builder::chain(1); 8]), release: 0 },
-        JobSpec { graph: flowtree::dag::builder::forest(&vec![flowtree::dag::builder::chain(1); 6]), release: 1 },
-        JobSpec { graph: flowtree::dag::builder::forest(&vec![flowtree::dag::builder::chain(1); 7]), release: 2 },
+        JobSpec {
+            graph: flowtree::dag::builder::forest(&vec![flowtree::dag::builder::chain(1); 8]),
+            release: 0,
+        },
+        JobSpec {
+            graph: flowtree::dag::builder::forest(&vec![flowtree::dag::builder::chain(1); 6]),
+            release: 1,
+        },
+        JobSpec {
+            graph: flowtree::dag::builder::forest(&vec![flowtree::dag::builder::chain(1); 7]),
+            release: 2,
+        },
     ]);
     let s = Engine::new(m).run(&inst, &mut Fifo::arbitrary()).unwrap();
     s.verify(&inst).unwrap();
-    let fifo = flow_stats(&inst, &s).max_flow;
+    let fifo = s.stats.max_flow;
     let opt = flowtree::opt::exact_max_flow(&inst, m, 64).unwrap();
     assert_eq!(fifo, opt, "FIFO must be optimal on fully parallel jobs");
 }
@@ -122,13 +115,20 @@ fn fifo_on_chains_is_within_3x() {
     // Classical: FIFO is (3 - 2/m)-competitive on sequential jobs.
     let mut rng = flowtree::workloads::rng(9);
     let m = 3;
-    let inst = arrivals::load_stream(m, 0.9, 60, 6.0, |r| {
-        use rand::Rng as _;
-        flowtree::dag::builder::chain(r.gen_range(2..=10))
-    }, &mut rng);
+    let inst = arrivals::load_stream(
+        m,
+        0.9,
+        60,
+        6.0,
+        |r| {
+            use rand::Rng as _;
+            flowtree::dag::builder::chain(r.gen_range(2..=10))
+        },
+        &mut rng,
+    );
     let s = Engine::new(m).run(&inst, &mut Fifo::arbitrary()).unwrap();
     s.verify(&inst).unwrap();
-    let fifo = flow_stats(&inst, &s).max_flow;
+    let fifo = s.stats.max_flow;
     let lb = flowtree::opt::bounds::combined_lower_bound(&inst, m as u64);
     assert!(
         (fifo as f64) <= (3.0 - 2.0 / m as f64) * lb as f64 + 1.0,
@@ -150,16 +150,13 @@ fn adversary_to_algo_a_pipeline() {
 
     let s = Engine::new(m).run(&inst, &mut Fifo::arbitrary()).unwrap();
     s.verify(&inst).unwrap();
-    let fifo_ratio = flow_stats(&inst, &s).max_flow as f64 / (m + 1) as f64;
+    let fifo_ratio = s.stats.max_flow as f64 / (m + 1) as f64;
     assert!((fifo_ratio - out.ratio()).abs() < 1e-9, "replay consistency");
 
     let mut a = AlgoA::with_batching(4, (m + 1) as u64);
-    let s = Engine::new(m)
-        .with_max_horizon(1_000_000)
-        .run(&inst, &mut a)
-        .unwrap();
+    let s = Engine::new(m).with_max_horizon(1_000_000).run(&inst, &mut a).unwrap();
     s.verify(&inst).unwrap();
-    let a_ratio = flow_stats(&inst, &s).max_flow as f64 / (m + 1) as f64;
+    let a_ratio = s.stats.max_flow as f64 / (m + 1) as f64;
     assert!(a_ratio <= 129.0);
 }
 
@@ -175,7 +172,7 @@ fn packed_batches_certified_and_schedulable_by_everyone() {
             .run(&p.instance, sched.as_mut())
             .unwrap();
         s.verify(&p.instance).unwrap();
-        assert!(flow_stats(&p.instance, &s).max_flow >= p.opt);
+        assert!(s.stats.max_flow >= p.opt);
     }
 }
 

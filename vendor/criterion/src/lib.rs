@@ -1,0 +1,284 @@
+//! Offline micro-benchmark harness exposing the `criterion` API subset the
+//! workspace benches use: `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: a short warm-up, then `sample_size` samples, each
+//! timing a batch of iterations sized so one sample takes roughly
+//! `time_per_sample`. Reports median / mean / max per-iteration time and
+//! derived throughput on stdout. No statistics files, no HTML — just honest
+//! wall-clock numbers suitable for A/B comparison on one machine.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier `function_name/parameter` for parameterized benches.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/param`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{param}") }
+    }
+
+    /// Parameter-only id (group name supplies the function part).
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Number of iterations the closure should be driven for this sample.
+    iters: u64,
+    /// Measured elapsed time for the sample, recorded by [`iter`](Self::iter).
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called `iters` times back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    sample_size: usize,
+    time_per_sample: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honour the substring filter cargo bench forwards (skipping its
+        // own flags), so `cargo bench -- engine` works as with criterion.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 10,
+            time_per_sample: Duration::from_millis(25),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Convenience: a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.benchmark_group("").bench_function(name, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the number of samples for subsequent benches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Override the target time per sample for subsequent benches.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.c.time_per_sample = t / 10;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut |b| f(b));
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is per-bench; this is a no-op for
+    /// criterion API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if let Some(filter) = &self.c.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+
+        // Calibrate: run single iterations until we know the rough cost.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let once = b.elapsed.max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (self.c.time_per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let samples = self.sample_size.unwrap_or(self.c.sample_size);
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+            f(&mut b);
+            per_iter.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let worst = *per_iter.last().unwrap();
+
+        let mut line = format!(
+            "{full:<40} time: [median {} mean {} max {}]",
+            fmt_time(median),
+            fmt_time(mean),
+            fmt_time(worst)
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            line.push_str(&format!("  thrpt: {:.3e} {unit}", count as f64 / median));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Collect benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point: run every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benches_run_and_print() {
+        let mut c = Criterion {
+            sample_size: 3,
+            time_per_sample: Duration::from_micros(200),
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u64;
+        group
+            .throughput(Throughput::Elements(10))
+            .sample_size(3)
+            .bench_function("f", |b| {
+                b.iter(|| {
+                    runs += 1;
+                    black_box(runs)
+                })
+            });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_size: 2,
+            time_per_sample: Duration::from_micros(50),
+            filter: Some("match-me".into()),
+        };
+        let mut ran = false;
+        c.benchmark_group("other").bench_function("skip", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("fifo", 8).to_string(), "fifo/8");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

@@ -1,0 +1,440 @@
+//! Offline replacement for the `proptest` subset this workspace uses.
+//!
+//! Provides the [`proptest!`] macro, [`Strategy`](strategy::Strategy) with
+//! `prop_map` / `prop_flat_map`, integer-range strategies, tuple strategies,
+//! [`collection::vec`], [`sample::subsequence`], and
+//! [`ProptestConfig`](test_runner::ProptestConfig). Each test runs its body
+//! over `cases` deterministically generated inputs (seeded ChaCha8, seed
+//! derived from the test name), panicking on the first failing case with the
+//! case number printed. No shrinking — failures report the raw generated
+//! values via the standard assert messages.
+
+/// Test-runner types: deterministic RNG and per-test configuration.
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Deterministic RNG handed to strategies during generation.
+    pub struct TestRng(pub rand_chacha::ChaCha8Rng);
+
+    impl TestRng {
+        /// RNG seeded from a test-identifying string, so distinct tests
+        /// explore distinct input streams but each run is reproducible.
+        pub fn deterministic(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(rand_chacha::ChaCha8Rng::seed_from_u64(seed))
+        }
+    }
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Failure type for proptest bodies. Test bodies may `return Ok(())`
+    /// early (real proptest closures return `Result`); assertions in this
+    /// offline harness panic instead of constructing errors, so this type
+    /// is never actually instantiated.
+    #[derive(Debug)]
+    pub struct TestCaseError;
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "test case failed")
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating test values.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f` builds
+        /// from it (dependent generation).
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(!self.is_empty(), "empty range strategy");
+                    rng.0.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(!self.is_empty(), "empty range strategy");
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+    }
+
+    /// Inclusive bounds on a generated collection's size.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Minimum size, inclusive.
+        pub min: usize,
+        /// Maximum size, inclusive.
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(!r.is_empty(), "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(!r.is_empty(), "empty size range");
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl SizeRange {
+        pub(crate) fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.0.gen_range(self.min..=self.max)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s with element strategy `element` and a size drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies over fixed item sets.
+pub mod sample {
+    use crate::strategy::{SizeRange, Strategy};
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy yielding an order-preserving random subsequence of `items`
+    /// with a length drawn from `size`.
+    pub fn subsequence<T: Clone>(
+        items: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> SubsequenceStrategy<T> {
+        let size = size.into();
+        assert!(
+            size.max <= items.len(),
+            "subsequence size bound {} exceeds item count {}",
+            size.max,
+            items.len()
+        );
+        SubsequenceStrategy { items, size }
+    }
+
+    /// Strategy returned by [`subsequence`].
+    pub struct SubsequenceStrategy<T> {
+        items: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for SubsequenceStrategy<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let k = self.size.pick(rng);
+            // Partial Fisher-Yates over the index set, then restore order.
+            let mut idx: Vec<usize> = (0..self.items.len()).collect();
+            for i in 0..k {
+                let j = rng.0.gen_range(i..idx.len());
+                idx.swap(i, j);
+            }
+            let mut chosen = idx[..k].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.items[i].clone()).collect()
+        }
+    }
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests: each `fn name(x in strategy, ...) { body }` becomes
+/// a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let run = || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => panic!(
+                        "proptest {}: case {case}/{} failed: {e}",
+                        stringify!($name),
+                        config.cases
+                    ),
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest {}: failed at case {case}/{}",
+                            stringify!($name),
+                            config.cases
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Property-test assertion (panics on failure, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property-test equality assertion (panics on failure, like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property-test inequality assertion (panics on failure, like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..10, y in 0usize..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn maps_and_tuples_compose(v in (0u64..5, 1u64..=3).prop_map(|(a, b)| a * b)) {
+            prop_assert!(v <= 12);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn flat_map_dependent_generation(pair in (1usize..6).prop_flat_map(|n| {
+            crate::collection::vec(0u32..100, n..=n).prop_map(move |v| (n, v))
+        })) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order_and_size() {
+        let mut rng = crate::test_runner::TestRng::deterministic("subseq");
+        let items: Vec<u32> = (0..20).collect();
+        let strat = crate::sample::subsequence(items, 0..=20);
+        for _ in 0..50 {
+            let sub = crate::strategy::Strategy::generate(&strat, &mut rng);
+            assert!(sub.len() <= 20);
+            assert!(sub.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(0u64..1000, 5..10);
+        let a = {
+            let mut rng = crate::test_runner::TestRng::deterministic("t");
+            crate::strategy::Strategy::generate(&strat, &mut rng)
+        };
+        let b = {
+            let mut rng = crate::test_runner::TestRng::deterministic("t");
+            crate::strategy::Strategy::generate(&strat, &mut rng)
+        };
+        assert_eq!(a, b);
+    }
+}

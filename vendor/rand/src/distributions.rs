@@ -1,0 +1,159 @@
+//! The distribution subset used by the workspace: [`Distribution`] and
+//! [`WeightedIndex`].
+
+use crate::{Rng, RngCore, SampleUniform};
+
+/// A sampling distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`WeightedIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The weight list was empty.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// All weights were zero.
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no weights provided"),
+            WeightedError::InvalidWeight => write!(f, "invalid weight"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Weight types accepted by [`WeightedIndex`].
+pub trait Weight: Copy + PartialOrd {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Checked-ish addition (plain addition; weights are validated finite).
+    fn add(self, other: Self) -> Self;
+    /// Is this a usable weight (finite, non-negative)?
+    fn valid(self) -> bool;
+}
+
+macro_rules! impl_weight_int {
+    ($($t:ty),*) => {$(
+        impl Weight for $t {
+            fn zero() -> Self { 0 }
+            fn add(self, other: Self) -> Self { self + other }
+            fn valid(self) -> bool { true }
+        }
+    )*};
+}
+
+impl_weight_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_weight_float {
+    ($($t:ty),*) => {$(
+        impl Weight for $t {
+            fn zero() -> Self { 0.0 }
+            fn add(self, other: Self) -> Self { self + other }
+            fn valid(self) -> bool { self.is_finite() && self >= 0.0 }
+        }
+    )*};
+}
+
+impl_weight_float!(f32, f64);
+
+/// Distribution over `0..n` with probability proportional to given weights.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex<X: Weight> {
+    cumulative: Vec<X>,
+    total: X,
+}
+
+impl<X: Weight + SampleUniform> WeightedIndex<X> {
+    /// Build from an iterator of weight references (e.g. a slice).
+    ///
+    /// The item type is pinned to `&X` (rather than real rand's
+    /// `Borrow<X>`) so the weight type infers from slice call sites.
+    pub fn new<'a, I>(weights: I) -> Result<Self, WeightedError>
+    where
+        X: 'a,
+        I: IntoIterator<Item = &'a X>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = X::zero();
+        for &w in weights {
+            if !w.valid() {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total = total.add(w);
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        // `!(a > b)` rather than `a <= b`: NaN totals must also be rejected.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(total > X::zero()) {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl<X: Weight + SampleUniform> Distribution<usize> for WeightedIndex<X> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let x = rng.gen_range(X::zero()..self.total);
+        // First index whose cumulative weight exceeds x.
+        match self.cumulative.binary_search_by(|c| match c.partial_cmp(&x) {
+            Some(std::cmp::Ordering::Greater) => std::cmp::Ordering::Greater,
+            _ => std::cmp::Ordering::Less,
+        }) {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn weighted_index_respects_zero_weights() {
+        let d = WeightedIndex::new(&[0.0f64, 1.0, 0.0]).unwrap();
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..200 {
+            assert_eq!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn weighted_index_roughly_proportional() {
+        let d = WeightedIndex::new(&[1.0f64, 3.0]).unwrap();
+        let mut rng = SplitMix64::new(2);
+        let ones = (0..4000).filter(|_| d.sample(&mut rng) == 1).count();
+        assert!((2700..3300).contains(&ones), "got {ones}");
+    }
+
+    #[test]
+    fn weighted_index_integer_weights() {
+        let d = WeightedIndex::new(&[2u64, 2]).unwrap();
+        let mut rng = SplitMix64::new(3);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[d.sample(&mut rng)] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(WeightedIndex::<f64>::new(&[] as &[f64]).unwrap_err(), WeightedError::NoItem);
+        assert_eq!(WeightedIndex::new(&[0.0f64]).unwrap_err(), WeightedError::AllWeightsZero);
+        assert_eq!(WeightedIndex::new(&[-1.0f64]).unwrap_err(), WeightedError::InvalidWeight);
+    }
+}

@@ -1,0 +1,246 @@
+//! Offline drop-in replacement for the subset of `rand` 0.8 this workspace
+//! uses. The crates-io registry is unreachable in the build environment, so
+//! the workspace vendors the API surface it needs: [`RngCore`], [`Rng`]
+//! (`gen_range`, `gen_bool`), [`SeedableRng`], and
+//! [`distributions::WeightedIndex`].
+//!
+//! Determinism contract: generators are pure functions of their seed, so all
+//! seeded workloads in the workspace are reproducible. The streams differ
+//! from upstream `rand` (no golden values in the workspace depend on them).
+
+pub mod distributions;
+
+/// Low-level generator interface: a source of uniform random words.
+pub trait RngCore {
+    /// Next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32;
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed material (a fixed-size byte array in practice).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from raw seed material.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64` by expanding it with SplitMix64 (matches the
+    /// upstream convention of deriving full seeds from small ones).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        sm.fill_bytes(seed.as_mut());
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: seed-expansion and test-quality generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// New generator with the given state.
+    pub fn new(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types that can be sampled uniformly from a range. Implemented for the
+/// primitive integers and `f64`.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[low, high)`. `high > low` required.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform sample from `[low, high]`. `high >= low` required.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let v = uniform_u128_below(rng, span);
+                (low as i128 + v as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                if span == 0 {
+                    // Full u128 span is impossible for <= 64-bit types; 0 here
+                    // means the whole domain of a 64-bit type.
+                    return rng.next_u64() as $t;
+                }
+                let v = uniform_u128_below(rng, span);
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        Self::sample_half_open(rng, low, f64::from_bits(high.to_bits() + 1))
+    }
+}
+
+/// Unbiased uniform value in `[0, bound)` via rejection sampling.
+fn uniform_u128_below<R: RngCore + ?Sized>(rng: &mut R, bound: u128) -> u128 {
+    debug_assert!(bound > 0);
+    if bound <= u64::MAX as u128 {
+        let bound = bound as u64;
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return (v % bound) as u128;
+            }
+        }
+    } else {
+        loop {
+            let v = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            if v < bound * (u128::MAX / bound) {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (`0.0 <= p <= 1.0`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        if p >= 1.0 {
+            return true;
+        }
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..1000 {
+            let a = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&a));
+            let b = rng.gen_range(-5i64..6);
+            assert!((-5..6).contains(&b));
+            let c = rng.gen_range(0u64..=4);
+            assert!(c <= 4);
+            let d = rng.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SplitMix64::new(7);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let heads = (0..4000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((1600..2400).contains(&heads), "suspicious bias: {heads}");
+    }
+
+    #[test]
+    fn huge_range_does_not_panic() {
+        let mut rng = SplitMix64::new(3);
+        let _ = rng.gen_range(0..usize::MAX);
+        let _ = rng.gen_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(9);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(9);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,430 @@
+//! Offline replacement for the `serde` subset this workspace uses.
+//!
+//! The crates-io registry is unreachable in the build environment, so the
+//! workspace vendors a small value-tree serialization core under the same
+//! crate name: [`Serialize`] / [`Deserialize`] convert to and from a JSON
+//! data model ([`Value`]); `serde_json` (also vendored) prints and parses
+//! that model. Proc-macro derives are unavailable offline, so types opt in
+//! with the [`impl_serde_struct!`] / [`impl_serde_newtype!`] macros or a
+//! manual impl.
+
+/// The serialization data model: JSON's value tree.
+///
+/// Object keys keep insertion order (serialization output is deterministic
+/// and field-ordered, which the golden-file tests rely on).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Integer view (accepts `UInt` and non-negative `Int`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(n) => Some(n),
+            Value::Int(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// Signed-integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::UInt(n) => i64::try_from(n).ok(),
+            Value::Int(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::UInt(n) => Some(n as f64),
+            Value::Int(n) => Some(n as f64),
+            Value::Float(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Short type name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Arbitrary error message (mirrors `serde::de::Error::custom`).
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error { msg: msg.to_string() }
+    }
+
+    /// A required object field was absent.
+    pub fn missing_field(name: &str) -> Self {
+        Error::custom(format!("missing field `{name}`"))
+    }
+
+    /// A value had the wrong JSON type.
+    pub fn type_mismatch(expected: &str, got: &Value) -> Self {
+        Error::custom(format!("expected {expected}, got {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Error namespace kept for `serde::de::Error::custom` call-site parity.
+pub mod de {
+    /// Re-export of the crate error type under its serde path.
+    pub use crate::Error;
+}
+
+/// Convert a value into the serialization data model.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct a value from the serialization data model.
+pub trait Deserialize: Sized {
+    /// Parse from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::type_mismatch("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::type_mismatch("integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::type_mismatch("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().map(|x| x as f32).ok_or_else(|| Error::type_mismatch("number", v))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::type_mismatch("bool", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| Error::type_mismatch("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::type_mismatch("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($t:ident . $idx:tt),+);)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::type_mismatch("array", v))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected array of {expected}, got {}", items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+}
+
+/// Implement [`Serialize`]/[`Deserialize`] for a struct with named fields,
+/// mapping it to a JSON object in declaration order. Offline stand-in for
+/// `#[derive(Serialize, Deserialize)]`.
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($field).to_string(), $crate::Serialize::to_value(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                Ok($ty {
+                    $($field: $crate::Deserialize::from_value(
+                        v.get(stringify!($field))
+                            .ok_or_else(|| $crate::Error::missing_field(stringify!($field)))?,
+                    )?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implement [`Serialize`]/[`Deserialize`] for a single-field tuple struct,
+/// mapping it transparently to its inner value (serde's newtype behavior).
+#[macro_export]
+macro_rules! impl_serde_newtype {
+    ($ty:ident($inner:ty)) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Serialize::to_value(&self.0)
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                <$inner as $crate::Deserialize>::from_value(v).map($ty)
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&5u32.to_value()), Ok(5));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_string()));
+        let v: Vec<(u32, u32)> = vec![(1, 2), (3, 4)];
+        assert_eq!(Vec::<(u32, u32)>::from_value(&v.to_value()), Ok(v));
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u64>::from_value(&Value::UInt(7)), Ok(Some(7)));
+        assert_eq!(None::<u64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn type_mismatch_is_error() {
+        assert!(u32::from_value(&Value::Str("no".into())).is_err());
+        assert!(Vec::<u8>::from_value(&Value::UInt(1)).is_err());
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+    }
+
+    #[test]
+    fn struct_macro_roundtrips() {
+        #[derive(Debug, PartialEq)]
+        struct P {
+            x: u32,
+            y: i64,
+        }
+        impl_serde_struct!(P { x, y });
+        let p = P { x: 4, y: -9 };
+        assert_eq!(P::from_value(&p.to_value()), Ok(P { x: 4, y: -9 }));
+        assert!(P::from_value(&Value::Object(vec![("x".into(), Value::UInt(1))])).is_err());
+    }
+
+    #[test]
+    fn newtype_macro_is_transparent() {
+        #[derive(Debug, PartialEq)]
+        struct Id(u32);
+        impl_serde_newtype!(Id(u32));
+        assert_eq!(Id(8).to_value(), Value::UInt(8));
+        assert_eq!(Id::from_value(&Value::UInt(8)), Ok(Id(8)));
+    }
+}
