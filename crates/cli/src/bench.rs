@@ -1,0 +1,284 @@
+//! `flowtree-repro bench` — the engine-throughput benchmark harness.
+//!
+//! Runs the simulation engine over fixed workloads (the dense 64-job ×
+//! 256-subjob stream every experiment's cost is dominated by, plus a
+//! sparse-arrival stream that exercises the idle-gap fast path) for a
+//! matrix of schedulers × machine sizes, with warmup and repeat logic, and
+//! writes a machine-readable JSON trajectory (`BENCH_engine.json` by
+//! default) so successive PRs can diff engine throughput:
+//!
+//! ```text
+//! flowtree-repro bench                      # full workloads -> BENCH_engine.json
+//! flowtree-repro bench --quick -o /tmp/b.json   # CI smoke: small + fast
+//! flowtree-repro bench --reps 9             # more repeats per cell
+//! ```
+//!
+//! Each entry records every wall time observed; `subjobs_per_sec` uses the
+//! *best* repeat (least interference). No thresholds are enforced here —
+//! hardware varies; the trajectory is for human/PR-level diffing.
+
+use flowtree_core::SchedulerSpec;
+use flowtree_sim::{Engine, Instance, JobSpec};
+use serde::Value;
+use std::time::Instant;
+
+/// One benchmark workload: a named instance generator.
+struct Workload {
+    name: &'static str,
+    /// Number of jobs in the stream.
+    jobs: usize,
+    /// Subjobs per job (random recursive out-trees of this size).
+    job_size: usize,
+    /// Release spacing between consecutive jobs.
+    spread: u64,
+    /// Schedulers to run on this workload (registry names).
+    schedulers: &'static [&'static str],
+    /// Machine sizes.
+    ms: &'static [usize],
+}
+
+/// The full benchmark matrix. `stream` is the dense arrival stream used by
+/// the acceptance measurement (64 × 256 at m = 256); `sparse` spaces
+/// releases far apart so most simulated steps are idle gaps.
+const FULL: &[Workload] = &[
+    Workload {
+        name: "stream",
+        jobs: 64,
+        job_size: 256,
+        spread: 8,
+        schedulers: &["fifo", "fifo-last", "lpf", "lrwf"],
+        ms: &[8, 64, 256],
+    },
+    Workload {
+        name: "sparse",
+        jobs: 64,
+        job_size: 256,
+        spread: 2048,
+        schedulers: &["fifo"],
+        ms: &[8, 256],
+    },
+];
+
+/// Reduced matrix for `--quick` (CI smoke): completes in well under a
+/// second while still touching both workload shapes.
+const QUICK: &[Workload] = &[
+    Workload {
+        name: "stream",
+        jobs: 16,
+        job_size: 64,
+        spread: 4,
+        schedulers: &["fifo", "lpf"],
+        ms: &[8, 64],
+    },
+    Workload {
+        name: "sparse",
+        jobs: 16,
+        job_size: 64,
+        spread: 512,
+        schedulers: &["fifo"],
+        ms: &[8],
+    },
+];
+
+/// Seed for the workload generator — fixed so the trajectory compares the
+/// same instances across PRs (matches the criterion bench's stream).
+const SEED: u64 = 11;
+
+struct Opts {
+    quick: bool,
+    out: String,
+    reps: usize,
+    warmup: usize,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        quick: false,
+        out: "BENCH_engine.json".to_string(),
+        reps: 0,
+        warmup: 0,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => o.quick = true,
+            "-o" => o.out = it.next().ok_or("-o needs a path")?.clone(),
+            "--reps" => {
+                o.reps = it.next().and_then(|v| v.parse().ok()).ok_or("--reps needs a number")?
+            }
+            "--warmup" => {
+                o.warmup =
+                    it.next().and_then(|v| v.parse().ok()).ok_or("--warmup needs a number")?
+            }
+            other => {
+                return Err(format!(
+                    "unknown bench option '{other}'\n\
+                     usage: flowtree-repro bench [--quick] [--reps N] [--warmup N] [-o FILE]"
+                ))
+            }
+        }
+    }
+    if o.reps == 0 {
+        o.reps = if o.quick { 2 } else { 5 };
+    }
+    if o.warmup == 0 && !o.quick {
+        o.warmup = 1;
+    }
+    Ok(o)
+}
+
+fn stream_instance(w: &Workload) -> Instance {
+    let mut rng = flowtree_workloads::rng(SEED);
+    let jobs = (0..w.jobs)
+        .map(|i| JobSpec {
+            graph: flowtree_workloads::trees::random_recursive_tree(w.job_size, &mut rng),
+            release: (i as u64) * w.spread,
+        })
+        .collect();
+    Instance::new(jobs)
+}
+
+/// Best-effort short git revision for provenance (benches run from a
+/// checkout; "unknown" outside one).
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Time one engine run (fresh scheduler per run, as schedulers are
+/// stateful). Returns wall seconds; the run is verified once outside the
+/// timed region by the caller.
+fn timed_run(inst: &Instance, m: usize, spec: SchedulerSpec) -> Result<f64, String> {
+    let mut sched = spec.build();
+    let start = Instant::now();
+    let report = Engine::new(m)
+        .with_max_horizon(1_000_000_000)
+        .run(inst, sched.as_mut())
+        .map_err(|e| format!("{} on m={m}: {e}", spec.name()))?;
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(report.schedule.horizon());
+    Ok(secs)
+}
+
+/// Run the whole matrix; returns the JSON document.
+fn run_matrix(o: &Opts) -> Result<Value, String> {
+    let workloads = if o.quick { QUICK } else { FULL };
+    let mut entries: Vec<Value> = Vec::new();
+
+    for w in workloads {
+        let inst = stream_instance(w);
+        let total_work = inst.total_work();
+        for &name in w.schedulers {
+            let spec = SchedulerSpec::parse(name, 8)?;
+            for &m in w.ms {
+                // Correctness outside the timed region: one verified run.
+                {
+                    let mut sched = spec.build();
+                    let report = Engine::new(m)
+                        .with_max_horizon(1_000_000_000)
+                        .run(&inst, sched.as_mut())
+                        .map_err(|e| format!("{name} on m={m}: {e}"))?;
+                    report.verify(&inst).map_err(|e| format!("{name} on m={m}: {e}"))?;
+                }
+                for _ in 0..o.warmup {
+                    timed_run(&inst, m, spec)?;
+                }
+                let mut walls = Vec::with_capacity(o.reps);
+                for _ in 0..o.reps {
+                    walls.push(timed_run(&inst, m, spec)?);
+                }
+                let best = walls.iter().copied().fold(f64::INFINITY, f64::min);
+                let subjobs_per_sec = total_work as f64 / best;
+                println!(
+                    "{:<8} {:<10} m={:<4} {:>12.0} subjobs/s  (best of {} reps: {:.3} ms)",
+                    w.name,
+                    name,
+                    m,
+                    subjobs_per_sec,
+                    o.reps,
+                    best * 1e3
+                );
+                entries.push(Value::Object(vec![
+                    ("workload".into(), Value::Str(w.name.into())),
+                    ("scheduler".into(), Value::Str(name.into())),
+                    ("m".into(), Value::UInt(m as u64)),
+                    ("total_subjobs".into(), Value::UInt(total_work)),
+                    ("repeats".into(), Value::UInt(o.reps as u64)),
+                    (
+                        "wall_secs".into(),
+                        Value::Array(walls.iter().map(|&s| Value::Float(s)).collect()),
+                    ),
+                    ("best_secs".into(), Value::Float(best)),
+                    ("subjobs_per_sec".into(), Value::Float(subjobs_per_sec)),
+                ]));
+            }
+        }
+    }
+
+    Ok(Value::Object(vec![
+        ("schema".into(), Value::Str("flowtree-bench-v1".into())),
+        ("git_rev".into(), Value::Str(git_rev())),
+        ("quick".into(), Value::Bool(o.quick)),
+        ("workload_seed".into(), Value::UInt(SEED)),
+        ("entries".into(), Value::Array(entries)),
+    ]))
+}
+
+/// Run `bench [--quick] [--reps N] [--warmup N] [-o FILE]`.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let doc = run_matrix(&o)?;
+    let json = serde_json::to_string_pretty(&doc).map_err(|e| format!("serialize: {e}"))?;
+    std::fs::write(&o.out, &json).map_err(|e| format!("write {}: {e}", o.out))?;
+    // Self-validation: the written trajectory must parse back (CI smoke
+    // asserts this command exits 0).
+    let back: Value = serde_json::from_str(
+        &std::fs::read_to_string(&o.out).map_err(|e| format!("re-read {}: {e}", o.out))?,
+    )
+    .map_err(|e| format!("{} is not valid JSON after write: {e}", o.out))?;
+    let n = back
+        .get("entries")
+        .and_then(|e| e.as_array())
+        .map(|a| a.len())
+        .ok_or_else(|| format!("{}: missing entries array", o.out))?;
+    eprintln!("wrote {n} bench entries to {}", o.out);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_produces_valid_entries() {
+        let o = Opts { quick: true, out: String::new(), reps: 1, warmup: 0 };
+        let doc = run_matrix(&o).unwrap();
+        let entries = doc.get("entries").unwrap().as_array().unwrap();
+        // 2 schedulers x 2 m's on stream + 1 x 1 on sparse.
+        assert_eq!(entries.len(), 5);
+        for e in entries {
+            assert!(e.get("subjobs_per_sec").is_some());
+            let walls = e.get("wall_secs").unwrap().as_array().unwrap();
+            assert_eq!(walls.len(), 1);
+        }
+        // The whole document serializes and round-trips.
+        let json = serde_json::to_string_pretty(&doc).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("schema").unwrap().as_str(), Some("flowtree-bench-v1"));
+    }
+
+    #[test]
+    fn opts_parse_and_reject() {
+        let o = parse_opts(&["--quick".into(), "--reps".into(), "3".into()]).unwrap();
+        assert!(o.quick);
+        assert_eq!(o.reps, 3);
+        assert!(parse_opts(&["--frobnicate".into()]).is_err());
+        assert!(parse_opts(&["--reps".into()]).is_err());
+    }
+}

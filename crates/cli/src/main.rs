@@ -16,6 +16,7 @@
 use flowtree_analysis::{experiments, Effort};
 use std::process::ExitCode;
 
+mod bench;
 mod gen;
 mod simulate;
 mod trace;
@@ -26,6 +27,7 @@ fn usage() -> &'static str {
      \u{20}      flowtree-repro simulate <scheduler> <instance.json> [-m M] [--gantt]\n\
      \u{20}      flowtree-repro trace <scenario> [--scheduler S] [-m M] [-o FILE]\n\
      \u{20}      flowtree-repro stats <scenario> [--scheduler S] [-m M]\n\
+     \u{20}      flowtree-repro bench [--quick] [--reps N] [-o FILE]\n\
      Runs the reproduction experiments for 'Scheduling Out-Trees Online to\n\
      Optimize Maximum Flow' (SPAA 2024) and prints markdown reports."
 }
@@ -63,6 +65,15 @@ fn main() -> ExitCode {
         }
         Some("stats") => {
             return match trace::run_stats(&raw[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("bench") => {
+            return match bench::run(&raw[1..]) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("{e}");

@@ -103,6 +103,10 @@ pub struct Fifo {
     rng: SplitMix64,
     /// Scratch buffer reused across steps (allocation-free steady state).
     scratch: Vec<u32>,
+    /// Scratch of `(became-ready seq, node)` pairs for the seq-ordered
+    /// tie-breaks: keys are looked up once per node instead of once per
+    /// comparison, and the pairs sort without touching the view again.
+    keyed: Vec<(u64, u32)>,
 }
 
 impl Fifo {
@@ -117,6 +121,7 @@ impl Fifo {
             priority: Vec::new(),
             rng: SplitMix64(seed ^ 0xD1B54A32D192ED03),
             scratch: Vec::new(),
+            keyed: Vec::new(),
         }
     }
 
@@ -143,19 +148,37 @@ impl Fifo {
     ) {
         debug_assert!(k <= ready.len());
         match self.tie {
+            // Seq stamps are globally unique, so an unstable sort of
+            // `(seq, node)` pairs yields exactly the order the old stable
+            // sort-by-key did — and when `k < len`, `select_nth_unstable`
+            // first isolates the k winners so only they get sorted.
             TieBreak::BecameReady => {
-                self.scratch.clear();
-                self.scratch.extend_from_slice(ready);
-                self.scratch.sort_by_key(|&v| view.ready_seq(job, NodeId(v)));
-                for &v in &self.scratch[..k] {
+                if k == 0 {
+                    return;
+                }
+                self.keyed.clear();
+                self.keyed.extend(ready.iter().map(|&v| (view.ready_seq(job, NodeId(v)), v)));
+                if k < self.keyed.len() {
+                    self.keyed.select_nth_unstable(k - 1);
+                }
+                self.keyed[..k].sort_unstable();
+                for i in 0..k {
+                    let (_, v) = self.keyed[i];
                     sel.push(job, NodeId(v));
                 }
             }
             TieBreak::LastReady => {
-                self.scratch.clear();
-                self.scratch.extend_from_slice(ready);
-                self.scratch.sort_by_key(|&v| std::cmp::Reverse(view.ready_seq(job, NodeId(v))));
-                for &v in &self.scratch[..k] {
+                if k == 0 {
+                    return;
+                }
+                self.keyed.clear();
+                self.keyed.extend(ready.iter().map(|&v| (view.ready_seq(job, NodeId(v)), v)));
+                if k < self.keyed.len() {
+                    self.keyed.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
+                }
+                self.keyed[..k].sort_unstable_by(|a, b| b.cmp(a));
+                for i in 0..k {
+                    let (_, v) = self.keyed[i];
                     sel.push(job, NodeId(v));
                 }
             }
@@ -217,11 +240,13 @@ impl OnlineScheduler for Fifo {
             // completions in pick order, which determines the became-ready
             // stamps of the *children* — so the order matters beyond the
             // subset choice. Other tie-breaks only sort when subsetting.
+            // `ready` borrows the view's state, not `self`, so it feeds
+            // `pick` directly — `pick` copies into the scratch buffer, and
+            // the per-job-per-step `to_vec()` clone this used to do is gone.
             match self.tie {
                 TieBreak::BecameReady | TieBreak::LastReady => {
-                    let ready: Vec<u32> = ready.to_vec();
                     let k = rem.min(ready.len());
-                    self.pick(job, &ready, k, view, sel);
+                    self.pick(job, ready, k, view, sel);
                 }
                 _ if ready.len() <= rem => {
                     for &v in ready {
@@ -229,8 +254,7 @@ impl OnlineScheduler for Fifo {
                     }
                 }
                 _ => {
-                    let ready: Vec<u32> = ready.to_vec();
-                    self.pick(job, &ready, rem, view, sel);
+                    self.pick(job, ready, rem, view, sel);
                 }
             }
         }

@@ -148,6 +148,15 @@ impl<P: Probe> Engine<P> {
     /// schedule bundled with its flow statistics and step counters. The
     /// caller should usually also run [`Schedule::verify`] (via the report's
     /// deref).
+    ///
+    /// The loop allocates nothing per step: one [`Selection`] scratch buffer
+    /// is cleared and reused, its picks are copied straight into the CSR
+    /// [`Schedule`], releases are peeked one at a time, and selection
+    /// validation uses per-run stamp arrays (O(picks) per step rather than
+    /// O(picks²)). When no job is alive the engine fast-forwards to the next
+    /// release, emitting a [`Probe::on_idle_gap`] that is observationally
+    /// equivalent to stepwise idling; `select` is *not* called during such
+    /// gaps (nothing is ready, so only an empty selection could be valid).
     pub fn run(
         &mut self,
         instance: &Instance,
@@ -161,6 +170,20 @@ impl<P: Probe> Engine<P> {
         let mut state = SimState::new(instance);
         let mut schedule = Schedule::new(self.m);
         let mut counters = Counters::default();
+
+        // Stamp arrays for O(1)-per-pick validation and completion firing.
+        // `node_off` maps a job to its slice of the flat node array; a stamp
+        // equal to `t + 1` marks "seen during step t" (stamps are strictly
+        // increasing across steps, so no clearing between steps is needed).
+        let mut node_off: Vec<usize> = Vec::with_capacity(instance.num_jobs() + 1);
+        node_off.push(0);
+        for spec in instance.jobs() {
+            node_off.push(node_off.last().unwrap() + spec.graph.n());
+        }
+        let mut node_stamp: Vec<Time> = vec![0; *node_off.last().unwrap()];
+        let mut job_stamp: Vec<Time> = vec![0; instance.num_jobs()];
+
+        let mut sel = Selection::new(self.m);
         let mut t: Time = 0;
 
         counters.on_start(self.m, instance.num_jobs());
@@ -171,41 +194,63 @@ impl<P: Probe> Engine<P> {
                 return Err(EngineError::HorizonExceeded { horizon });
             }
 
-            for job in state.release_due(instance, t) {
+            while let Some(job) = state.release_one(instance, t) {
                 counters.on_release(t, job);
                 self.probe.on_release(t, job);
                 let view = SimView::new(instance, &state, self.m, clair);
                 scheduler.on_arrival(t, job, &view);
             }
 
+            // Idle-gap fast-forward: no alive job means nothing is ready and
+            // no non-empty selection could be valid, so jump to the next
+            // release. The gap is capped at `horizon + 1` so a release
+            // beyond the safety cap still surfaces as `HorizonExceeded`
+            // (with the same probe events the stepwise loop emitted first).
+            if state.alive().is_empty() {
+                let next = state
+                    .next_release_time(instance)
+                    .expect("no job alive and none pending, yet not all done");
+                debug_assert!(next > t, "a release due now was not applied");
+                let end = next.min(horizon + 1);
+                let gap = end - t;
+                counters.on_idle_gap(t, gap, self.m);
+                self.probe.on_idle_gap(t, gap, self.m);
+                schedule.push_empty_steps(gap);
+                t = end;
+                continue;
+            }
+
             let ready_depth = state.total_ready();
-            let mut sel = Selection::new(self.m);
+            sel.clear();
             {
                 let view = SimView::new(instance, &state, self.m, clair);
                 scheduler.select(t, &view, &mut sel);
             }
-            let picks = sel.into_picks();
+            let picks = sel.picks();
 
-            // Validate: ready and pairwise distinct. Readiness in SimState
-            // is only cleared on completion, so checking `is_ready` before
-            // applying any completion catches duplicates *except* that we
-            // must apply completions one by one; instead check distinctness
-            // first (cheap: picks.len() <= m), then readiness.
-            for (i, &(j, v)) in picks.iter().enumerate() {
-                if picks[..i].contains(&(j, v)) {
+            // Validate: in-bounds, pairwise distinct, ready. The stamp
+            // catches duplicates in O(1) per pick; readiness in SimState is
+            // only cleared on completion and completions apply after this
+            // loop, so `is_ready` is checked against the start-of-step state
+            // exactly as the pre-stamp quadratic scan did.
+            let stamp = t + 1; // nonzero, unique per step
+            for &(j, v) in picks {
+                if j.index() >= instance.num_jobs() || v.index() >= instance.graph(j).n() {
+                    return Err(EngineError::NotReady { t, job: j, node: v });
+                }
+                let slot = &mut node_stamp[node_off[j.index()] + v.index()];
+                if *slot == stamp {
                     return Err(EngineError::DuplicateSelection { t, job: j, node: v });
                 }
-                if j.index() >= instance.num_jobs()
-                    || v.index() >= instance.graph(j).n()
-                    || !state.is_ready(j, v)
-                {
+                *slot = stamp;
+                if !state.is_ready(j, v) {
                     return Err(EngineError::NotReady { t, job: j, node: v });
                 }
             }
 
-            counters.on_select(t, &picks);
-            self.probe.on_select(t, &picks);
-            for &(j, v) in &picks {
+            counters.on_select(t, picks);
+            self.probe.on_select(t, picks);
+            for &(j, v) in picks {
                 self.probe.on_dispatch(t, j, v);
                 state.complete(instance, j, v, t + 1);
             }
@@ -219,16 +264,22 @@ impl<P: Probe> Engine<P> {
             self.probe.on_step(t, stat);
 
             // A job completes at t+1 when this step ran its last subjob.
-            // Fire once per job (a step may run several of its subjobs).
-            for (i, &(j, _)) in picks.iter().enumerate() {
-                if state.unfinished(j) == 0 && !picks[..i].iter().any(|&(pj, _)| pj == j) {
+            // Fire once per job — the job stamp replaces the old quadratic
+            // "first pick of this job?" rescan.
+            let mut any_finished = false;
+            for &(j, _) in picks {
+                if state.unfinished(j) == 0 && job_stamp[j.index()] != stamp {
+                    job_stamp[j.index()] = stamp;
+                    any_finished = true;
                     counters.on_complete(t + 1, j);
                     self.probe.on_complete(t + 1, j);
                 }
             }
 
-            state.prune_alive();
-            schedule.push_step(picks);
+            if any_finished {
+                state.prune_alive();
+            }
+            schedule.extend_step(picks);
             t += 1;
         }
 
@@ -355,6 +406,45 @@ mod tests {
         for t in 2..=5 {
             assert_eq!(s.load(t), 0);
         }
+    }
+
+    #[test]
+    fn fast_forward_emits_stepwise_equivalent_events() {
+        // chain(1) at t=0, then nothing until t=7: steps 1..=6 are a
+        // fast-forwarded gap. Counters and the JSONL trace must look exactly
+        // like stepwise idling.
+        let inst = Instance::new(vec![
+            JobSpec { graph: chain(1), release: 0 },
+            JobSpec { graph: chain(1), release: 7 },
+        ]);
+        let mut trace = crate::probe::JsonlTrace::new(Vec::new());
+        let report = Engine::new(3).with_probe(&mut trace).run(&inst, &mut Greedy).unwrap();
+        report.verify(&inst).unwrap();
+
+        let c = &report.counters;
+        assert_eq!(c.steps, 8);
+        assert_eq!(c.dispatched, 2);
+        assert_eq!(c.idle_slots, 2 + 6 * 3 + 2);
+        assert_eq!(c.idle_steps, 8);
+
+        let text = String::from_utf8(trace.finish().unwrap()).unwrap();
+        // One step record per simulated step, gap steps included.
+        let steps: Vec<&str> = text.lines().filter(|l| l.contains("\"ev\":\"step\"")).collect();
+        assert_eq!(steps.len(), 8);
+        assert!(text.contains(r#"{"ev":"step","t":3,"picks":[],"idle":3,"ready":0}"#));
+        assert!(text.lines().last().unwrap().contains(r#""ev":"finish","horizon":8"#));
+    }
+
+    #[test]
+    fn fast_forward_respects_horizon_cap() {
+        // Second release far beyond the horizon: the gap must stop at the
+        // cap and report HorizonExceeded, like the stepwise loop did.
+        let inst = Instance::new(vec![
+            JobSpec { graph: chain(1), release: 0 },
+            JobSpec { graph: chain(1), release: 1_000 },
+        ]);
+        let err = Engine::new(2).with_max_horizon(10).run(&inst, &mut Greedy).unwrap_err();
+        assert_eq!(err, EngineError::HorizonExceeded { horizon: 10 });
     }
 
     #[test]

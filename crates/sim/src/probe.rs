@@ -4,8 +4,13 @@
 //! it: the engine invokes the hooks at fixed points of its loop, in event
 //! order ([`on_start`](Probe::on_start), then per step
 //! [`on_release`](Probe::on_release)* → [`on_select`](Probe::on_select) →
-//! [`on_dispatch`](Probe::on_dispatch)* → [`on_complete`](Probe::on_complete)*
-//! → [`on_step`](Probe::on_step), and finally [`on_finish`](Probe::on_finish)).
+//! [`on_dispatch`](Probe::on_dispatch)* → [`on_step`](Probe::on_step) →
+//! [`on_complete`](Probe::on_complete)*, and finally
+//! [`on_finish`](Probe::on_finish)). When the engine fast-forwards over a
+//! stretch of forced-idle steps it emits a single
+//! [`on_idle_gap`](Probe::on_idle_gap), whose *default* implementation
+//! replays the per-step events verbatim — probes that don't override it
+//! cannot tell a fast-forwarded gap from stepwise idling.
 //!
 //! The default probe is [`NullProbe`], whose empty inlined hooks compile
 //! away entirely — an uninstrumented `Engine::new(m)` pays nothing. The
@@ -103,6 +108,23 @@ pub trait Probe {
         let _ = (t, stat);
     }
 
+    /// The engine fast-forwarded over `steps` consecutive idle steps
+    /// starting at `t0` (no job alive, nothing ready, next release at
+    /// `t0 + steps` or the horizon cap). The default implementation replays
+    /// the gap as the stepwise events the non-fast-forwarding loop would
+    /// have emitted — an empty [`on_select`](Self::on_select) followed by an
+    /// all-idle [`on_step`](Self::on_step) per step — so existing probes
+    /// (tracers included) observe a byte-identical event stream without
+    /// opting in. Aggregating probes override this with an O(1) batch
+    /// update (see [`Counters`]).
+    #[inline]
+    fn on_idle_gap(&mut self, t0: Time, steps: Time, m: usize) {
+        for t in t0..t0 + steps {
+            self.on_select(t, &[]);
+            self.on_step(t, StepStat { scheduled: 0, idle_procs: m, ready_depth: 0 });
+        }
+    }
+
     /// The run completed after `horizon` steps (the schedule's horizon).
     #[inline]
     fn on_finish(&mut self, horizon: Time) {
@@ -143,6 +165,10 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     #[inline]
     fn on_step(&mut self, t: Time, stat: StepStat) {
         (**self).on_step(t, stat)
+    }
+    #[inline]
+    fn on_idle_gap(&mut self, t0: Time, steps: Time, m: usize) {
+        (**self).on_idle_gap(t0, steps, m)
     }
     #[inline]
     fn on_finish(&mut self, horizon: Time) {
@@ -263,6 +289,16 @@ impl Probe for Counters {
             self.idle_steps += 1;
         }
         self.max_ready_depth = self.max_ready_depth.max(stat.ready_depth);
+    }
+
+    /// O(1) batch form of `steps` all-idle [`on_step`](Probe::on_step)s —
+    /// the whole point of the engine's idle-gap fast-forward.
+    fn on_idle_gap(&mut self, _t0: Time, steps: Time, m: usize) {
+        self.steps += steps;
+        self.idle_slots += steps * m as u64;
+        if m > 0 {
+            self.idle_steps += steps;
+        }
     }
 }
 

@@ -224,7 +224,7 @@ impl Replay {
                             picks.len()
                         )));
                     }
-                    schedule.push_step(picks.clone());
+                    schedule.extend_step(picks);
                     next_t += 1;
                 }
                 TraceEvent::Complete { t, job } => {

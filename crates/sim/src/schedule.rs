@@ -6,6 +6,13 @@
 //! the engine's online validation — every test that produces a schedule also
 //! verifies it, so engine and checker would both have to be wrong in the same
 //! way for an infeasible schedule to slip through.
+//!
+//! Internally the steps are stored in CSR (compressed sparse row) form: one
+//! flat pick array plus per-step offsets. Recording a step is a single
+//! `extend` + one offset push (no per-step `Vec`), an empty step costs one
+//! 4-byte offset, and iteration walks a contiguous buffer. The serde wire
+//! format is unchanged from the nested-`Vec` era: `{ m, steps }` with
+//! `steps` a list of `[job, node]` pair lists.
 
 use crate::instance::Instance;
 use flowtree_dag::{JobId, NodeId, Time};
@@ -18,11 +25,50 @@ use flowtree_dag::{JobId, NodeId, Time};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     m: usize,
-    /// `steps[i]` = subjobs run during time step `i + 1`.
-    steps: Vec<Vec<(JobId, NodeId)>>,
+    /// All picks, flat; step `t`'s picks are
+    /// `picks[offsets[t-1] .. offsets[t]]`.
+    picks: Vec<(JobId, NodeId)>,
+    /// CSR offsets: `offsets[0] == 0`, `offsets.len() == horizon + 1`,
+    /// monotone non-decreasing.
+    offsets: Vec<u32>,
 }
 
-serde::impl_serde_struct!(Schedule { m, steps });
+impl serde::Serialize for Schedule {
+    fn to_value(&self) -> serde::Value {
+        let steps: Vec<serde::Value> =
+            self.iter().map(|(_, picks)| serde::Serialize::to_value(&picks)).collect();
+        serde::Value::Object(vec![
+            ("m".to_string(), serde::Value::UInt(self.m as u64)),
+            ("steps".to_string(), serde::Value::Array(steps)),
+        ])
+    }
+}
+
+impl serde::Deserialize for Schedule {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = <usize as serde::Deserialize>::from_value(
+            v.get("m").ok_or_else(|| serde::Error::missing_field("m"))?,
+        )?;
+        if m == 0 {
+            return Err(serde::Error::custom("schedule has m = 0 processors"));
+        }
+        let steps: Vec<Vec<(JobId, NodeId)>> = serde::Deserialize::from_value(
+            v.get("steps").ok_or_else(|| serde::Error::missing_field("steps"))?,
+        )?;
+        let mut s = Schedule::new(m);
+        for (i, picks) in steps.iter().enumerate() {
+            if picks.len() > m {
+                return Err(serde::Error::custom(format!(
+                    "step {}: {} subjobs on {m} processors",
+                    i + 1,
+                    picks.len()
+                )));
+            }
+            s.extend_step(picks);
+        }
+        Ok(s)
+    }
+}
 
 /// Violations reported by [`Schedule::verify`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,7 +126,7 @@ impl Schedule {
     /// An empty schedule on `m` processors.
     pub fn new(m: usize) -> Self {
         assert!(m >= 1, "need at least one processor");
-        Schedule { m, steps: Vec::new() }
+        Schedule { m, picks: Vec::new(), offsets: vec![0] }
     }
 
     /// Machine capacity.
@@ -90,32 +136,58 @@ impl Schedule {
 
     /// Record that `picks` run during step `t = horizon + 1` (appended).
     pub fn push_step(&mut self, picks: Vec<(JobId, NodeId)>) {
+        self.extend_step(&picks);
+    }
+
+    /// Record that `picks` run during step `t = horizon + 1` (appended),
+    /// copying out of the caller's buffer — the allocation-free form of
+    /// [`push_step`](Self::push_step) the engine's hot loop uses.
+    pub fn extend_step(&mut self, picks: &[(JobId, NodeId)]) {
         debug_assert!(picks.len() <= self.m);
-        self.steps.push(picks);
+        self.picks.extend_from_slice(picks);
+        let end = u32::try_from(self.picks.len()).expect("schedule exceeds u32::MAX subjob slots");
+        self.offsets.push(end);
+    }
+
+    /// Append `n` empty (idle) steps in one go — O(n) offset pushes, no pick
+    /// storage. Used by the engine's idle-gap fast-forward.
+    pub fn push_empty_steps(&mut self, n: Time) {
+        let end = *self.offsets.last().expect("offsets never empty");
+        self.offsets.resize(self.offsets.len() + n as usize, end);
     }
 
     /// Replace the contents of step `t` (1-based; must be within the
     /// current horizon). Used by schedule *constructors* (e.g. the
-    /// Section 4 witness schedule) that fill non-contiguous windows.
+    /// Section 4 witness schedule) that fill non-contiguous windows; costs
+    /// O(picks beyond `t`) when the step's size changes, so fill steps
+    /// near the tail (as the witness builders do).
     pub fn replace_step(&mut self, t: Time, picks: Vec<(JobId, NodeId)>) {
-        assert!(t >= 1 && t <= self.steps.len() as Time, "step {t} out of range");
+        assert!(t >= 1 && t <= self.horizon(), "step {t} out of range");
         debug_assert!(picks.len() <= self.m);
-        self.steps[(t - 1) as usize] = picks;
+        let lo = self.offsets[(t - 1) as usize] as usize;
+        let hi = self.offsets[t as usize] as usize;
+        let delta = picks.len() as i64 - (hi - lo) as i64;
+        self.picks.splice(lo..hi, picks);
+        if delta != 0 {
+            for o in &mut self.offsets[t as usize..] {
+                *o = (*o as i64 + delta) as u32;
+            }
+        }
     }
 
     /// Largest time step with any activity (0 if empty). Trailing empty
     /// steps are retained (they represent idle time before later arrivals).
     pub fn horizon(&self) -> Time {
-        self.steps.len() as Time
+        (self.offsets.len() - 1) as Time
     }
 
     /// Subjobs run during step `t` (1-based, per the paper's convention).
     /// Empty for `t` beyond the horizon.
     pub fn at(&self, t: Time) -> &[(JobId, NodeId)] {
-        if t == 0 || t > self.steps.len() as Time {
+        if t == 0 || t > self.horizon() {
             &[]
         } else {
-            &self.steps[(t - 1) as usize]
+            &self.picks[self.offsets[(t - 1) as usize] as usize..self.offsets[t as usize] as usize]
         }
     }
 
@@ -124,9 +196,17 @@ impl Schedule {
         self.at(t).len()
     }
 
+    /// Total subjobs recorded over all steps.
+    pub fn total_picks(&self) -> usize {
+        self.picks.len()
+    }
+
     /// Iterate `(t, &picks)` over all steps.
     pub fn iter(&self) -> impl Iterator<Item = (Time, &[(JobId, NodeId)])> + '_ {
-        self.steps.iter().enumerate().map(|(i, p)| ((i + 1) as Time, p.as_slice()))
+        self.offsets
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| ((i + 1) as Time, &self.picks[w[0] as usize..w[1] as usize]))
     }
 
     /// Completion time `C_i` of each job: the max step in which one of its
@@ -197,12 +277,14 @@ impl Schedule {
     /// paper's `S_i` (Section 6) when `r = r_i`. The result is a partial
     /// schedule (verify() would report missing runs for excluded jobs).
     pub fn restrict_to_released_by(&self, instance: &Instance, r: Time) -> Schedule {
-        let steps = self
-            .steps
-            .iter()
-            .map(|picks| picks.iter().copied().filter(|&(j, _)| instance.release(j) <= r).collect())
-            .collect();
-        Schedule { m: self.m, steps }
+        let mut out = Schedule::new(self.m);
+        out.picks.reserve(self.picks.len());
+        for (_, picks) in self.iter() {
+            out.picks
+                .extend(picks.iter().copied().filter(|&(j, _)| instance.release(j) <= r));
+            out.offsets.push(out.picks.len() as u32);
+        }
+        out
     }
 }
 
@@ -241,12 +323,17 @@ mod tests {
         assert_eq!(s.load(2), 2);
         assert_eq!(s.at(0), &[]);
         assert_eq!(s.at(99), &[]);
+        assert_eq!(s.total_picks(), 5);
     }
 
     #[test]
     fn capacity_violation_detected() {
-        let mut s = Schedule::new(1);
-        s.steps.push(vec![(JobId(0), NodeId(0)), (JobId(1), NodeId(0))]);
+        // Construct the CSR fields directly: one over-full step on m = 1.
+        let s = Schedule {
+            m: 1,
+            picks: vec![(JobId(0), NodeId(0)), (JobId(1), NodeId(0))],
+            offsets: vec![0, 2],
+        };
         assert!(matches!(
             s.verify(&inst()),
             Err(FeasibilityError::CapacityExceeded { t: 1, count: 2, m: 1 })
@@ -320,11 +407,74 @@ mod tests {
     }
 
     #[test]
+    fn serde_wire_format_is_nested_steps() {
+        // The CSR layout is an internal detail: on the wire a schedule is
+        // still `{ m, steps }` with nested pick lists, byte-for-byte what
+        // the pre-CSR representation produced.
+        let s = ok_schedule();
+        assert_eq!(
+            serde_json::to_string(&s).unwrap(),
+            r#"{"m":2,"steps":[[[0,0]],[[0,1],[1,0]],[[1,1],[1,2]]]}"#
+        );
+        // And a hand-written legacy document still loads.
+        let legacy = r#"{"m":2,"steps":[[[0,0]],[],[[0,1]]]}"#;
+        let back: Schedule = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.horizon(), 3);
+        assert_eq!(back.at(1), &[(JobId(0), NodeId(0))]);
+        assert_eq!(back.load(2), 0);
+        assert_eq!(back.at(3), &[(JobId(0), NodeId(1))]);
+    }
+
+    #[test]
+    fn serde_rejects_overfull_step() {
+        let overfull = r#"{"m":1,"steps":[[[0,0],[1,0]]]}"#;
+        assert!(serde_json::from_str::<Schedule>(overfull).is_err());
+        let no_procs = r#"{"m":0,"steps":[]}"#;
+        assert!(serde_json::from_str::<Schedule>(no_procs).is_err());
+    }
+
+    #[test]
+    fn extend_and_empty_steps_maintain_csr() {
+        let mut s = Schedule::new(3);
+        s.extend_step(&[(JobId(0), NodeId(0))]);
+        s.push_empty_steps(4);
+        s.extend_step(&[(JobId(0), NodeId(1)), (JobId(0), NodeId(2))]);
+        assert_eq!(s.horizon(), 6);
+        assert_eq!(s.at(1), &[(JobId(0), NodeId(0))]);
+        for t in 2..=5 {
+            assert_eq!(s.load(t), 0);
+        }
+        assert_eq!(s.at(6).len(), 2);
+        assert_eq!(s.total_picks(), 3);
+        let collected: Vec<usize> = s.iter().map(|(_, p)| p.len()).collect();
+        assert_eq!(collected, vec![1, 0, 0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn replace_step_shifts_following_offsets() {
+        let mut s = Schedule::new(2);
+        s.push_step(vec![(JobId(0), NodeId(0))]);
+        s.push_step(vec![]);
+        s.push_step(vec![(JobId(1), NodeId(1))]);
+        // Grow the middle step; the tail step must stay intact.
+        s.replace_step(2, vec![(JobId(0), NodeId(1)), (JobId(1), NodeId(0))]);
+        assert_eq!(s.at(1), &[(JobId(0), NodeId(0))]);
+        assert_eq!(s.at(2), &[(JobId(0), NodeId(1)), (JobId(1), NodeId(0))]);
+        assert_eq!(s.at(3), &[(JobId(1), NodeId(1))]);
+        // Shrink it again.
+        s.replace_step(2, vec![]);
+        assert_eq!(s.load(2), 0);
+        assert_eq!(s.at(3), &[(JobId(1), NodeId(1))]);
+        assert_eq!(s.horizon(), 3);
+    }
+
+    #[test]
     fn restriction_filters_late_jobs() {
         let s = ok_schedule();
         let r = s.restrict_to_released_by(&inst(), 0);
         assert_eq!(r.load(2), 1); // star root filtered out
         assert_eq!(r.load(3), 0);
         assert_eq!(r.at(2), &[(JobId(0), NodeId(1))]);
+        assert_eq!(r.horizon(), s.horizon());
     }
 }

@@ -38,7 +38,10 @@ pub struct SimView<'a> {
 }
 
 impl<'a> SimView<'a> {
-    pub(crate) fn new(
+    /// Assemble a view over explicit simulation state. The engine builds one
+    /// per scheduler callback; reference engines and differential tests
+    /// driving a [`SimState`](crate::state::SimState) by hand can too.
+    pub fn new(
         instance: &'a Instance,
         state: &'a SimState,
         m: usize,
@@ -125,8 +128,21 @@ pub struct Selection {
 }
 
 impl Selection {
-    pub(crate) fn new(capacity: usize) -> Self {
+    /// An empty selection with room for `capacity` picks. The engine keeps
+    /// one per run and [`clear`](Self::clear)s it each step, so the hot loop
+    /// never allocates; external drivers can construct their own.
+    pub fn new(capacity: usize) -> Self {
         Selection { picks: Vec::new(), capacity }
+    }
+
+    /// Drop all picks, keeping the allocation (capacity is unchanged).
+    pub fn clear(&mut self) {
+        self.picks.clear();
+    }
+
+    /// The picks pushed so far, in push order.
+    pub fn picks(&self) -> &[(JobId, NodeId)] {
+        &self.picks
     }
 
     /// Schedule `(job, node)` for the coming step. Returns `false` (and
@@ -152,10 +168,6 @@ impl Selection {
     /// Nothing selected yet?
     pub fn is_empty(&self) -> bool {
         self.picks.is_empty()
-    }
-
-    pub(crate) fn into_picks(self) -> Vec<(JobId, NodeId)> {
-        self.picks
     }
 }
 
@@ -240,7 +252,10 @@ mod tests {
         assert!(!sel.push(JobId(0), NodeId(2)));
         assert_eq!(sel.len(), 2);
         assert_eq!(sel.remaining(), 0);
-        assert_eq!(sel.into_picks().len(), 2);
+        assert_eq!(sel.picks(), &[(JobId(0), NodeId(0)), (JobId(0), NodeId(1))]);
+        sel.clear();
+        assert!(sel.is_empty());
+        assert_eq!(sel.remaining(), 2); // capacity survives a clear
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub struct SimState {
     finished_jobs: usize,
     /// Monotone became-ready counter (next stamp to hand out).
     next_seq: u64,
+    /// Ready subjobs over all jobs, maintained incrementally (finished and
+    /// unreleased jobs contribute zero, so this equals the sum over alive).
+    total_ready: usize,
 }
 
 impl SimState {
@@ -71,30 +74,49 @@ impl SimState {
             next_release: 0,
             finished_jobs: 0,
             next_seq: 1,
+            total_ready: 0,
         }
     }
 
+    /// Release the next job by arrival order if its release time is `<= t`.
+    /// Returns `None` when no release is due — the peek costs nothing, so
+    /// the engine's loop pays no allocation on the (overwhelmingly common)
+    /// no-release step. Roots of the released job become ready.
+    pub fn release_one(&mut self, instance: &Instance, t: Time) -> Option<JobId> {
+        if self.next_release >= instance.num_jobs()
+            || instance.jobs()[self.next_release].release > t
+        {
+            return None;
+        }
+        let id = JobId(self.next_release as u32);
+        let js = &mut self.jobs[self.next_release];
+        js.released = true;
+        for v in instance.graph(id).sources() {
+            js.pos[v.index()] = js.ready.len() as u32;
+            js.seq[v.index()] = self.next_seq;
+            self.next_seq += 1;
+            js.ready.push(v.0);
+            self.total_ready += 1;
+        }
+        self.alive.push(id);
+        self.next_release += 1;
+        Some(id)
+    }
+
     /// Release every job with `release <= t` that is not yet released.
-    /// Returns the ids released now (in arrival order). Roots become ready.
+    /// Returns the ids released now (in arrival order).
     pub fn release_due(&mut self, instance: &Instance, t: Time) -> Vec<JobId> {
         let mut out = Vec::new();
-        while self.next_release < instance.num_jobs()
-            && instance.jobs()[self.next_release].release <= t
-        {
-            let id = JobId(self.next_release as u32);
-            let js = &mut self.jobs[self.next_release];
-            js.released = true;
-            for v in instance.graph(id).sources() {
-                js.pos[v.index()] = js.ready.len() as u32;
-                js.seq[v.index()] = self.next_seq;
-                self.next_seq += 1;
-                js.ready.push(v.0);
-            }
-            self.alive.push(id);
+        while let Some(id) = self.release_one(instance, t) {
             out.push(id);
-            self.next_release += 1;
         }
         out
+    }
+
+    /// Release time of the next unreleased job (`None` when all released).
+    /// Releases are sorted, so this is the earliest pending arrival.
+    pub fn next_release_time(&self, instance: &Instance) -> Option<Time> {
+        instance.jobs().get(self.next_release).map(|j| j.release)
     }
 
     /// Complete `(job, node)` at time `t` (it ran during step `t`): record
@@ -116,6 +138,7 @@ impl SimState {
             js.pos[js.ready[p] as usize] = p as u32;
         }
         js.pos[vi] = NOT_READY;
+        self.total_ready -= 1;
 
         js.completion[vi] = t;
         js.unfinished -= 1;
@@ -130,6 +153,7 @@ impl SimState {
                 js.seq[ci] = self.next_seq;
                 self.next_seq += 1;
                 js.ready.push(c);
+                self.total_ready += 1;
             }
         }
     }
@@ -181,9 +205,10 @@ impl SimState {
         self.jobs[job.index()].released
     }
 
-    /// Total ready subjobs over all alive jobs.
+    /// Total ready subjobs over all alive jobs — an incrementally maintained
+    /// counter, O(1) per call (it used to be an O(alive) per-step sum).
     pub fn total_ready(&self) -> usize {
-        self.alive.iter().map(|j| self.jobs[j.index()].ready.len()).sum()
+        self.total_ready
     }
 
     /// Are all jobs finished?
@@ -294,6 +319,46 @@ mod tests {
         let mut st = SimState::new(&inst);
         st.release_due(&inst, 2);
         assert_eq!(st.total_ready(), 2);
+    }
+
+    /// The incremental counter must agree with a from-scratch sum over the
+    /// alive jobs' ready lists after every kind of mutation.
+    #[test]
+    fn total_ready_counter_matches_recomputed_sum() {
+        let recompute =
+            |st: &SimState| -> usize { st.alive().iter().map(|&j| st.ready(j).len()).sum() };
+        let inst = Instance::new(vec![
+            JobSpec { graph: star(3), release: 0 },
+            JobSpec { graph: chain(3), release: 1 },
+        ]);
+        let mut st = SimState::new(&inst);
+        assert_eq!(st.total_ready(), 0);
+        st.release_due(&inst, 0);
+        assert_eq!(st.total_ready(), recompute(&st));
+        st.complete(&inst, JobId(0), NodeId(0), 1); // star root: 3 leaves appear
+        assert_eq!(st.total_ready(), recompute(&st));
+        assert_eq!(st.total_ready(), 3);
+        st.release_due(&inst, 1);
+        assert_eq!(st.total_ready(), 4);
+        st.complete(&inst, JobId(0), NodeId(1), 2);
+        st.complete(&inst, JobId(0), NodeId(2), 2);
+        st.complete(&inst, JobId(0), NodeId(3), 2);
+        st.prune_alive();
+        assert_eq!(st.total_ready(), recompute(&st));
+        assert_eq!(st.total_ready(), 1); // chain head only
+    }
+
+    #[test]
+    fn release_one_peeks_without_allocating() {
+        let inst = two_job_instance();
+        let mut st = SimState::new(&inst);
+        assert_eq!(st.next_release_time(&inst), Some(0));
+        assert_eq!(st.release_one(&inst, 0), Some(JobId(0)));
+        assert_eq!(st.release_one(&inst, 0), None); // job 1 releases at 2
+        assert_eq!(st.next_release_time(&inst), Some(2));
+        assert_eq!(st.release_one(&inst, 2), Some(JobId(1)));
+        assert_eq!(st.release_one(&inst, 99), None);
+        assert_eq!(st.next_release_time(&inst), None);
     }
 
     #[test]

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Engine-throughput benchmark trajectory: builds the release CLI and writes
+# BENCH_engine.json at the repo root (diff it across PRs). Extra flags are
+# passed through to `flowtree-repro bench` (e.g. --quick, --reps N).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release -p flowtree-cli"
+cargo build --release -p flowtree-cli
+
+echo "==> flowtree-repro bench $* -o BENCH_engine.json"
+target/release/flowtree-repro bench "$@" -o BENCH_engine.json

@@ -18,4 +18,8 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> bench smoke (--quick)"
+cargo run --release -p flowtree-cli -- bench --quick -o /tmp/flowtree_bench_smoke.json >/dev/null
+rm -f /tmp/flowtree_bench_smoke.json
+
 echo "CI OK"
