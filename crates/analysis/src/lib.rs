@@ -14,7 +14,10 @@
 //! * [`sweep`] — parallel parameter sweeps over scoped threads with
 //!   crossbeam channels (no shared mutable state);
 //! * [`ratio`] — run-scheduler-measure-ratio helpers used by most
-//!   experiments.
+//!   experiments;
+//! * [`summary`] — one-run observability reports ([`RunSummary`]): counters,
+//!   certified bounds and ratio, invariant verdicts, and histogram summaries
+//!   from the `flowtree-sim` monitor/histogram probe stack.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,10 +27,12 @@ pub mod plot;
 pub mod ratio;
 pub mod report;
 pub mod section6;
+pub mod summary;
 pub mod sweep;
 pub mod table;
 
 pub use report::Report;
+pub use summary::{summarize, RunSummary};
 pub use table::Table;
 
 /// Effort level for experiments: `Quick` keeps every experiment under a few

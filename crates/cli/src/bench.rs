@@ -11,11 +11,19 @@
 //! flowtree-repro bench                      # full workloads -> BENCH_engine.json
 //! flowtree-repro bench --quick -o /tmp/b.json   # CI smoke: small + fast
 //! flowtree-repro bench --reps 9             # more repeats per cell
+//! flowtree-repro bench --quick --check BENCH_engine.json -o /tmp/b.json
+//!                                           # regression gate vs a baseline
 //! ```
 //!
 //! Each entry records every wall time observed; `subjobs_per_sec` uses the
-//! *best* repeat (least interference). No thresholds are enforced here —
-//! hardware varies; the trajectory is for human/PR-level diffing.
+//! *best* repeat (least interference). Without `--check` no thresholds are
+//! enforced — hardware varies; the trajectory is for human/PR-level
+//! diffing. With `--check BASELINE` the run exits nonzero when any cell
+//! whose (workload, scheduler, m, total_subjobs) identity also appears in
+//! the baseline lost more than 25% throughput; a failing comparison is
+//! re-measured from scratch up to two more times first, so transient
+//! machine load doesn't fail the gate while a real engine regression
+//! (which survives every attempt) still does.
 
 use flowtree_core::SchedulerSpec;
 use flowtree_sim::{Engine, Instance, JobSpec};
@@ -37,9 +45,35 @@ struct Workload {
     ms: &'static [usize],
 }
 
+/// The `--quick` workloads, also part of the full matrix under the same
+/// names — so a committed full-run baseline contains cells a quick CI run
+/// can compare against with `--check`. Sized so every cell runs for about a
+/// millisecond: much smaller and a best-of-N wall time is dominated by
+/// scheduler/OS noise, making the `--check` gate flaky.
+const MINI_STREAM: Workload = Workload {
+    name: "stream-mini",
+    jobs: 96,
+    job_size: 128,
+    spread: 4,
+    schedulers: &["fifo", "lpf"],
+    ms: &[8, 64],
+};
+
+/// Sparse counterpart of [`MINI_STREAM`] (exercises the idle-gap fast path).
+const MINI_SPARSE: Workload = Workload {
+    name: "sparse-mini",
+    jobs: 96,
+    job_size: 128,
+    spread: 1024,
+    schedulers: &["fifo"],
+    ms: &[8],
+};
+
 /// The full benchmark matrix. `stream` is the dense arrival stream used by
 /// the acceptance measurement (64 × 256 at m = 256); `sparse` spaces
-/// releases far apart so most simulated steps are idle gaps.
+/// releases far apart so most simulated steps are idle gaps; the mini
+/// workloads are the `--quick` cells, included so the committed baseline
+/// covers them.
 const FULL: &[Workload] = &[
     Workload {
         name: "stream",
@@ -57,28 +91,13 @@ const FULL: &[Workload] = &[
         schedulers: &["fifo"],
         ms: &[8, 256],
     },
+    MINI_STREAM,
+    MINI_SPARSE,
 ];
 
 /// Reduced matrix for `--quick` (CI smoke): completes in well under a
 /// second while still touching both workload shapes.
-const QUICK: &[Workload] = &[
-    Workload {
-        name: "stream",
-        jobs: 16,
-        job_size: 64,
-        spread: 4,
-        schedulers: &["fifo", "lpf"],
-        ms: &[8, 64],
-    },
-    Workload {
-        name: "sparse",
-        jobs: 16,
-        job_size: 64,
-        spread: 512,
-        schedulers: &["fifo"],
-        ms: &[8],
-    },
-];
+const QUICK: &[Workload] = &[MINI_STREAM, MINI_SPARSE];
 
 /// Seed for the workload generator — fixed so the trajectory compares the
 /// same instances across PRs (matches the criterion bench's stream).
@@ -89,6 +108,8 @@ struct Opts {
     out: String,
     reps: usize,
     warmup: usize,
+    /// Baseline path to compare against; exit nonzero on regression.
+    check: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -97,31 +118,37 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         out: "BENCH_engine.json".to_string(),
         reps: 0,
         warmup: 0,
+        check: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => o.quick = true,
             "-o" => o.out = it.next().ok_or("-o needs a path")?.clone(),
-            "--reps" => {
-                o.reps = it.next().and_then(|v| v.parse().ok()).ok_or("--reps needs a number")?
-            }
-            "--warmup" => {
-                o.warmup =
-                    it.next().and_then(|v| v.parse().ok()).ok_or("--warmup needs a number")?
-            }
+            "--reps" => o.reps = crate::scenario::parse_num(&mut it, "--reps")?,
+            "--warmup" => o.warmup = crate::scenario::parse_num(&mut it, "--warmup")?,
+            "--check" => o.check = Some(it.next().ok_or("--check needs a baseline path")?.clone()),
             other => {
                 return Err(format!(
                     "unknown bench option '{other}'\n\
-                     usage: flowtree-repro bench [--quick] [--reps N] [--warmup N] [-o FILE]"
+                     usage: flowtree-repro bench [--quick] [--reps N] [--warmup N] \
+                     [--check BASELINE] [-o FILE]"
                 ))
             }
         }
     }
     if o.reps == 0 {
-        o.reps = if o.quick { 2 } else { 5 };
+        // Gated runs take more repeats: the 25% regression threshold needs a
+        // stable best-of.
+        o.reps = if o.check.is_some() {
+            15
+        } else if o.quick {
+            2
+        } else {
+            5
+        };
     }
-    if o.warmup == 0 && !o.quick {
+    if o.warmup == 0 && (!o.quick || o.check.is_some()) {
         o.warmup = 1;
     }
     Ok(o)
@@ -230,7 +257,93 @@ fn run_matrix(o: &Opts) -> Result<Value, String> {
     ]))
 }
 
-/// Run `bench [--quick] [--reps N] [--warmup N] [-o FILE]`.
+/// Identity of one bench cell — entries are comparable across runs iff all
+/// four fields match (same instances via the fixed seed).
+fn cell_key(e: &Value) -> Option<(String, String, u64, u64)> {
+    Some((
+        e.get("workload")?.as_str()?.to_string(),
+        e.get("scheduler")?.as_str()?.to_string(),
+        e.get("m")?.as_u64()?,
+        e.get("total_subjobs")?.as_u64()?,
+    ))
+}
+
+/// Regression tolerance: a cell fails when its throughput drops below this
+/// fraction of the baseline's.
+const CHECK_FLOOR: f64 = 0.75;
+
+/// A parsed baseline: comparable cell identities with their throughputs.
+type Baseline = Vec<((String, String, u64, u64), f64)>;
+
+/// Load and validate the baseline trajectory at `path`. Failures here are
+/// configuration errors, not measurement noise — the caller fails fast
+/// instead of re-measuring.
+fn load_baseline(path: &str) -> Result<Baseline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
+    let base: Value = serde_json::from_str(&text).map_err(|e| format!("baseline {path}: {e}"))?;
+    if base.get("schema").and_then(Value::as_str) != Some("flowtree-bench-v1") {
+        return Err(format!("baseline {path}: not a flowtree-bench-v1 document"));
+    }
+    let base_entries = base
+        .get("entries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("baseline {path}: missing entries array"))?;
+    Ok(base_entries
+        .iter()
+        .filter_map(|e| Some((cell_key(e)?, e.get("subjobs_per_sec")?.as_f64()?)))
+        .collect())
+}
+
+/// Compare `doc` against a loaded baseline; error (nonzero exit) when any
+/// comparable cell's `subjobs_per_sec` regressed by more than 25%, or when
+/// no cell is comparable at all.
+fn check_regressions(doc: &Value, baseline: &Baseline, path: &str) -> Result<(), String> {
+    let mut compared = 0usize;
+    let mut regressions: Vec<String> = Vec::new();
+    for e in doc.get("entries").and_then(Value::as_array).into_iter().flatten() {
+        let (Some(key), Some(cur)) =
+            (cell_key(e), e.get("subjobs_per_sec").and_then(Value::as_f64))
+        else {
+            continue;
+        };
+        let Some(&(_, base_rate)) = baseline.iter().find(|(k, _)| *k == key) else {
+            continue;
+        };
+        compared += 1;
+        if cur < CHECK_FLOOR * base_rate {
+            regressions.push(format!(
+                "  {}/{} m={}: {:.0} subjobs/s vs baseline {:.0} ({:.0}%)",
+                key.0,
+                key.1,
+                key.2,
+                cur,
+                base_rate,
+                100.0 * cur / base_rate
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err(format!(
+            "bench check: no cell in this run matches the baseline {path} \
+             (workload/scheduler/m/total_subjobs all must agree)"
+        ));
+    }
+    if !regressions.is_empty() {
+        return Err(format!(
+            "bench check FAILED: {} of {compared} cells regressed >{:.0}% vs {path}:\n{}",
+            regressions.len(),
+            100.0 * (1.0 - CHECK_FLOOR),
+            regressions.join("\n")
+        ));
+    }
+    println!(
+        "bench check: {compared} cells within {:.0}% of {path}",
+        100.0 * (1.0 - CHECK_FLOOR)
+    );
+    Ok(())
+}
+
+/// Run `bench [--quick] [--reps N] [--warmup N] [--check BASELINE] [-o FILE]`.
 pub fn run(args: &[String]) -> Result<(), String> {
     let o = parse_opts(args)?;
     let doc = run_matrix(&o)?;
@@ -248,6 +361,30 @@ pub fn run(args: &[String]) -> Result<(), String> {
         .map(|a| a.len())
         .ok_or_else(|| format!("{}: missing entries array", o.out))?;
     eprintln!("wrote {n} bench entries to {}", o.out);
+    if let Some(path) = &o.check {
+        let baseline = load_baseline(path)?;
+        // A gate on wall time is at the mercy of transient machine load
+        // (CI runs it right after the test suite). Re-measure from scratch
+        // before failing: only a regression that survives every fresh
+        // attempt is reported. The passing attempt's document is what
+        // stays written to `-o`.
+        const ATTEMPTS: usize = 3;
+        let mut verdict = check_regressions(&doc, &baseline, path);
+        for attempt in 2..=ATTEMPTS {
+            if verdict.is_ok() {
+                break;
+            }
+            eprintln!(
+                "{}\nre-measuring (attempt {attempt}/{ATTEMPTS})…",
+                verdict.as_ref().unwrap_err()
+            );
+            let doc = run_matrix(&o)?;
+            let json = serde_json::to_string_pretty(&doc).map_err(|e| format!("serialize: {e}"))?;
+            std::fs::write(&o.out, &json).map_err(|e| format!("write {}: {e}", o.out))?;
+            verdict = check_regressions(&doc, &baseline, path);
+        }
+        verdict?;
+    }
     Ok(())
 }
 
@@ -255,9 +392,19 @@ pub fn run(args: &[String]) -> Result<(), String> {
 mod tests {
     use super::*;
 
+    fn quick_opts() -> Opts {
+        Opts {
+            quick: true,
+            out: String::new(),
+            reps: 1,
+            warmup: 0,
+            check: None,
+        }
+    }
+
     #[test]
     fn quick_matrix_produces_valid_entries() {
-        let o = Opts { quick: true, out: String::new(), reps: 1, warmup: 0 };
+        let o = quick_opts();
         let doc = run_matrix(&o).unwrap();
         let entries = doc.get("entries").unwrap().as_array().unwrap();
         // 2 schedulers x 2 m's on stream + 1 x 1 on sparse.
@@ -280,5 +427,65 @@ mod tests {
         assert_eq!(o.reps, 3);
         assert!(parse_opts(&["--frobnicate".into()]).is_err());
         assert!(parse_opts(&["--reps".into()]).is_err());
+    }
+
+    #[test]
+    fn check_implies_more_repeats_and_warmup() {
+        let o = parse_opts(&["--quick".into(), "--check".into(), "b.json".into()]).unwrap();
+        assert_eq!(o.check.as_deref(), Some("b.json"));
+        assert_eq!(o.reps, 15);
+        assert_eq!(o.warmup, 1);
+        // Explicit --reps still wins over the gate default.
+        let o =
+            parse_opts(&["--check".into(), "b.json".into(), "--reps".into(), "2".into()]).unwrap();
+        assert_eq!(o.reps, 2);
+    }
+
+    /// Build a one-entry bench document with the given throughput, shaped
+    /// like `run_matrix` output.
+    fn doc_with_rate(rate: f64) -> Value {
+        Value::Object(vec![
+            ("schema".into(), Value::Str("flowtree-bench-v1".into())),
+            (
+                "entries".into(),
+                Value::Array(vec![Value::Object(vec![
+                    ("workload".into(), Value::Str("stream-mini".into())),
+                    ("scheduler".into(), Value::Str("fifo".into())),
+                    ("m".into(), Value::UInt(8)),
+                    ("total_subjobs".into(), Value::UInt(4096)),
+                    ("subjobs_per_sec".into(), Value::Float(rate)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn check_passes_within_threshold_and_fails_past_it() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("flowtree_bench_check_test.json");
+        let path = path.to_str().unwrap();
+        std::fs::write(path, serde_json::to_string(&doc_with_rate(1000.0)).unwrap()).unwrap();
+        let baseline = load_baseline(path).unwrap();
+        assert_eq!(baseline.len(), 1);
+
+        // 80% of baseline: inside the 25% tolerance.
+        check_regressions(&doc_with_rate(800.0), &baseline, path).unwrap();
+        // 50% of baseline: a regression.
+        let err = check_regressions(&doc_with_rate(500.0), &baseline, path).unwrap_err();
+        assert!(err.contains("FAILED"), "{err}");
+        assert!(err.contains("stream-mini"), "{err}");
+
+        // A run with no comparable cells must also fail loudly.
+        let mut other = doc_with_rate(1000.0);
+        if let Value::Object(fields) = &mut other {
+            fields.retain(|(k, _)| k.as_str() != "entries");
+            fields.push(("entries".into(), Value::Array(vec![])));
+        }
+        assert!(check_regressions(&other, &baseline, path).unwrap_err().contains("no cell"));
+
+        // An unreadable or schema-less baseline is a configuration error.
+        assert!(load_baseline("/nonexistent/flowtree.json").is_err());
+
+        std::fs::remove_file(path).ok();
     }
 }

@@ -9,8 +9,10 @@
 //! flowtree-repro gen adversary -m 16 --jobs 20 -o inst.json
 //! flowtree-repro simulate guess-double inst.json -m 16 --gantt --dump sched.json
 //! flowtree-repro verify inst.json sched.json
-//! flowtree-repro trace service --scheduler lpf -m 8 -o run.jsonl
+//! flowtree-repro trace service --scheduler lpf -m 8 --compact-idle -o run.jsonl
 //! flowtree-repro stats service --scheduler lpf -m 8
+//! flowtree-repro report sort-farm --scheduler lpf --jobs 1 --format json
+//! flowtree-repro bench --quick --check BENCH_engine.json -o /tmp/b.json
 //! ```
 
 use flowtree_analysis::{experiments, Effort};
@@ -18,6 +20,8 @@ use std::process::ExitCode;
 
 mod bench;
 mod gen;
+mod report;
+mod scenario;
 mod simulate;
 mod trace;
 
@@ -25,9 +29,10 @@ fn usage() -> &'static str {
     "usage: flowtree-repro [--full] [--csv DIR] [--list] [e1..e16 | all]...\n\
      \u{20}      flowtree-repro gen <family> [-m M] [--jobs N] [--seed S] [-o FILE]\n\
      \u{20}      flowtree-repro simulate <scheduler> <instance.json> [-m M] [--gantt]\n\
-     \u{20}      flowtree-repro trace <scenario> [--scheduler S] [-m M] [-o FILE]\n\
+     \u{20}      flowtree-repro trace <scenario> [--scheduler S] [-m M] [--compact-idle] [-o FILE]\n\
      \u{20}      flowtree-repro stats <scenario> [--scheduler S] [-m M]\n\
-     \u{20}      flowtree-repro bench [--quick] [--reps N] [-o FILE]\n\
+     \u{20}      flowtree-repro report <scenario> [--scheduler S] [-m M] [--format json|md]\n\
+     \u{20}      flowtree-repro bench [--quick] [--reps N] [--check BASELINE] [-o FILE]\n\
      Runs the reproduction experiments for 'Scheduling Out-Trees Online to\n\
      Optimize Maximum Flow' (SPAA 2024) and prints markdown reports."
 }
@@ -65,6 +70,15 @@ fn main() -> ExitCode {
         }
         Some("stats") => {
             return match trace::run_stats(&raw[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("report") => {
+            return match report::run(&raw[1..]) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("{e}");

@@ -1,0 +1,107 @@
+//! `flowtree-repro report` — run one scenario × scheduler with the full
+//! monitor/histogram probe stack attached and render the resulting
+//! [`RunSummary`](flowtree_analysis::RunSummary) as JSON or markdown.
+//!
+//! ```text
+//! flowtree-repro report sort-farm --scheduler lpf --jobs 1 --format json
+//! flowtree-repro report service --scheduler fifo -m 16 -o report.md
+//! ```
+
+use crate::scenario::ScenarioOpts;
+use flowtree_core::SchedulerSpec;
+use std::io::Write;
+
+/// Run `report <scenario> [--format json|md]`.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut format = "md".to_string();
+    let o =
+        ScenarioOpts::parse_with("report", args, true, " [--format json|md]", &mut |flag, it| {
+            if flag == "--format" {
+                format = it.next().ok_or("--format needs json or md")?.clone();
+                return Ok(true);
+            }
+            Ok(false)
+        })?;
+    let text = render(&o, &format)?;
+    match &o.out {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote report to {path}");
+        }
+        None => {
+            std::io::stdout()
+                .write_all(text.as_bytes())
+                .map_err(|e| format!("stdout: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Build the summary for `o` and render it in `format`.
+fn render(o: &ScenarioOpts, format: &str) -> Result<String, String> {
+    let instance = o.build_instance()?;
+    let spec = SchedulerSpec::parse(&o.scheduler, o.half)?;
+    let summary = flowtree_analysis::summarize(&o.scenario, &instance, o.m, spec)?;
+    match format {
+        "json" => {
+            let mut json =
+                serde_json::to_string_pretty(&summary).map_err(|e| format!("serialize: {e}"))?;
+            json.push('\n');
+            Ok(json)
+        }
+        "md" | "markdown" => Ok(summary.to_markdown()),
+        other => Err(format!("unknown --format '{other}' (expected json or md)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    /// The ISSUE's acceptance criterion: LPF on a single-job scenario
+    /// reports competitive ratio exactly 1.0 in the JSON output.
+    #[test]
+    fn lpf_single_job_reports_ratio_exactly_one() {
+        let o = ScenarioOpts {
+            scenario: "sort-farm".into(),
+            scheduler: "lpf".into(),
+            jobs: 1,
+            ..ScenarioOpts::default()
+        };
+        let json = render(&o, "json").unwrap();
+        let v: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v.get("ratio").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(v.get("jobs").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            v.get("max_flow").and_then(Value::as_u64),
+            v.get("lower_bound").and_then(Value::as_u64)
+        );
+        assert_eq!(v.get("invariants_clean").and_then(|b| b.as_bool()), Some(true));
+    }
+
+    #[test]
+    fn markdown_format_renders_for_every_registry_scheduler() {
+        for &name in flowtree_core::SCHEDULER_NAMES {
+            let o = ScenarioOpts {
+                scenario: "service".into(),
+                scheduler: name.into(),
+                jobs: 6,
+                m: 4,
+                ..ScenarioOpts::default()
+            };
+            let md = render(&o, "md").unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(md.contains("competitive ratio"), "{name}");
+        }
+    }
+
+    #[test]
+    fn bad_format_is_an_error() {
+        let o = ScenarioOpts {
+            scenario: "service".into(),
+            jobs: 2,
+            ..ScenarioOpts::default()
+        };
+        assert!(render(&o, "xml").is_err());
+    }
+}

@@ -1,82 +1,16 @@
 //! `flowtree-repro trace` / `flowtree-repro stats` — run a scheduler on a
 //! scenario preset and stream a JSONL event trace (or print the aggregate
-//! counters the probe subsystem collects).
+//! counters the probe subsystem collects). Option parsing and instance
+//! construction are shared with `report` via [`crate::scenario`].
 
-use flowtree_core::{SchedulerSpec, SCHEDULER_NAMES};
+use crate::scenario::ScenarioOpts;
+use flowtree_core::SchedulerSpec;
 use flowtree_sim::{Engine, Instance, JsonlTrace, RunReport};
-use flowtree_workloads::mix::Scenario;
 use std::io::Write;
 
-/// Options shared by `trace` and `stats`.
-struct Opts {
-    scenario: String,
-    scheduler: String,
-    m: usize,
-    jobs: usize,
-    seed: u64,
-    half: u64,
-    out: Option<String>,
-}
-
-fn parse_opts(cmd: &str, args: &[String], allow_out: bool) -> Result<Opts, String> {
-    let mut o = Opts {
-        scenario: String::new(),
-        scheduler: "fifo".to_string(),
-        m: 8,
-        jobs: 16,
-        seed: 42,
-        half: 8,
-        out: None,
-    };
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "-m" => o.m = it.next().and_then(|v| v.parse().ok()).ok_or("-m needs a number")?,
-            "--jobs" => {
-                o.jobs = it.next().and_then(|v| v.parse().ok()).ok_or("--jobs needs a number")?
-            }
-            "--seed" => {
-                o.seed = it.next().and_then(|v| v.parse().ok()).ok_or("--seed needs a number")?
-            }
-            "--half" => {
-                o.half = it.next().and_then(|v| v.parse().ok()).ok_or("--half needs a number")?
-            }
-            "--scheduler" => o.scheduler = it.next().ok_or("--scheduler needs a name")?.clone(),
-            "-o" if allow_out => o.out = Some(it.next().ok_or("-o needs a path")?.clone()),
-            v if !v.starts_with('-') && o.scenario.is_empty() => o.scenario = v.to_string(),
-            other => return Err(format!("unknown {cmd} option '{other}'")),
-        }
-    }
-    if o.scenario.is_empty() {
-        let out = if allow_out { " [-o FILE]" } else { "" };
-        return Err(format!(
-            "usage: flowtree-repro {cmd} <scenario> [--scheduler S] [-m M] [--jobs N] \
-             [--seed S] [--half H]{out}\n\
-             scenarios: {}\n\
-             schedulers: {}",
-            scenario_names().join(", "),
-            SCHEDULER_NAMES.join(", ")
-        ));
-    }
-    Ok(o)
-}
-
-fn scenario_names() -> Vec<&'static str> {
-    Scenario::presets(1).iter().map(|s| s.name).collect()
-}
-
-fn build_instance(o: &Opts) -> Result<Instance, String> {
-    let scenario = Scenario::presets(o.jobs)
-        .into_iter()
-        .find(|s| s.name == o.scenario)
-        .ok_or_else(|| {
-            format!("unknown scenario '{}'; known: {}", o.scenario, scenario_names().join(", "))
-        })?;
-    Ok(scenario.instantiate(&mut flowtree_workloads::rng(o.seed)))
-}
-
-fn run_engine(
-    o: &Opts,
+/// Run one engine simulation for `o`, optionally traced, and verify it.
+pub fn run_engine(
+    o: &ScenarioOpts,
     instance: &Instance,
     trace: Option<&mut JsonlTrace<Vec<u8>>>,
 ) -> Result<RunReport, String> {
@@ -92,11 +26,18 @@ fn run_engine(
 }
 
 /// Run `trace <scenario>`: emit the JSONL event stream of one run to stdout
-/// (or `-o FILE`).
+/// (or `-o FILE`). `--compact-idle` folds fast-forwarded idle gaps into
+/// single `idle` records.
 pub fn run_trace(args: &[String]) -> Result<(), String> {
-    let o = parse_opts("trace", args, true)?;
-    let instance = build_instance(&o)?;
-    let (jsonl, _report) = trace_run(&o, &instance)?;
+    let mut compact = false;
+    let o = ScenarioOpts::parse_with("trace", args, true, " [--compact-idle]", &mut |flag, _| {
+        Ok(flag == "--compact-idle" && {
+            compact = true;
+            true
+        })
+    })?;
+    let instance = o.build_instance()?;
+    let (jsonl, _report) = trace_run(&o, &instance, compact)?;
     match &o.out {
         Some(path) => {
             std::fs::write(path, &jsonl).map_err(|e| format!("write {path}: {e}"))?;
@@ -112,8 +53,12 @@ pub fn run_trace(args: &[String]) -> Result<(), String> {
 }
 
 /// Run one traced simulation, returning the JSONL text and the report.
-fn trace_run(o: &Opts, instance: &Instance) -> Result<(String, RunReport), String> {
-    let mut trace = JsonlTrace::new(Vec::new());
+fn trace_run(
+    o: &ScenarioOpts,
+    instance: &Instance,
+    compact: bool,
+) -> Result<(String, RunReport), String> {
+    let mut trace = JsonlTrace::new(Vec::new()).compact_idle(compact);
     let report = run_engine(o, instance, Some(&mut trace))?;
     let buf = trace.finish().map_err(|e| format!("trace error: {e}"))?;
     let jsonl = String::from_utf8(buf).expect("trace emits UTF-8");
@@ -122,8 +67,8 @@ fn trace_run(o: &Opts, instance: &Instance) -> Result<(String, RunReport), Strin
 
 /// Run `stats <scenario>`: print the aggregate counters of one run.
 pub fn run_stats(args: &[String]) -> Result<(), String> {
-    let o = parse_opts("stats", args, false)?;
-    let instance = build_instance(&o)?;
+    let o = ScenarioOpts::parse("stats", args, false)?;
+    let instance = o.build_instance()?;
     let report = run_engine(&o, &instance, None)?;
     let c = &report.counters;
     println!("scenario        : {}", o.scenario);
@@ -145,43 +90,53 @@ pub fn run_stats(args: &[String]) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::scenario_names;
     use flowtree_sim::Replay;
 
-    fn opts(scenario: &str) -> Opts {
-        Opts {
+    fn opts(scenario: &str) -> ScenarioOpts {
+        ScenarioOpts {
             scenario: scenario.to_string(),
-            scheduler: "fifo".to_string(),
             m: 4,
             jobs: 8,
-            seed: 42,
-            half: 8,
-            out: None,
+            ..ScenarioOpts::default()
         }
     }
 
     /// Acceptance check: on every scenario preset, the emitted JSONL replays
-    /// to exactly the schedule's per-job flows.
+    /// to exactly the schedule's per-job flows — in both idle-gap modes.
     #[test]
     fn traced_flows_match_flow_stats_on_all_presets() {
         for name in scenario_names() {
-            let o = opts(name);
-            let instance = build_instance(&o).unwrap();
-            let (jsonl, report) = trace_run(&o, &instance).unwrap();
-            let replay = Replay::from_str(&jsonl).unwrap_or_else(|e| panic!("{name}: {e}"));
-            let flows: Vec<_> = replay.flows().into_iter().map(Option::unwrap).collect();
-            assert_eq!(flows, report.stats.flows, "scenario '{name}'");
-            assert_eq!(replay.schedule, report.schedule, "scenario '{name}'");
+            for compact in [false, true] {
+                let o = opts(name);
+                let instance = o.build_instance().unwrap();
+                let (jsonl, report) = trace_run(&o, &instance, compact).unwrap();
+                let replay = Replay::from_str(&jsonl).unwrap_or_else(|e| panic!("{name}: {e}"));
+                let flows: Vec<_> = replay.flows().into_iter().map(Option::unwrap).collect();
+                assert_eq!(flows, report.stats.flows, "scenario '{name}'");
+                assert_eq!(replay.schedule, report.schedule, "scenario '{name}'");
+            }
         }
-    }
-
-    #[test]
-    fn unknown_scenario_is_an_error() {
-        assert!(build_instance(&opts("nope")).is_err());
     }
 
     #[test]
     fn stats_args_reject_output_flag() {
         let args = vec!["service".to_string(), "-o".to_string(), "x".to_string()];
-        assert!(parse_opts("stats", &args, false).is_err());
+        assert!(ScenarioOpts::parse("stats", &args, false).is_err());
+    }
+
+    #[test]
+    fn trace_accepts_compact_idle_flag() {
+        let args: Vec<String> =
+            ["service", "--compact-idle"].iter().map(|s| s.to_string()).collect();
+        let mut compact = false;
+        ScenarioOpts::parse_with("trace", &args, true, "", &mut |flag, _| {
+            Ok(flag == "--compact-idle" && {
+                compact = true;
+                true
+            })
+        })
+        .unwrap();
+        assert!(compact);
     }
 }

@@ -40,13 +40,17 @@ impl OnlineScheduler for RoundRobin {
                 }
             }
         }
-        // Second pass: hand unused capacity to jobs with surplus ready work.
-        for &job in alive {
+        // Second pass: hand unused capacity to jobs with surplus ready work,
+        // skipping exactly what each job's first-pass quota covered (a job
+        // beyond the `extra` cutoff took only `share`, so skipping a uniform
+        // `share + 1` would strand its `share`-th ready subjob and leave a
+        // processor idle — breaking work conservation).
+        for (i, &job) in alive.iter().enumerate() {
             if sel.remaining() == 0 {
                 return;
             }
-            let quota = share + 1; // at most this was taken above
-            for &v in view.ready(job).iter().skip(quota) {
+            let taken = share + usize::from(i < extra);
+            for &v in view.ready(job).iter().skip(taken) {
                 if !sel.push(job, NodeId(v)) {
                     return;
                 }
@@ -172,6 +176,22 @@ mod tests {
         let s = Engine::new(6).run(&inst, &mut RoundRobin).unwrap();
         s.verify(&inst).unwrap();
         // Step 2: chain has 1 ready, star has 12 leaves; load must be 6.
+        assert_eq!(s.load(2), 6);
+    }
+
+    #[test]
+    fn round_robin_is_work_conserving_past_the_extra_cutoff() {
+        // k=2 alive jobs on m=6: share=3, extra=0. Job 0 offers 1 ready
+        // subjob, job 1 offers 5 — equipartition gives job 1 three, and the
+        // re-grant pass must pick up its remaining two (a uniform
+        // `skip(share + 1)` would strand ready[3] and run only 5 of 6).
+        let inst = Instance::new(vec![
+            JobSpec { graph: chain(3), release: 0 },
+            JobSpec { graph: star(5), release: 0 },
+        ]);
+        let s = Engine::new(6).run(&inst, &mut RoundRobin).unwrap();
+        s.verify(&inst).unwrap();
+        // Step 2 (t=1): chain has 1 ready, star has 5 leaves ready.
         assert_eq!(s.load(2), 6);
     }
 

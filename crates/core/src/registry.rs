@@ -9,7 +9,7 @@
 use crate::baselines::{LeastRemainingWorkFirst, RandomWorkConserving, RoundRobin};
 use crate::{AlgoA, Fifo, GuessDoubleA, Lpf, TieBreak};
 use flowtree_dag::Time;
-use flowtree_sim::OnlineScheduler;
+use flowtree_sim::{InvariantChecks, OnlineScheduler};
 
 /// Canonical CLI names, one per registry entry (order matches `--help`).
 pub const SCHEDULER_NAMES: &[&str] = &[
@@ -128,6 +128,27 @@ impl SchedulerSpec {
     pub fn build(&self) -> Box<dyn OnlineScheduler> {
         build_scheduler(*self)
     }
+
+    /// Which structural invariants this scheduler provably upholds, for an
+    /// `InvariantMonitor` to enforce. The FIFO family and the classical
+    /// baselines are work-conserving by construction (MC additionally by
+    /// Lemma 5.5); LPF moreover produces the Lemma 5.2 rectangle tail on
+    /// single-job runs (at augmentation α = 1, since the registry runs it
+    /// unaugmented). Algorithm 𝒜 and its guess-and-double wrapper
+    /// deliberately idle processors for their worst-case guarantees, so no
+    /// structural check applies.
+    pub fn invariants(&self) -> InvariantChecks {
+        match self {
+            SchedulerSpec::Fifo(_)
+            | SchedulerSpec::RoundRobin
+            | SchedulerSpec::RandomWc { .. }
+            | SchedulerSpec::Lrwf => InvariantChecks::WORK_CONSERVING,
+            SchedulerSpec::Lpf => {
+                InvariantChecks { work_conserving: true, rectangle_tail_alpha: Some(1) }
+            }
+            SchedulerSpec::AlgoA { .. } | SchedulerSpec::GuessDouble => InvariantChecks::NONE,
+        }
+    }
 }
 
 /// Build a fresh scheduler from `spec` (see [`SchedulerSpec::build`]).
@@ -181,6 +202,20 @@ mod tests {
                 .run(&inst, s.as_mut())
                 .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
             report.verify(&inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn invariants_match_scheduler_construction() {
+        for spec in SchedulerSpec::all(8) {
+            let inv = spec.invariants();
+            match spec.name() {
+                "algo-a" | "guess-double" => {
+                    assert!(!inv.work_conserving, "{} reserves capacity", spec.name())
+                }
+                _ => assert!(inv.work_conserving, "{} is work-conserving", spec.name()),
+            }
+            assert_eq!(inv.rectangle_tail_alpha.is_some(), spec.name() == "lpf");
         }
     }
 

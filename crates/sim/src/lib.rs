@@ -26,15 +26,21 @@
 //! * a [`probe`] subsystem for per-step instrumentation — runs return a
 //!   [`RunReport`] (schedule + stats + counters), and probes like
 //!   [`JsonlTrace`] stream events that [`replay`] parses back into
-//!   schedules, flows, and Gantt charts.
+//!   schedules, flows, and Gantt charts. Probes compose as tuples
+//!   (`(A, B)`, `(A, B, C)`) with zero dynamic dispatch;
+//! * theory-aware [`monitor`]s (live Lemma 5.1 lower bound / competitive
+//!   ratio, work-conservation and rectangle-tail invariant checking) and
+//!   bounded-memory run [`histo`]grams for long-horizon observability.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod gantt;
+pub mod histo;
 pub mod instance;
 pub mod metrics;
+pub mod monitor;
 pub mod probe;
 pub mod replay;
 pub mod schedule;
@@ -44,8 +50,10 @@ pub mod state;
 pub mod trace;
 
 pub use engine::{Engine, EngineError, RunReport};
+pub use histo::{LogHistogram, RunHistograms, TimeSeries};
 pub use instance::{Instance, JobSpec};
 pub use metrics::FlowStats;
+pub use monitor::{InvariantChecks, InvariantMonitor, InvariantRule, LowerBound, Violation};
 pub use probe::{Counters, JsonlTrace, NullProbe, Probe, StepStat};
 pub use replay::Replay;
 pub use schedule::{FeasibilityError, Schedule};

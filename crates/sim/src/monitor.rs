@@ -1,0 +1,431 @@
+//! Theory-aware run monitors — probes that watch a live run against the
+//! paper's provable guarantees.
+//!
+//! * [`LowerBound`] maintains the Lemma 5.1 certified lower bound
+//!   `max_d (d + ⌈W(d)/m⌉)` over the released jobs and the live competitive
+//!   ratio `max_flow / LB` as jobs complete. For a single out-forest released
+//!   at time 0 the bound is *exact* (Corollary 5.4), so an optimal scheduler
+//!   (LPF, Lemma 5.3) drives the ratio to exactly 1.
+//! * [`InvariantMonitor`] checks structural invariants a scheduler claims to
+//!   uphold — non-idling while work is ready (work conservation, the
+//!   property Lemma 5.5 proves for MC) and the LPF rectangle-tail shape of
+//!   Lemma 5.2 — recording structured [`Violation`]s instead of panicking,
+//!   so a long sweep completes and reports every breach.
+//!
+//! Which invariants apply to which scheduler is declarative data
+//! ([`InvariantChecks`]); the registry in `flowtree-core` maps every
+//! `SchedulerSpec` entry to its checks. Both monitors are ordinary
+//! [`Probe`]s: attach them (alone or composed in a tuple) via
+//! `Engine::with_probe` and inspect them after the run.
+
+use crate::instance::Instance;
+use crate::probe::{Probe, StepStat};
+use flowtree_dag::{DepthProfile, JobId, Time};
+
+/// Live Lemma 5.1 lower-bound tracker.
+///
+/// Per-job profiles are precomputed from the instance at construction; the
+/// per-job bounds `max_d (d + ⌈W_i(d)/m⌉)` are evaluated once `m` is known
+/// (at [`Probe::on_start`]). The running lower bound is the max over
+/// *released* jobs — each job must individually be scheduled within its own
+/// single-job optimum, whatever else is in the system — and the running
+/// `max_flow` is the max over *completed* jobs, so
+/// [`ratio`](LowerBound::ratio) is a certified competitive-ratio bound at
+/// every point of the run and exact for single out-forests at the end.
+#[derive(Debug, Clone)]
+pub struct LowerBound {
+    profiles: Vec<DepthProfile>,
+    /// Per-job Lemma 5.1 bounds on the run's machine size (filled at
+    /// `on_start`).
+    bounds: Vec<Time>,
+    releases: Vec<Option<Time>>,
+    lb: Time,
+    max_flow: Option<Time>,
+}
+
+impl LowerBound {
+    /// Precompute depth profiles for every job of `instance`.
+    pub fn new(instance: &Instance) -> Self {
+        let profiles =
+            instance.jobs().iter().map(|j| DepthProfile::new(&j.graph)).collect::<Vec<_>>();
+        let n = profiles.len();
+        LowerBound {
+            profiles,
+            bounds: Vec::new(),
+            releases: vec![None; n],
+            lb: 0,
+            max_flow: None,
+        }
+    }
+
+    /// Current certified lower bound on the optimal max flow: the max
+    /// Lemma 5.1 bound over released jobs (0 before any release).
+    pub fn lower_bound(&self) -> Time {
+        self.lb
+    }
+
+    /// The Lemma 5.1 bound of one job on this run's machine size.
+    /// Panics before `on_start` (the bounds need `m`).
+    pub fn job_bound(&self, job: JobId) -> Time {
+        self.bounds[job.index()]
+    }
+
+    /// Maximum flow over completed jobs (`None` until a job completes).
+    pub fn max_flow(&self) -> Option<Time> {
+        self.max_flow
+    }
+
+    /// Live competitive ratio `max_flow / lower_bound` (`None` until a job
+    /// completes). Never below 1 on a feasible run: each completed job's
+    /// flow is itself at least its own Lemma 5.1 bound.
+    pub fn ratio(&self) -> Option<f64> {
+        Some(self.max_flow? as f64 / self.lb.max(1) as f64)
+    }
+}
+
+impl Probe for LowerBound {
+    fn on_start(&mut self, m: usize, num_jobs: usize) {
+        assert_eq!(
+            num_jobs,
+            self.profiles.len(),
+            "LowerBound monitor built from a different instance"
+        );
+        let m = (m as u64).max(1);
+        self.bounds = self.profiles.iter().map(|p| p.opt_single_job(m)).collect();
+        self.releases = vec![None; num_jobs];
+        self.lb = 0;
+        self.max_flow = None;
+    }
+
+    fn on_release(&mut self, t: Time, job: JobId) {
+        self.releases[job.index()] = Some(t);
+        self.lb = self.lb.max(self.bounds[job.index()]);
+    }
+
+    fn on_complete(&mut self, t: Time, job: JobId) {
+        if let Some(r) = self.releases[job.index()] {
+            let flow = t - r;
+            self.max_flow = Some(self.max_flow.map_or(flow, |f| f.max(flow)));
+        }
+    }
+}
+
+/// Which structural invariants a scheduler is expected to uphold.
+///
+/// This is declarative metadata, not behavior: the scheduler registry in
+/// `flowtree-core` maps each spec to its checks, and an [`InvariantMonitor`]
+/// enforces exactly the enabled ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvariantChecks {
+    /// The scheduler never leaves a processor idle while a ready subjob
+    /// exists (every step runs `min(m, ready)` subjobs). Holds for the FIFO
+    /// family by definition and for MC by Lemma 5.5; deliberately violated
+    /// by Algorithm 𝒜, which reserves capacity for its guarantees.
+    pub work_conserving: bool,
+    /// Lemma 5.2 shape check for single-job runs: with OPT computed on
+    /// `alpha * m` processors, every schedule step from `release + OPT`
+    /// onward must use all `m` processors, except possibly the final step.
+    /// `Some(alpha)` enables the check (LPF runs use `alpha = 1`); ignored
+    /// on multi-job instances, where the lemma does not apply.
+    pub rectangle_tail_alpha: Option<usize>,
+}
+
+impl InvariantChecks {
+    /// No checks (schedulers with no proven structural invariants).
+    pub const NONE: InvariantChecks =
+        InvariantChecks { work_conserving: false, rectangle_tail_alpha: None };
+
+    /// Work conservation only.
+    pub const WORK_CONSERVING: InvariantChecks =
+        InvariantChecks { work_conserving: true, rectangle_tail_alpha: None };
+}
+
+/// Which invariant a [`Violation`] breached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantRule {
+    /// Idle processors coexisted with unscheduled ready subjobs.
+    WorkConserving,
+    /// A non-final tail step (at or after `release + OPT`) was not full
+    /// width (Lemma 5.2).
+    RectangleTail,
+}
+
+impl std::fmt::Display for InvariantRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvariantRule::WorkConserving => write!(f, "work-conserving"),
+            InvariantRule::RectangleTail => write!(f, "rectangle-tail"),
+        }
+    }
+}
+
+/// One recorded invariant breach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Step start time at which the breach occurred.
+    pub t: Time,
+    /// The invariant breached.
+    pub rule: InvariantRule,
+    /// Human-readable specifics (counts involved).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t={}: {}: {}", self.t, self.rule, self.detail)
+    }
+}
+
+/// Checks the enabled [`InvariantChecks`] online, in O(1) state and O(1)
+/// work per step, recording [`Violation`]s instead of panicking (at most
+/// [`MAX_RECORDED`](Self::MAX_RECORDED) are kept; the total is counted).
+///
+/// The rectangle-tail check is stateful but bounded: it remembers only the
+/// most recent narrow tail step, which becomes a violation the moment any
+/// later step proves it was not the schedule's final step.
+#[derive(Debug, Clone)]
+pub struct InvariantMonitor {
+    checks: InvariantChecks,
+    /// Depth profile of the single job (`None` on multi-job instances —
+    /// the rectangle-tail lemma is single-job only).
+    profile: Option<DepthProfile>,
+    m: usize,
+    /// `release + OPT(alpha * m)` — first tail step (rectangle check only).
+    tail_start: Option<Time>,
+    release: Time,
+    /// Most recent narrow tail step, not yet known to be non-final.
+    pending_narrow: Option<(Time, usize)>,
+    done: bool,
+    violations: Vec<Violation>,
+    total: u64,
+}
+
+impl InvariantMonitor {
+    /// Cap on stored violations; beyond it only the count grows, so a badly
+    /// broken scheduler on a long horizon cannot exhaust memory.
+    pub const MAX_RECORDED: usize = 64;
+
+    /// Monitor a run of the given instance against `checks`.
+    pub fn new(instance: &Instance, checks: InvariantChecks) -> Self {
+        let single = instance.num_jobs() == 1;
+        InvariantMonitor {
+            checks,
+            profile: (single && checks.rectangle_tail_alpha.is_some())
+                .then(|| DepthProfile::new(instance.graph(JobId(0)))),
+            m: 0,
+            tail_start: None,
+            release: if single {
+                instance.release(JobId(0))
+            } else {
+                0
+            },
+            pending_narrow: None,
+            done: false,
+            violations: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Recorded violations (first [`Self::MAX_RECORDED`] of them).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Total violations observed, including any beyond the storage cap.
+    pub fn total_violations(&self) -> u64 {
+        self.total
+    }
+
+    /// Did the run uphold every enabled invariant?
+    pub fn is_clean(&self) -> bool {
+        self.total == 0
+    }
+
+    fn record(&mut self, t: Time, rule: InvariantRule, detail: String) {
+        self.total += 1;
+        if self.violations.len() < Self::MAX_RECORDED {
+            self.violations.push(Violation { t, rule, detail });
+        }
+    }
+}
+
+impl Probe for InvariantMonitor {
+    fn on_start(&mut self, m: usize, _num_jobs: usize) {
+        self.m = m;
+        self.tail_start = self.checks.rectangle_tail_alpha.and_then(|alpha| {
+            let p = self.profile.as_ref()?;
+            Some(self.release + p.opt_single_job((alpha.max(1) * m.max(1)) as u64))
+        });
+        self.pending_narrow = None;
+        self.done = false;
+        self.violations.clear();
+        self.total = 0;
+    }
+
+    fn on_step(&mut self, t: Time, stat: StepStat) {
+        if self.checks.work_conserving
+            && stat.scheduled < self.m
+            && stat.scheduled < stat.ready_depth
+        {
+            self.record(
+                t,
+                InvariantRule::WorkConserving,
+                format!(
+                    "scheduled {} of {} ready on {} processors",
+                    stat.scheduled, stat.ready_depth, self.m
+                ),
+            );
+        }
+        if let Some(tail) = self.tail_start {
+            if t >= tail && !self.done {
+                // Any tail step arriving after a narrow one proves the
+                // narrow step was not the schedule's (exempt) final step.
+                if let Some((nt, width)) = self.pending_narrow.take() {
+                    self.record(
+                        nt,
+                        InvariantRule::RectangleTail,
+                        format!(
+                            "non-final tail step ran {width} < {} subjobs (tail starts at {tail})",
+                            self.m
+                        ),
+                    );
+                }
+                if stat.scheduled < self.m {
+                    self.pending_narrow = Some((t, stat.scheduled));
+                }
+            }
+        }
+    }
+
+    fn on_complete(&mut self, _t: Time, _job: JobId) {
+        // Single-job instance: the run's last productive step has happened;
+        // a pending narrow step was the final one, which Lemma 5.2 exempts.
+        self.done = true;
+        self.pending_narrow = None;
+    }
+
+    fn on_idle_gap(&mut self, _t0: Time, _steps: Time, _m: usize) {
+        // Gaps occur only when nothing is alive: vacuously work-conserving,
+        // and on single-job instances they precede the release, before any
+        // tail. O(1) instead of the default stepwise replay.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::instance::JobSpec;
+    use crate::scheduler::{Clairvoyance, OnlineScheduler, Selection, SimView};
+    use flowtree_dag::builder::{chain, star};
+    use flowtree_dag::NodeId;
+
+    struct Greedy;
+
+    impl OnlineScheduler for Greedy {
+        fn clairvoyance(&self) -> Clairvoyance {
+            Clairvoyance::NonClairvoyant
+        }
+        fn select(&mut self, _t: Time, view: &SimView<'_>, sel: &mut Selection) {
+            for &job in view.alive() {
+                for &v in view.ready(job) {
+                    if !sel.push(job, NodeId(v)) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Greedy, but refuses to use the last processor — breaks work
+    /// conservation whenever more than `m - 1` subjobs are ready.
+    struct Lazy;
+
+    impl OnlineScheduler for Lazy {
+        fn clairvoyance(&self) -> Clairvoyance {
+            Clairvoyance::NonClairvoyant
+        }
+        fn select(&mut self, _t: Time, view: &SimView<'_>, sel: &mut Selection) {
+            for &job in view.alive() {
+                for &v in view.ready(job) {
+                    if sel.remaining() <= 1 || !sel.push(job, NodeId(v)) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_exact_for_single_star() {
+        // star(6): root + 6 leaves on m=3 -> OPT = 3 (Corollary 5.4).
+        let inst = Instance::single(star(6));
+        let mut lb = LowerBound::new(&inst);
+        let report = Engine::new(3).with_probe(&mut lb).run(&inst, &mut Greedy).unwrap();
+        assert_eq!(lb.lower_bound(), 3);
+        assert_eq!(lb.job_bound(JobId(0)), 3);
+        assert_eq!(lb.max_flow(), Some(report.stats.max_flow));
+        assert_eq!(lb.ratio(), Some(report.stats.max_flow as f64 / 3.0));
+        assert!(lb.ratio().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn lower_bound_tracks_released_jobs_only() {
+        let inst = Instance::new(vec![
+            JobSpec { graph: chain(2), release: 0 },
+            JobSpec { graph: chain(9), release: 50 },
+        ]);
+        let mut lb = LowerBound::new(&inst);
+        Engine::new(2).with_probe(&mut lb).run(&inst, &mut Greedy).unwrap();
+        // Both released by the end: the chain(9) dominates.
+        assert_eq!(lb.lower_bound(), 9);
+    }
+
+    #[test]
+    fn work_conserving_violations_are_recorded_not_panicked() {
+        let inst = Instance::single(star(9));
+        let mut mon = InvariantMonitor::new(&inst, InvariantChecks::WORK_CONSERVING);
+        Engine::new(4).with_probe(&mut mon).run(&inst, &mut Lazy).unwrap();
+        assert!(!mon.is_clean());
+        let v = &mon.violations()[0];
+        assert_eq!(v.rule, InvariantRule::WorkConserving);
+        assert!(v.detail.contains("of"), "detail should carry counts: {}", v.detail);
+        // The same run is clean under the greedy scheduler.
+        let mut mon = InvariantMonitor::new(&inst, InvariantChecks::WORK_CONSERVING);
+        Engine::new(4).with_probe(&mut mon).run(&inst, &mut Greedy).unwrap();
+        assert!(mon.is_clean(), "{:?}", mon.violations());
+    }
+
+    #[test]
+    fn rectangle_tail_flags_non_final_narrow_steps_only() {
+        let checks = InvariantChecks { work_conserving: false, rectangle_tail_alpha: Some(1) };
+        let inst = Instance::single(star(8));
+        let mut mon = InvariantMonitor::new(&inst, checks);
+        // Drive the probe by hand: star(8) on m=4 has OPT = 3, so the tail
+        // starts at t=3.
+        mon.on_start(4, 1);
+        mon.on_release(0, JobId(0));
+        for (t, scheduled) in [(0u64, 1usize), (1, 4), (2, 4), (3, 4), (4, 2), (5, 1)] {
+            mon.on_step(t, StepStat { scheduled, idle_procs: 4 - scheduled, ready_depth: 9 });
+        }
+        mon.on_complete(6, JobId(0));
+        mon.on_finish(6);
+        // t=4 ran 2 < 4 and was followed by t=5, so it is a violation;
+        // t=5 was the final step and is exempt.
+        assert_eq!(mon.total_violations(), 1);
+        assert_eq!(mon.violations()[0].t, 4);
+        assert_eq!(mon.violations()[0].rule, InvariantRule::RectangleTail);
+    }
+
+    #[test]
+    fn violation_storage_is_capped() {
+        let inst = Instance::single(chain(2));
+        let mut mon = InvariantMonitor::new(&inst, InvariantChecks::WORK_CONSERVING);
+        mon.on_start(4, 1);
+        for t in 0..1000 {
+            mon.on_step(t, StepStat { scheduled: 0, idle_procs: 4, ready_depth: 7 });
+        }
+        assert_eq!(mon.total_violations(), 1000);
+        assert_eq!(mon.violations().len(), InvariantMonitor::MAX_RECORDED);
+    }
+}

@@ -176,6 +176,56 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     }
 }
 
+/// Probe composition: a tuple of probes is a probe, each hook forwarding to
+/// every element in order. Composition nests (`((a, b), c)`) and stays fully
+/// monomorphized — no dynamic dispatch, so a `(NullProbe, NullProbe)` still
+/// compiles away. Crucially `on_idle_gap` forwards to each element's *own*
+/// implementation, so an aggregating probe keeps its O(1) batch update even
+/// when composed with a stepwise tracer.
+macro_rules! impl_probe_tuple {
+    ($(($($p:ident . $idx:tt),+);)*) => {$(
+        impl<$($p: Probe),+> Probe for ($($p,)+) {
+            #[inline]
+            fn on_start(&mut self, m: usize, num_jobs: usize) {
+                $(self.$idx.on_start(m, num_jobs);)+
+            }
+            #[inline]
+            fn on_release(&mut self, t: Time, job: JobId) {
+                $(self.$idx.on_release(t, job);)+
+            }
+            #[inline]
+            fn on_select(&mut self, t: Time, picks: &[(JobId, NodeId)]) {
+                $(self.$idx.on_select(t, picks);)+
+            }
+            #[inline]
+            fn on_dispatch(&mut self, t: Time, job: JobId, node: NodeId) {
+                $(self.$idx.on_dispatch(t, job, node);)+
+            }
+            #[inline]
+            fn on_complete(&mut self, t: Time, job: JobId) {
+                $(self.$idx.on_complete(t, job);)+
+            }
+            #[inline]
+            fn on_step(&mut self, t: Time, stat: StepStat) {
+                $(self.$idx.on_step(t, stat);)+
+            }
+            #[inline]
+            fn on_idle_gap(&mut self, t0: Time, steps: Time, m: usize) {
+                $(self.$idx.on_idle_gap(t0, steps, m);)+
+            }
+            #[inline]
+            fn on_finish(&mut self, horizon: Time) {
+                $(self.$idx.on_finish(horizon);)+
+            }
+        }
+    )*};
+}
+
+impl_probe_tuple! {
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+}
+
 /// Aggregate run counters: O(1) integer updates per event.
 ///
 /// The engine maintains one internally for every run (returned in
@@ -329,6 +379,7 @@ pub struct JsonlTrace<W: Write> {
     /// The current step's picks, formatted as a JSON array; filled by
     /// `on_select`, consumed by `on_step` (which owns the step record).
     picks_json: String,
+    compact_idle: bool,
     error: Option<std::io::Error>,
 }
 
@@ -336,7 +387,23 @@ impl<W: Write> JsonlTrace<W> {
     /// Trace into `out`. Wrap files in a `BufWriter`; the trace writes one
     /// small record per event.
     pub fn new(out: W) -> Self {
-        JsonlTrace { out, picks_json: String::new(), error: None }
+        JsonlTrace {
+            out,
+            picks_json: String::new(),
+            compact_idle: false,
+            error: None,
+        }
+    }
+
+    /// Emit fast-forwarded idle gaps as a single
+    /// `{"ev":"idle","t0":…,"steps":…}` record instead of one all-idle
+    /// `step` line per idle step. Off by default (the default stream is
+    /// byte-identical to the pre-fast-forward format); turn on for sparse
+    /// instances where gap replay dominates the trace size. [`crate::replay`]
+    /// accepts both forms.
+    pub fn compact_idle(mut self, on: bool) -> Self {
+        self.compact_idle = on;
+        self
     }
 
     /// Flush and return the writer, surfacing any write error encountered
@@ -393,7 +460,92 @@ impl<W: Write> Probe for JsonlTrace<W> {
         self.record(format_args!(r#"{{"ev":"complete","t":{t},"job":{}}}"#, job.0));
     }
 
+    fn on_idle_gap(&mut self, t0: Time, steps: Time, m: usize) {
+        if self.compact_idle {
+            self.record(format_args!(r#"{{"ev":"idle","t0":{t0},"steps":{steps}}}"#));
+        } else {
+            // Replay the gap stepwise (the default-impl behavior) so the
+            // stream stays byte-identical to the non-fast-forwarding loop.
+            for t in t0..t0 + steps {
+                self.on_select(t, &[]);
+                self.on_step(t, StepStat { scheduled: 0, idle_procs: m, ready_depth: 0 });
+            }
+        }
+    }
+
     fn on_finish(&mut self, horizon: Time) {
         self.record(format_args!(r#"{{"ev":"finish","horizon":{horizon}}}"#));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records the order hooks fire in, to pin tuple forwarding semantics.
+    #[derive(Default)]
+    struct Log(Vec<String>);
+
+    impl Probe for Log {
+        fn on_start(&mut self, m: usize, num_jobs: usize) {
+            self.0.push(format!("start {m} {num_jobs}"));
+        }
+        fn on_step(&mut self, t: Time, stat: StepStat) {
+            self.0.push(format!("step {t} {}", stat.scheduled));
+        }
+        fn on_idle_gap(&mut self, t0: Time, steps: Time, _m: usize) {
+            self.0.push(format!("gap {t0}+{steps}"));
+        }
+    }
+
+    #[test]
+    fn tuple_probe_forwards_to_every_element_in_order() {
+        let mut pair = (Log::default(), Log::default());
+        pair.on_start(4, 2);
+        pair.on_step(0, StepStat { scheduled: 3, idle_procs: 1, ready_depth: 5 });
+        pair.on_idle_gap(1, 10, 4);
+        assert_eq!(pair.0 .0, vec!["start 4 2", "step 0 3", "gap 1+10"]);
+        assert_eq!(pair.0 .0, pair.1 .0);
+
+        let mut triple = (Log::default(), Counters::default(), Log::default());
+        triple.on_start(2, 1);
+        triple.on_idle_gap(0, 7, 2);
+        // Each element gets its *own* on_idle_gap: the batching Counters
+        // sees one O(1) update, not a stepwise replay.
+        assert_eq!(triple.1.steps, 7);
+        assert_eq!(triple.1.idle_slots, 14);
+        assert_eq!(triple.0 .0, vec!["start 2 1", "gap 0+7"]);
+    }
+
+    #[test]
+    fn tuple_of_counters_matches_single_counters() {
+        let mut single = Counters::default();
+        let mut pair = (Counters::default(), NullProbe);
+        for p in [&mut single, &mut pair.0] {
+            p.on_start(2, 1);
+            p.on_release(0, JobId(0));
+            p.on_step(0, StepStat { scheduled: 2, idle_procs: 0, ready_depth: 3 });
+            p.on_complete(1, JobId(0));
+            p.on_finish(1);
+        }
+        assert_eq!(single, pair.0);
+    }
+
+    #[test]
+    fn compact_idle_emits_one_record_per_gap() {
+        let mut trace = JsonlTrace::new(Vec::new()).compact_idle(true);
+        trace.on_start(3, 1);
+        trace.on_idle_gap(5, 1000, 3);
+        trace.on_finish(1005);
+        let text = String::from_utf8(trace.finish().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                r#"{"ev":"start","m":3,"jobs":1}"#,
+                r#"{"ev":"idle","t0":5,"steps":1000}"#,
+                r#"{"ev":"finish","horizon":1005}"#,
+            ]
+        );
     }
 }

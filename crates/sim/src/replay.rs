@@ -42,6 +42,16 @@ pub enum TraceEvent {
         /// Ready-pool size the scheduler chose from.
         ready: usize,
     },
+    /// A compact fast-forwarded idle gap: `steps` consecutive all-idle
+    /// steps starting at `t0` (emitted only by
+    /// [`JsonlTrace::compact_idle`](crate::probe::JsonlTrace::compact_idle)
+    /// mode; the default stream spells gaps out as empty `step` records).
+    IdleGap {
+        /// First idle step.
+        t0: Time,
+        /// Number of consecutive idle steps.
+        steps: Time,
+    },
     /// A job ran its last subjob and completes at `t`.
     Complete {
         /// Completion time `C_i`.
@@ -142,6 +152,10 @@ fn parse_line(text: &str, line: usize) -> Result<TraceEvent, ReplayError> {
                 ready: uint_field(&v, "ready", line)? as usize,
             })
         }
+        "idle" => Ok(TraceEvent::IdleGap {
+            t0: uint_field(&v, "t0", line)?,
+            steps: uint_field(&v, "steps", line)?,
+        }),
         "complete" => Ok(TraceEvent::Complete {
             t: uint_field(&v, "t", line)?,
             job: JobId(uint_field(&v, "job", line)? as u32),
@@ -226,6 +240,15 @@ impl Replay {
                     }
                     schedule.extend_step(picks);
                     next_t += 1;
+                }
+                TraceEvent::IdleGap { t0, steps } => {
+                    if *t0 != next_t {
+                        return Err(ReplayError::Inconsistent(format!(
+                            "idle gap t0={t0}, expected t={next_t}"
+                        )));
+                    }
+                    schedule.push_empty_steps(*steps);
+                    next_t += steps;
                 }
                 TraceEvent::Complete { t, job } => {
                     let i = job_slot(&mut completions, *job)?;
@@ -361,6 +384,36 @@ mod tests {
         }
         assert!(trace.lines().next().unwrap().contains("\"ev\":\"start\""));
         assert!(trace.lines().last().unwrap().contains("\"ev\":\"finish\""));
+    }
+
+    #[test]
+    fn compact_idle_trace_replays_identically() {
+        // A sparse instance: the gap between the chain(2) finishing and the
+        // star(4) arriving is fast-forwarded.
+        let inst = Instance::new(vec![
+            JobSpec { graph: chain(2), release: 0 },
+            JobSpec { graph: star(4), release: 40 },
+        ]);
+        let mut compact = JsonlTrace::new(Vec::new()).compact_idle(true);
+        let report = Engine::new(2).with_probe(&mut compact).run(&inst, &mut Greedy).unwrap();
+        let compact_text = String::from_utf8(compact.finish().unwrap()).unwrap();
+        assert!(compact_text.contains("\"ev\":\"idle\""));
+        // Far fewer lines than the stepwise form, same replay result.
+        let (default_text, _) = traced_run(&inst, 2);
+        assert!(compact_text.lines().count() < default_text.lines().count());
+        let a = Replay::from_str(&compact_text).unwrap();
+        let b = Replay::from_str(&default_text).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.schedule, report.schedule);
+        assert_eq!(a.max_flow(), Some(report.stats.max_flow));
+    }
+
+    #[test]
+    fn misplaced_idle_gap_is_rejected() {
+        let bad = "{\"ev\":\"start\",\"m\":1,\"jobs\":1}\n{\"ev\":\"idle\",\"t0\":3,\"steps\":5}";
+        assert!(matches!(Replay::from_str(bad), Err(ReplayError::Inconsistent(_))));
+        let missing = "{\"ev\":\"start\",\"m\":1,\"jobs\":1}\n{\"ev\":\"idle\",\"t0\":0}";
+        assert!(matches!(Replay::from_str(missing), Err(ReplayError::Malformed { .. })));
     }
 
     #[test]

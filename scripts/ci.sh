@@ -18,8 +18,9 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> bench smoke (--quick)"
-cargo run --release -p flowtree-cli -- bench --quick -o /tmp/flowtree_bench_smoke.json >/dev/null
+echo "==> bench regression gate (--quick --check vs committed baseline)"
+cargo run --release -p flowtree-cli -- bench --quick --check BENCH_engine.json \
+    -o /tmp/flowtree_bench_smoke.json >/dev/null
 rm -f /tmp/flowtree_bench_smoke.json
 
 echo "CI OK"

@@ -13,7 +13,10 @@
 use flowtree::core::{SchedulerSpec, SCHEDULER_NAMES};
 use flowtree::dag::NodeId;
 use flowtree::prelude::*;
-use flowtree::sim::{Counters, EngineError, JsonlTrace, Probe, RunReport, SimState, StepStat};
+use flowtree::sim::{
+    Counters, EngineError, InvariantMonitor, JsonlTrace, LowerBound, Probe, RunReport, SimState,
+    StepStat,
+};
 use proptest::prelude::*;
 
 /// The default safety-horizon formula, computed identically for both
@@ -248,15 +251,11 @@ proptest! {
     }
 }
 
-/// Every scheduler in the registry, on a mix of dense and gap-heavy fixed
-/// instances. `m = 8` satisfies the α = 4 divisibility requirement of
-/// `algo-a` and `guess-double`; `half = 4` so batch boundaries land inside
-/// and outside the idle gaps.
-#[test]
-fn registry_schedulers_agree_on_fixed_instances() {
+/// The fixed instance mix shared by the registry-wide tests: dense
+/// overlapping arrivals, gap-heavy sparse arrivals, and a late single job.
+fn fixed_instances() -> Vec<Instance> {
     use flowtree::dag::builder::{chain, quicksort_tree, star};
-
-    let instances = vec![
+    vec![
         // Dense: overlapping arrivals, no gaps.
         Instance::new(vec![
             JobSpec { graph: chain(5), release: 0 },
@@ -277,13 +276,97 @@ fn registry_schedulers_agree_on_fixed_instances() {
         ]),
         // Everything released late: the run starts with a gap.
         Instance::new(vec![JobSpec { graph: star(7), release: 23 }]),
-    ];
+    ]
+}
 
+/// Every scheduler in the registry, on a mix of dense and gap-heavy fixed
+/// instances. `m = 8` satisfies the α = 4 divisibility requirement of
+/// `algo-a` and `guess-double`; `half = 4` so batch boundaries land inside
+/// and outside the idle gaps.
+#[test]
+fn registry_schedulers_agree_on_fixed_instances() {
     for name in SCHEDULER_NAMES {
         let spec = SchedulerSpec::parse(name, 4).unwrap();
-        for inst in &instances {
+        for inst in &fixed_instances() {
             assert_identical(inst, 8, &mut || spec.build());
         }
+    }
+}
+
+/// Every scheduler in the registry under the full monitor stack: the
+/// [`InvariantMonitor`] (configured with the registry's per-scheduler
+/// declared invariants) records zero violations, and the Lemma 5.1
+/// certificate from [`LowerBound`] never exceeds the achieved max flow.
+#[test]
+fn registry_schedulers_uphold_declared_invariants() {
+    for name in SCHEDULER_NAMES {
+        let spec = SchedulerSpec::parse(name, 4).unwrap();
+        for inst in &fixed_instances() {
+            let mut lb = LowerBound::new(inst);
+            let mut inv = InvariantMonitor::new(inst, spec.invariants());
+            let mut probe = (&mut lb, &mut inv);
+            let report = Engine::new(8)
+                .with_max_horizon(100_000)
+                .with_probe(&mut probe)
+                .run(inst, spec.build().as_mut())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(
+                inv.is_clean(),
+                "{name}: {} violation(s), first: {:?}",
+                inv.total_violations(),
+                inv.violations().first()
+            );
+            assert!(
+                lb.lower_bound() <= report.stats.max_flow,
+                "{name}: certificate {} exceeds achieved max flow {}",
+                lb.lower_bound(),
+                report.stats.max_flow
+            );
+            assert_eq!(lb.max_flow(), Some(report.stats.max_flow), "{name}");
+        }
+    }
+}
+
+proptest! {
+    /// Lemma 5.1 + Lemma 5.3: on random out-forest instances the monitor's
+    /// lower-bound certificate never exceeds the max flow LPF achieves at
+    /// α = 1 (LB ≤ OPT ≤ any feasible schedule's max flow).
+    #[test]
+    fn lower_bound_never_exceeds_lpf_max_flow(
+        inst in arb_instance(5, 12, 10),
+        m in 1usize..=6,
+    ) {
+        let mut lb = LowerBound::new(&inst);
+        let report = Engine::new(m)
+            .with_max_horizon(1_000_000)
+            .with_probe(&mut lb)
+            .run(&inst, &mut Lpf::new())
+            .unwrap();
+        prop_assert!(
+            lb.lower_bound() <= report.stats.max_flow,
+            "certificate {} > LPF max flow {}",
+            lb.lower_bound(),
+            report.stats.max_flow
+        );
+    }
+
+    /// Corollary 5.4: for a single out-tree released at 0 the certificate
+    /// is exact — LPF achieves it with equality, so the reported
+    /// competitive ratio is exactly 1.
+    #[test]
+    fn single_job_lpf_achieves_the_certificate_exactly(
+        tree in arb_tree(16),
+        m in 1usize..=6,
+    ) {
+        let inst = Instance::new(vec![JobSpec { graph: tree, release: 0 }]);
+        let mut lb = LowerBound::new(&inst);
+        let report = Engine::new(m)
+            .with_max_horizon(1_000_000)
+            .with_probe(&mut lb)
+            .run(&inst, &mut Lpf::new())
+            .unwrap();
+        prop_assert_eq!(lb.lower_bound(), report.stats.max_flow);
+        prop_assert_eq!(lb.ratio(), Some(1.0));
     }
 }
 

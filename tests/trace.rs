@@ -51,6 +51,53 @@ fn golden_trace_for_fixed_instance() {
     assert_eq!(report.stats.flows, vec![3, 3]);
 }
 
+/// The exact event streams — compact and stepwise — for an instance whose
+/// run crosses an idle gap: chain(1) at 0 drains in one step, then nothing
+/// until chain(2) arrives at 5. With `compact_idle` the four empty steps
+/// collapse into a single `idle` record; without it they appear verbatim.
+/// Both streams must replay to the engine's own schedule.
+#[test]
+fn golden_trace_with_idle_gap_in_both_modes() {
+    let inst = Instance::new(vec![
+        JobSpec { graph: chain(1), release: 0 },
+        JobSpec { graph: chain(2), release: 5 },
+    ]);
+    let common_head = "\
+{\"ev\":\"start\",\"m\":2,\"jobs\":2}
+{\"ev\":\"release\",\"t\":0,\"job\":0}
+{\"ev\":\"step\",\"t\":0,\"picks\":[[0,0]],\"idle\":1,\"ready\":1}
+{\"ev\":\"complete\",\"t\":1,\"job\":0}
+";
+    let common_tail = "\
+{\"ev\":\"release\",\"t\":5,\"job\":1}
+{\"ev\":\"step\",\"t\":5,\"picks\":[[1,0]],\"idle\":1,\"ready\":1}
+{\"ev\":\"step\",\"t\":6,\"picks\":[[1,1]],\"idle\":1,\"ready\":1}
+{\"ev\":\"complete\",\"t\":7,\"job\":1}
+{\"ev\":\"finish\",\"horizon\":7}
+";
+    let stepwise_gap = "\
+{\"ev\":\"step\",\"t\":1,\"picks\":[],\"idle\":2,\"ready\":0}
+{\"ev\":\"step\",\"t\":2,\"picks\":[],\"idle\":2,\"ready\":0}
+{\"ev\":\"step\",\"t\":3,\"picks\":[],\"idle\":2,\"ready\":0}
+{\"ev\":\"step\",\"t\":4,\"picks\":[],\"idle\":2,\"ready\":0}
+";
+    let compact_gap = "{\"ev\":\"idle\",\"t0\":1,\"steps\":4}\n";
+
+    for (compact, gap) in [(false, stepwise_gap), (true, compact_gap)] {
+        let mut trace = JsonlTrace::new(Vec::new()).compact_idle(compact);
+        let report = Engine::new(2)
+            .with_max_horizon(100_000)
+            .with_probe(&mut trace)
+            .run(&inst, &mut Fifo::new(TieBreak::BecameReady))
+            .unwrap();
+        let jsonl = String::from_utf8(trace.finish().unwrap()).unwrap();
+        assert_eq!(jsonl, format!("{common_head}{gap}{common_tail}"), "compact={compact}");
+        let replay = Replay::from_str(&jsonl).unwrap();
+        assert_eq!(replay.schedule, report.schedule, "compact={compact}");
+        assert_eq!(report.stats.flows, vec![1, 2]);
+    }
+}
+
 /// Random out-tree via the recursive-attachment process (mirrors the
 /// simulator crate's own property-test generator).
 fn arb_tree(max_n: usize) -> impl Strategy<Value = JobGraph> {
@@ -110,6 +157,7 @@ impl OnlineScheduler for SeededGreedy {
 /// Counters rebuilt from the parsed event stream alone.
 #[derive(Default, Debug, PartialEq)]
 struct Rebuilt {
+    m: usize,
     steps: u64,
     dispatched: u64,
     idle_slots: u64,
@@ -123,7 +171,8 @@ fn rebuild(events: &[TraceEvent]) -> Rebuilt {
     let mut r = Rebuilt::default();
     for ev in events {
         match ev {
-            TraceEvent::Start { jobs, .. } => {
+            TraceEvent::Start { m, jobs } => {
+                r.m = *m;
                 r.releases = vec![None; *jobs];
                 r.completions = vec![None; *jobs];
             }
@@ -137,6 +186,13 @@ fn rebuild(events: &[TraceEvent]) -> Rebuilt {
                     r.idle_steps += 1;
                 }
                 r.max_ready_depth = r.max_ready_depth.max(*ready);
+            }
+            TraceEvent::IdleGap { steps, .. } => {
+                r.steps += *steps;
+                r.idle_slots += *steps * r.m as u64;
+                if r.m > 0 {
+                    r.idle_steps += steps;
+                }
             }
             TraceEvent::Finish { .. } => {}
         }
