@@ -10,6 +10,7 @@
 //! SJF-like policies.
 
 use crate::summary::summarize;
+use crate::sweep::parallel_map_progress;
 use crate::{table::f3, Effort, Report, Table};
 use flowtree_core::SchedulerSpec;
 use flowtree_workloads::mix::Scenario;
@@ -40,9 +41,20 @@ pub fn run(effort: Effort) -> Report {
                 "invariants",
             ],
         );
-        for spec in SchedulerSpec::matrix() {
-            let s = summarize(scenario.name, &inst, m, spec)
-                .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+        // Each monitored cell (scheduler + LowerBound + InvariantMonitor +
+        // RunHistograms) is Send, so the matrix fans out across worker
+        // threads; parallel_map_progress preserves input order, so the
+        // table is byte-identical to the sequential loop it replaced.
+        let summaries = parallel_map_progress(
+            SchedulerSpec::matrix(),
+            0,
+            |spec| {
+                summarize(scenario.name, &inst, m, *spec)
+                    .unwrap_or_else(|e| panic!("{}: {e}", spec.name()))
+            },
+            |_, _| {},
+        );
+        for s in summaries {
             table.row(vec![
                 s.scheduler.clone(),
                 s.max_flow.to_string(),
@@ -89,6 +101,25 @@ mod tests {
                 // Every matrix scheduler upholds its declared invariants on
                 // the benign presets.
                 assert_eq!(t.cell(row, 6), "clean", "row {row} of '{}'", t.title);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matrix_matches_sequential_summaries_exactly() {
+        // The satellite's "output unchanged" check: the parallel fan-out
+        // must reproduce the sequential summarize() cells verbatim.
+        let r = run(Effort::Quick);
+        let m = 8usize;
+        let jobs = Effort::Quick.pick(16, 60);
+        for (scenario, t) in Scenario::presets(jobs).iter().zip(&r.tables) {
+            let inst = scenario.instantiate(&mut flowtree_workloads::rng(42));
+            for (row, spec) in SchedulerSpec::matrix().into_iter().enumerate() {
+                let s = summarize(scenario.name, &inst, m, spec).unwrap();
+                assert_eq!(t.cell(row, 0), s.scheduler, "row order shifted");
+                assert_eq!(t.cell(row, 1), s.max_flow.to_string());
+                assert_eq!(t.cell(row, 2), f3(s.ratio));
+                assert_eq!(t.cell(row, 3), f3(s.mean_flow));
             }
         }
     }

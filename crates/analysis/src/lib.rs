@@ -32,7 +32,7 @@ pub mod sweep;
 pub mod table;
 
 pub use report::Report;
-pub use summary::{summarize, RunSummary};
+pub use summary::{summarize, summary_from_parts, RunSummary};
 pub use table::Table;
 
 /// Effort level for experiments: `Quick` keeps every experiment under a few

@@ -216,12 +216,40 @@ pub fn summarize(
         .map_err(|e| format!("{} on m={m}: {e}", spec.name()))?;
     report.verify(instance).map_err(|e| format!("infeasible schedule: {e}"))?;
 
+    Ok(summary_from_parts(
+        scenario,
+        spec.name(),
+        instance,
+        m,
+        &report,
+        &lb,
+        &inv,
+        &histos,
+    ))
+}
+
+/// Assemble a [`RunSummary`] from an already-completed run's pieces: the
+/// [`RunReport`](flowtree_sim::RunReport) and the monitor/histogram stack
+/// that observed it. Shared by [`summarize`] (batch `Engine::run`) and the
+/// streaming serve path (a drained `Session` per shard), so both emit
+/// byte-identical records for the same observed run.
+#[allow(clippy::too_many_arguments)]
+pub fn summary_from_parts(
+    scenario: &str,
+    scheduler: &str,
+    instance: &Instance,
+    m: usize,
+    report: &flowtree_sim::RunReport,
+    lb: &LowerBound,
+    inv: &InvariantMonitor,
+    histos: &RunHistograms,
+) -> RunSummary {
     let combined = flowtree_opt::bounds::combined_lower_bound(instance, m as u64);
     let lower_bound = combined.max(lb.lower_bound()).max(1);
     let stats = &report.stats;
-    Ok(RunSummary {
+    RunSummary {
         scenario: scenario.to_string(),
-        scheduler: spec.name().to_string(),
+        scheduler: scheduler.to_string(),
         m,
         jobs: instance.num_jobs(),
         steps: report.counters.steps,
@@ -244,7 +272,7 @@ pub fn summarize(
         flow: (&histos.flow).into(),
         ready_depth: (&histos.ready_depth).into(),
         scheduled: (&histos.scheduled).into(),
-    })
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,8 @@
 //! flowtree-repro trace service --scheduler lpf -m 8 --compact-idle -o run.jsonl
 //! flowtree-repro stats service --scheduler lpf -m 8
 //! flowtree-repro report sort-farm --scheduler lpf --jobs 1 --format json
+//! flowtree-repro report --trend results/store/
+//! flowtree-repro serve service --shards 2 --rate 0.5 --store results/store
 //! flowtree-repro bench --quick --check BENCH_engine.json -o /tmp/b.json
 //! ```
 
@@ -22,6 +24,7 @@ mod bench;
 mod gen;
 mod report;
 mod scenario;
+mod serve;
 mod simulate;
 mod trace;
 
@@ -32,6 +35,8 @@ fn usage() -> &'static str {
      \u{20}      flowtree-repro trace <scenario> [--scheduler S] [-m M] [--compact-idle] [-o FILE]\n\
      \u{20}      flowtree-repro stats <scenario> [--scheduler S] [-m M]\n\
      \u{20}      flowtree-repro report <scenario> [--scheduler S] [-m M] [--format json|md]\n\
+     \u{20}      flowtree-repro report --trend <store-dir-or-file>\n\
+     \u{20}      flowtree-repro serve <scenario> [--shards N] [--rate R] [--policy P] [--store DIR]\n\
      \u{20}      flowtree-repro bench [--quick] [--reps N] [--check BASELINE] [-o FILE]\n\
      Runs the reproduction experiments for 'Scheduling Out-Trees Online to\n\
      Optimize Maximum Flow' (SPAA 2024) and prints markdown reports."
@@ -79,6 +84,15 @@ fn main() -> ExitCode {
         }
         Some("report") => {
             return match report::run(&raw[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("serve") => {
+            return match serve::run(&raw[1..]) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("{e}");

@@ -1,28 +1,64 @@
 //! `flowtree-repro report` — run one scenario × scheduler with the full
 //! monitor/histogram probe stack attached and render the resulting
-//! [`RunSummary`](flowtree_analysis::RunSummary) as JSON or markdown.
+//! [`RunSummary`](flowtree_analysis::RunSummary) as JSON or markdown; or
+//! render cross-run trend tables over the persistent results store.
 //!
 //! ```text
 //! flowtree-repro report sort-farm --scheduler lpf --jobs 1 --format json
 //! flowtree-repro report service --scheduler fifo -m 16 -o report.md
+//! flowtree-repro report adversary --instance inst.json --store results/store
+//! flowtree-repro report --trend results/store/
 //! ```
 
 use crate::scenario::ScenarioOpts;
 use flowtree_core::SchedulerSpec;
+use flowtree_serve::{git_describe, load_records, run_id, ResultsStore, StoreRecord};
 use std::io::Write;
 
-/// Run `report <scenario> [--format json|md]`.
+/// Run `report <scenario> [--format json|md]` or `report --trend STORE`.
 pub fn run(args: &[String]) -> Result<(), String> {
+    // Trend mode has no scenario/scheduler: it reads the store and renders.
+    if let Some(i) = args.iter().position(|a| a == "--trend") {
+        let path = args.get(i + 1).ok_or("--trend needs a store file or directory")?;
+        return trend(path);
+    }
+
     let mut format = "md".to_string();
-    let o =
-        ScenarioOpts::parse_with("report", args, true, " [--format json|md]", &mut |flag, it| {
-            if flag == "--format" {
-                format = it.next().ok_or("--format needs json or md")?.clone();
-                return Ok(true);
+    let mut instance_path: Option<String> = None;
+    let mut store_dir: Option<String> = None;
+    let o = ScenarioOpts::parse_with(
+        "report",
+        args,
+        true,
+        " [--format json|md] [--instance FILE] [--store DIR] | --trend STORE",
+        &mut |flag, it| {
+            match flag {
+                "--format" => format = it.next().ok_or("--format needs json or md")?.clone(),
+                "--instance" => {
+                    instance_path = Some(it.next().ok_or("--instance needs a path")?.clone())
+                }
+                "--store" => {
+                    store_dir = Some(it.next().ok_or("--store needs a directory")?.clone())
+                }
+                _ => return Ok(false),
             }
-            Ok(false)
-        })?;
-    let text = render(&o, &format)?;
+            Ok(true)
+        },
+    )?;
+    let summary = build_summary(&o, instance_path.as_deref())?;
+    if let Some(dir) = &store_dir {
+        let store = ResultsStore::open(dir).map_err(|e| format!("open store {dir}: {e}"))?;
+        let record = StoreRecord {
+            run_id: run_id(&o.scenario, &o.scheduler, o.m, o.seed),
+            git: git_describe(),
+            shard: 0,
+            shards: 1,
+            summary: summary.clone(),
+        };
+        let path = store.append(&record).map_err(|e| format!("append to {dir}: {e}"))?;
+        eprintln!("appended store record to {}", path.display());
+    }
+    let text = render_summary(&summary, &format)?;
     match &o.out {
         Some(path) => {
             std::fs::write(path, &text).map_err(|e| format!("write {path}: {e}"))?;
@@ -37,11 +73,36 @@ pub fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Build the summary for `o` and render it in `format`.
-fn render(o: &ScenarioOpts, format: &str) -> Result<String, String> {
-    let instance = o.build_instance()?;
+/// Render the trend tables for a store file or directory.
+fn trend(path: &str) -> Result<(), String> {
+    let records =
+        load_records(std::path::Path::new(path)).map_err(|e| format!("load {path}: {e}"))?;
+    if records.is_empty() {
+        return Err(format!("no store records under {path}"));
+    }
+    print!("{}", flowtree_serve::render_trend(&records));
+    Ok(())
+}
+
+/// Build the monitored summary for `o`, from a serialized instance file if
+/// given (the scenario name then only labels the run) or the named preset.
+fn build_summary(
+    o: &ScenarioOpts,
+    instance_path: Option<&str>,
+) -> Result<flowtree_analysis::RunSummary, String> {
+    let instance = match instance_path {
+        Some(path) => serde_json::from_str(
+            &std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?,
+        )
+        .map_err(|e| format!("parse {path}: {e}"))?,
+        None => o.build_instance()?,
+    };
     let spec = SchedulerSpec::parse(&o.scheduler, o.half)?;
-    let summary = flowtree_analysis::summarize(&o.scenario, &instance, o.m, spec)?;
+    flowtree_analysis::summarize(&o.scenario, &instance, o.m, spec)
+}
+
+/// Render a built summary in `format`.
+fn render_summary(summary: &flowtree_analysis::RunSummary, format: &str) -> Result<String, String> {
     match format {
         "json" => {
             let mut json =
@@ -58,6 +119,10 @@ fn render(o: &ScenarioOpts, format: &str) -> Result<String, String> {
 mod tests {
     use super::*;
     use serde::Value;
+
+    fn render(o: &ScenarioOpts, format: &str) -> Result<String, String> {
+        render_summary(&build_summary(o, None)?, format)
+    }
 
     /// The ISSUE's acceptance criterion: LPF on a single-job scenario
     /// reports competitive ratio exactly 1.0 in the JSON output.
@@ -103,5 +168,49 @@ mod tests {
             ..ScenarioOpts::default()
         };
         assert!(render(&o, "xml").is_err());
+    }
+
+    #[test]
+    fn instance_file_overrides_the_preset() {
+        let inst = flowtree_sim::Instance::single(flowtree_dag::builder::chain(4));
+        let path =
+            std::env::temp_dir().join(format!("flowtree-report-{}.json", std::process::id()));
+        std::fs::write(&path, serde_json::to_string(&inst).unwrap()).unwrap();
+        let o = ScenarioOpts {
+            scenario: "adversary".into(), // label only; not a preset name
+            scheduler: "lpf".into(),
+            m: 2,
+            ..ScenarioOpts::default()
+        };
+        let s = build_summary(&o, path.to_str()).unwrap();
+        assert_eq!(s.jobs, 1);
+        assert_eq!(s.scenario, "adversary");
+        assert_eq!(s.max_flow, 4); // chain(4) on any m
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn trend_mode_renders_store_records() {
+        let dir = std::env::temp_dir().join(format!("flowtree-trend-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultsStore::open(&dir).unwrap();
+        let o = ScenarioOpts {
+            scenario: "sort-farm".into(),
+            jobs: 2,
+            ..ScenarioOpts::default()
+        };
+        let summary = build_summary(&o, None).unwrap();
+        store
+            .append(&StoreRecord {
+                run_id: "t".into(),
+                git: "g".into(),
+                shard: 0,
+                shards: 1,
+                summary,
+            })
+            .unwrap();
+        assert!(trend(dir.to_str().unwrap()).is_ok());
+        assert!(trend("/nonexistent/store/path").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

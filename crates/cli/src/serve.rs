@@ -1,0 +1,256 @@
+//! `flowtree-repro serve` — run the sharded online simulation service.
+//!
+//! Arrivals stream from a generator (scenario blend at `--rate` expected
+//! jobs per step) or a replayed trace (`--replay FILE`), are routed across
+//! `--shards` engine shards under a bounded-queue overload policy, and each
+//! drained shard reports a certified `RunSummary`. With `--store DIR` the
+//! summaries append to the persistent results store (conventionally
+//! `results/store/`) for `report --trend` to consume.
+//!
+//! ```text
+//! flowtree-repro serve service --shards 2 --rate 0.5 --scheduler fifo -m 4
+//! flowtree-repro serve analytics --shards 4 --policy redirect --store results/store
+//! flowtree-repro serve replayed --replay trace.jsonl --scheduler lpf
+//! ```
+
+use crate::scenario::{parse_num, ScenarioOpts};
+use flowtree_analysis::table::f3;
+use flowtree_analysis::Table;
+use flowtree_core::SchedulerSpec;
+use flowtree_serve::{
+    git_describe, run_id, ArrivalSource, GeneratorSource, OverloadPolicy, ReplaySource,
+    ResultsStore, Routing, ServeConfig, ShardPool, ShardResult, StoreRecord,
+};
+use flowtree_workloads::mix::Scenario;
+
+/// Subcommand-specific options on top of [`ScenarioOpts`].
+struct ServeOpts {
+    shards: usize,
+    rate: f64,
+    queue_cap: usize,
+    policy: String,
+    routing: String,
+    replay: Option<String>,
+    stats_every: u64,
+    store: Option<String>,
+    run: Option<String>,
+    horizon: u64,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            shards: 2,
+            rate: 0.5,
+            queue_cap: 64,
+            policy: "block".to_string(),
+            routing: "hash".to_string(),
+            replay: None,
+            stats_every: 8,
+            store: None,
+            run: None,
+            horizon: 100_000_000,
+        }
+    }
+}
+
+/// Run `serve <scenario> [flags]`.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut s = ServeOpts::default();
+    let o = ScenarioOpts::parse_with(
+        "serve",
+        args,
+        false,
+        " [--shards N] [--rate R] [--queue-cap N] [--policy block|drop|redirect]\n\
+         \u{20}        [--routing hash|least-loaded] [--replay FILE] [--stats-every N]\n\
+         \u{20}        [--store DIR] [--run-id ID] [--horizon H]",
+        &mut |flag, it| {
+            match flag {
+                "--shards" => s.shards = parse_num(it, "--shards")?,
+                "--rate" => s.rate = parse_num(it, "--rate")?,
+                "--queue-cap" => s.queue_cap = parse_num(it, "--queue-cap")?,
+                "--stats-every" => s.stats_every = parse_num(it, "--stats-every")?,
+                "--horizon" => s.horizon = parse_num(it, "--horizon")?,
+                "--policy" => s.policy = it.next().ok_or("--policy needs a name")?.clone(),
+                "--routing" => s.routing = it.next().ok_or("--routing needs a name")?.clone(),
+                "--replay" => s.replay = Some(it.next().ok_or("--replay needs a path")?.clone()),
+                "--store" => s.store = Some(it.next().ok_or("--store needs a directory")?.clone()),
+                "--run-id" => s.run = Some(it.next().ok_or("--run-id needs an id")?.clone()),
+                _ => return Ok(false),
+            }
+            Ok(true)
+        },
+    )?;
+    let results = serve(&o, &s, &mut |line| println!("{line}"))?;
+    print!("{}", summary_table(&o, &s, &results));
+    if let Some(dir) = &s.store {
+        let path = persist(&o, &s, &results, dir)?;
+        eprintln!("appended {} record(s) to {path}", results.len());
+    }
+    Ok(())
+}
+
+/// Launch the pool, pump the source dry (emitting a stats line through
+/// `heartbeat` every `--stats-every` arrivals), and drain.
+fn serve(
+    o: &ScenarioOpts,
+    s: &ServeOpts,
+    heartbeat: &mut dyn FnMut(&str),
+) -> Result<Vec<ShardResult>, String> {
+    if s.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let spec = SchedulerSpec::parse(&o.scheduler, o.half)?;
+    let mut cfg = ServeConfig::new(spec, o.m);
+    cfg.shards = s.shards;
+    cfg.scenario = o.scenario.clone();
+    cfg.queue_cap = s.queue_cap;
+    cfg.policy = OverloadPolicy::parse(&s.policy)?;
+    cfg.routing = Routing::parse(&s.routing)?;
+    cfg.max_horizon = s.horizon;
+
+    let mut source: Box<dyn ArrivalSource> = match &s.replay {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            Box::new(ReplaySource::from_json(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => {
+            let scenario = Scenario::presets(o.jobs)
+                .into_iter()
+                .find(|sc| sc.name == o.scenario)
+                .ok_or_else(|| {
+                format!(
+                    "unknown scenario '{}'; known: {} (or use --replay FILE)",
+                    o.scenario,
+                    crate::scenario::scenario_names().join(", ")
+                )
+            })?;
+            Box::new(GeneratorSource::new(&scenario, s.rate, o.jobs, o.seed))
+        }
+    };
+
+    let mut pool = ShardPool::launch(cfg);
+    pool.run_source_with(source.as_mut(), s.stats_every, &mut |snap| heartbeat(&snap.line()));
+    let ingest = pool.ingest();
+    heartbeat(&format!(
+        "stream ended: offered={} delivered={} dropped={} redirected={} — draining {} shard(s)",
+        ingest.offered, ingest.delivered, ingest.dropped, ingest.redirected, s.shards
+    ));
+    Ok(pool.drain())
+}
+
+/// Render the final per-shard summary table.
+fn summary_table(o: &ScenarioOpts, s: &ServeOpts, results: &[ShardResult]) -> String {
+    let mut table = Table::new(
+        format!(
+            "serve '{}' — {} on {} shard(s) × m = {}, policy {}",
+            o.scenario, o.scheduler, s.shards, o.m, s.policy
+        ),
+        &[
+            "shard",
+            "jobs",
+            "steps",
+            "dispatched",
+            "max flow",
+            "ratio ≤",
+            "flow p99",
+            "invariants",
+        ],
+    );
+    for r in results {
+        let sm = &r.summary;
+        table.row(vec![
+            r.shard.to_string(),
+            sm.jobs.to_string(),
+            sm.steps.to_string(),
+            sm.dispatched.to_string(),
+            sm.max_flow.to_string(),
+            f3(sm.ratio),
+            sm.flow.p99.to_string(),
+            if sm.invariants_clean {
+                "clean".to_string()
+            } else {
+                format!("{} violation(s)", sm.total_violations)
+            },
+        ]);
+    }
+    table.to_markdown()
+}
+
+/// Append one store record per shard; returns the store directory.
+fn persist(
+    o: &ScenarioOpts,
+    s: &ServeOpts,
+    results: &[ShardResult],
+    dir: &str,
+) -> Result<String, String> {
+    let store = ResultsStore::open(dir).map_err(|e| format!("open store {dir}: {e}"))?;
+    let id = s.run.clone().unwrap_or_else(|| run_id(&o.scenario, &o.scheduler, o.m, o.seed));
+    let git = git_describe();
+    for r in results {
+        let record = StoreRecord {
+            run_id: id.clone(),
+            git: git.clone(),
+            shard: r.shard,
+            shards: results.len(),
+            summary: r.summary.clone(),
+        };
+        store.append(&record).map_err(|e| format!("append to {dir}: {e}"))?;
+    }
+    Ok(dir.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(scenario: &str) -> ScenarioOpts {
+        ScenarioOpts {
+            scenario: scenario.into(),
+            scheduler: "fifo".into(),
+            m: 2,
+            jobs: 10,
+            seed: 3,
+            ..ScenarioOpts::default()
+        }
+    }
+
+    #[test]
+    fn serve_drains_one_summary_per_shard_with_heartbeats() {
+        let mut s = ServeOpts { shards: 2, stats_every: 4, ..ServeOpts::default() };
+        s.rate = 1.0;
+        let mut lines = Vec::new();
+        let results = serve(&opts("service"), &s, &mut |l| lines.push(l.to_string())).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results.iter().map(|r| r.summary.jobs).sum::<usize>(), 10);
+        assert!(lines.iter().any(|l| l.contains("admitted=")), "{lines:?}");
+        assert!(lines.last().unwrap().contains("draining"));
+        let table = summary_table(&opts("service"), &s, &results);
+        assert!(table.contains("| shard |"), "{table}");
+    }
+
+    #[test]
+    fn serve_persists_parseable_store_records() {
+        let dir = std::env::temp_dir().join(format!("flowtree-serve-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = ServeOpts { shards: 2, rate: 1.0, ..ServeOpts::default() };
+        let o = opts("service");
+        let results = serve(&o, &s, &mut |_| {}).unwrap();
+        persist(&o, &s, &results, dir.to_str().unwrap()).unwrap();
+        let records = flowtree_serve::load_records(&dir).unwrap();
+        assert_eq!(records.len(), 2, "one record per shard");
+        assert!(records.iter().all(|r| r.summary.scenario == "service"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_scenario_and_policy_error_cleanly() {
+        let s = ServeOpts::default();
+        assert!(serve(&opts("nope"), &s, &mut |_| {}).is_err());
+        let bad = ServeOpts { policy: "yolo".into(), ..ServeOpts::default() };
+        assert!(serve(&opts("service"), &bad, &mut |_| {}).is_err());
+        let zero = ServeOpts { shards: 0, ..ServeOpts::default() };
+        let err = serve(&opts("service"), &zero, &mut |_| {}).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+    }
+}

@@ -124,8 +124,9 @@ impl SchedulerSpec {
         ]
     }
 
-    /// Build a fresh scheduler from this spec.
-    pub fn build(&self) -> Box<dyn OnlineScheduler> {
+    /// Build a fresh scheduler from this spec. The box is `Send`, so built
+    /// schedulers can move into worker threads (sweeps, serve shards).
+    pub fn build(&self) -> Box<dyn OnlineScheduler + Send> {
         build_scheduler(*self)
     }
 
@@ -152,7 +153,7 @@ impl SchedulerSpec {
 }
 
 /// Build a fresh scheduler from `spec` (see [`SchedulerSpec::build`]).
-pub fn build_scheduler(spec: SchedulerSpec) -> Box<dyn OnlineScheduler> {
+pub fn build_scheduler(spec: SchedulerSpec) -> Box<dyn OnlineScheduler + Send> {
     match spec {
         SchedulerSpec::Fifo(tie) => Box::new(Fifo::new(tie)),
         SchedulerSpec::Lpf => Box::new(Lpf::new()),
@@ -217,6 +218,23 @@ mod tests {
             }
             assert_eq!(inv.rectangle_tail_alpha.is_some(), spec.name() == "lpf");
         }
+    }
+
+    #[test]
+    fn built_schedulers_and_monitor_stack_are_send() {
+        // Compile-time guarantees that a whole monitored cell can move into
+        // a worker thread (parallel sweeps, serve shards).
+        fn assert_send<T: Send>() {}
+        assert_send::<Box<dyn OnlineScheduler + Send>>();
+        assert_send::<flowtree_sim::monitor::LowerBound>();
+        assert_send::<flowtree_sim::monitor::InvariantMonitor>();
+        assert_send::<flowtree_sim::RunHistograms>();
+        assert_send::<flowtree_sim::Counters>();
+        assert_send::<(
+            flowtree_sim::monitor::LowerBound,
+            flowtree_sim::monitor::InvariantMonitor,
+            flowtree_sim::RunHistograms,
+        )>();
     }
 
     #[test]

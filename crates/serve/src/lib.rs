@@ -1,0 +1,45 @@
+//! # flowtree-serve — sharded online simulation service
+//!
+//! Everything else in the workspace simulates a *known* [`Instance`]
+//! (flowtree_sim::Instance) from `t = 0`; this crate runs the simulator as
+//! a *service*: arrivals stream in asynchronously, get routed across a pool
+//! of engine shards, and every drained shard persists its certified
+//! [`RunSummary`](flowtree_analysis::RunSummary) into an append-only results
+//! store that the CLI can trend across runs.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`source`] — where arrivals come from: replayed traces
+//!   ([`ReplaySource`]), lazily sampled workload scenarios
+//!   ([`GeneratorSource`]), or an external thread feeding a channel
+//!   ([`ChannelSource`]).
+//! * [`shard`] — one worker thread per shard driving a streaming
+//!   [`Session`](flowtree_sim::Session) with the live monitor stack
+//!   (`LowerBound` + `InvariantMonitor` + `RunHistograms`) attached as a
+//!   probe tuple.
+//! * [`pool`] — the [`ShardPool`] router: bounded queues, consistent-hash or
+//!   least-loaded placement, and an explicit overload policy (block / drop /
+//!   redirect). Correctness across shards rests on an **event-time
+//!   watermark**: a shard simulates step `t` only once it knows no arrival
+//!   with release `<= t` can still reach it, so a one-shard pool reproduces
+//!   the batch engine's `RunReport` bit for bit (pinned by the differential
+//!   tests).
+//! * [`store`] — append-only JSONL store of [`StoreRecord`]s (run id, git
+//!   describe, shard, summary) under a directory like `results/store/`.
+//! * [`trend`] — cross-run trend tables over store records (ratio,
+//!   throughput, tail flow per scheduler × scenario).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod shard;
+pub mod source;
+pub mod store;
+pub mod trend;
+
+pub use pool::{IngestStats, OverloadPolicy, PoolSnapshot, Routing, ServeConfig, ShardPool};
+pub use shard::{ShardResult, ShardSnapshot};
+pub use source::{channel_source, ArrivalSource, ChannelSource, GeneratorSource, ReplaySource};
+pub use store::{git_describe, load_records, run_id, ResultsStore, StoreRecord};
+pub use trend::{render_trend, trend_tables};

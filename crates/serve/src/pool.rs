@@ -1,0 +1,440 @@
+//! The shard pool: bounded-queue routing of an arrival stream across N
+//! engine shards, with explicit overload behavior and graceful drain.
+//!
+//! Each shard is a worker thread (see [`crate::shard`]) behind a bounded
+//! channel of [`Msg`]s. The router serializes arrivals: it clamps the rare
+//! out-of-order release from a misbehaving source (counting it in
+//! [`IngestStats::reordered`]), picks a shard ([`Routing`]), delivers the
+//! job under the configured [`OverloadPolicy`], and broadcasts the release
+//! as a watermark to every other shard so they may keep simulating. The
+//! watermark broadcast uses `try_send` and silently skips full queues: a
+//! full queue already holds a message whose eventual processing advances
+//! that shard at least as far, so skipping cannot deadlock or stall a shard
+//! forever — it only delays it until its backlog drains.
+
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{self, Sender, TrySendError};
+use flowtree_core::SchedulerSpec;
+use flowtree_dag::Time;
+use flowtree_sim::JobSpec;
+
+use crate::shard::{run_shard, Msg, ShardResult, ShardSnapshot};
+use crate::source::ArrivalSource;
+
+/// What to do with an arrival whose target shard queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Apply backpressure: block the ingest thread until there is room
+    /// (never loses work; the default).
+    Block,
+    /// Shed load: drop the arriving job (counted in
+    /// [`IngestStats::dropped`]); its release still advances watermarks.
+    DropNewest,
+    /// Try every other shard in ascending queue-length order, falling back
+    /// to a blocking send on the original target (never loses work).
+    Redirect,
+}
+
+impl OverloadPolicy {
+    /// CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OverloadPolicy::Block => "block",
+            OverloadPolicy::DropNewest => "drop",
+            OverloadPolicy::Redirect => "redirect",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "block" => Ok(OverloadPolicy::Block),
+            "drop" => Ok(OverloadPolicy::DropNewest),
+            "redirect" => Ok(OverloadPolicy::Redirect),
+            other => {
+                Err(format!("unknown overload policy '{other}'; known: block, drop, redirect"))
+            }
+        }
+    }
+}
+
+/// How the router picks a shard for each arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Multiplicative hash of the arrival sequence number — stateless and
+    /// uniform, like consistent hashing over a fixed ring.
+    Hash,
+    /// The shard with the shortest queue right now.
+    LeastLoaded,
+}
+
+impl Routing {
+    /// CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Routing::Hash => "hash",
+            Routing::LeastLoaded => "least-loaded",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "hash" => Ok(Routing::Hash),
+            "least-loaded" => Ok(Routing::LeastLoaded),
+            other => Err(format!("unknown routing '{other}'; known: hash, least-loaded")),
+        }
+    }
+}
+
+/// Configuration of a [`ShardPool`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of engine shards (worker threads).
+    pub shards: usize,
+    /// Processors per shard.
+    pub m: usize,
+    /// Scheduler to run on every shard.
+    pub spec: SchedulerSpec,
+    /// Scenario label carried into summaries and store records.
+    pub scenario: String,
+    /// Bounded queue capacity per shard.
+    pub queue_cap: usize,
+    /// What to do when a shard queue is full.
+    pub policy: OverloadPolicy,
+    /// How arrivals are placed.
+    pub routing: Routing,
+    /// Safety horizon per shard (a stalling scheduler errors out instead of
+    /// spinning forever).
+    pub max_horizon: Time,
+}
+
+impl ServeConfig {
+    /// A single-shard, blocking, hash-routed pool — the configuration whose
+    /// behavior is bit-for-bit the batch engine's.
+    pub fn new(spec: SchedulerSpec, m: usize) -> Self {
+        ServeConfig {
+            shards: 1,
+            m,
+            spec,
+            scenario: "serve".to_string(),
+            queue_cap: 1024,
+            policy: OverloadPolicy::Block,
+            routing: Routing::Hash,
+            max_horizon: 100_000_000,
+        }
+    }
+}
+
+/// Ingest-side counters (what happened to offered arrivals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Arrivals offered to the pool.
+    pub offered: u64,
+    /// Arrivals delivered to some shard.
+    pub delivered: u64,
+    /// Arrivals shed under [`OverloadPolicy::DropNewest`].
+    pub dropped: u64,
+    /// Arrivals placed on a shard other than the routed one under
+    /// [`OverloadPolicy::Redirect`].
+    pub redirected: u64,
+    /// Arrivals whose release went backwards and was clamped forward.
+    pub reordered: u64,
+}
+
+/// A point-in-time view of the whole pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// Per-shard progress, indexed by shard.
+    pub shards: Vec<ShardSnapshot>,
+    /// Ingest counters at snapshot time.
+    pub ingest: IngestStats,
+}
+
+impl PoolSnapshot {
+    /// Jobs admitted across all shards.
+    pub fn total_admitted(&self) -> usize {
+        self.shards.iter().map(|s| s.admitted).sum()
+    }
+
+    /// Subjobs dispatched across all shards.
+    pub fn total_dispatched(&self) -> u64 {
+        self.shards.iter().map(|s| s.dispatched).sum()
+    }
+
+    /// One human-readable stats line (the CLI's periodic heartbeat).
+    pub fn line(&self) -> String {
+        let now = self.shards.iter().map(|s| s.now).min().unwrap_or(0);
+        let queued: usize = self.shards.iter().map(|s| s.queue_len).sum();
+        let lb = self.shards.iter().map(|s| s.lower_bound).max().unwrap_or(0);
+        format!(
+            "t>={now} admitted={} dispatched={} queued={queued} lb>={lb} dropped={} redirected={}",
+            self.total_admitted(),
+            self.total_dispatched(),
+            self.ingest.dropped,
+            self.ingest.redirected,
+        )
+    }
+}
+
+/// A running pool of engine shards consuming an arrival stream.
+///
+/// Feed it with [`offer`](Self::offer) (or [`run_source`](Self::run_source)
+/// to pump an [`ArrivalSource`] dry), watch it with
+/// [`snapshot`](Self::snapshot), and finish with [`drain`](Self::drain),
+/// which returns one [`ShardResult`] per shard.
+#[derive(Debug)]
+pub struct ShardPool {
+    cfg: ServeConfig,
+    txs: Vec<Sender<Msg>>,
+    handles: Vec<JoinHandle<ShardResult>>,
+    snaps: Vec<Arc<Mutex<ShardSnapshot>>>,
+    seq: u64,
+    last_release: Time,
+    ingest: IngestStats,
+}
+
+impl ShardPool {
+    /// Spawn the shard workers and return the pool, ready for arrivals.
+    pub fn launch(cfg: ServeConfig) -> Self {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert!(cfg.m >= 1, "need at least one processor per shard");
+        assert!(cfg.queue_cap >= 1, "queues must hold at least one message");
+        let mut txs = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        let mut snaps = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let (tx, rx) = channel::bounded(cfg.queue_cap);
+            let snap = Arc::new(Mutex::new(ShardSnapshot::default()));
+            let (m, spec, scenario, horizon) =
+                (cfg.m, cfg.spec, cfg.scenario.clone(), cfg.max_horizon);
+            let worker_snap = Arc::clone(&snap);
+            let handle = std::thread::Builder::new()
+                .name(format!("flowtree-shard-{shard}"))
+                .spawn(move || run_shard(shard, m, spec, scenario, horizon, rx, worker_snap))
+                .expect("spawn shard worker");
+            txs.push(tx);
+            handles.push(handle);
+            snaps.push(snap);
+        }
+        ShardPool {
+            cfg,
+            txs,
+            handles,
+            snaps,
+            seq: 0,
+            last_release: 0,
+            ingest: IngestStats::default(),
+        }
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Ingest counters so far.
+    pub fn ingest(&self) -> IngestStats {
+        self.ingest
+    }
+
+    fn pick_shard(&self) -> usize {
+        match self.cfg.routing {
+            Routing::Hash => {
+                (self.seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % self.txs.len()
+            }
+            Routing::LeastLoaded => (0..self.txs.len())
+                .min_by_key(|&i| self.txs[i].len())
+                .expect("at least one shard"),
+        }
+    }
+
+    /// Route one arrival. A release earlier than the last offered one is
+    /// clamped forward (counted in [`IngestStats::reordered`]) so shard
+    /// sessions always see admissible order.
+    pub fn offer(&mut self, mut spec: JobSpec) {
+        self.ingest.offered += 1;
+        if spec.release < self.last_release {
+            spec.release = self.last_release;
+            self.ingest.reordered += 1;
+        }
+        self.last_release = spec.release;
+        let release = spec.release;
+        let target = self.pick_shard();
+        self.seq = self.seq.wrapping_add(1);
+
+        let mut delivered_to = None;
+        match self.cfg.policy {
+            OverloadPolicy::Block => {
+                self.txs[target].send(Msg::Job(spec)).expect("shard hung up");
+                delivered_to = Some(target);
+            }
+            OverloadPolicy::DropNewest => match self.txs[target].try_send(Msg::Job(spec)) {
+                Ok(()) => delivered_to = Some(target),
+                Err(TrySendError::Full(_)) => self.ingest.dropped += 1,
+                Err(TrySendError::Disconnected(_)) => panic!("shard hung up"),
+            },
+            OverloadPolicy::Redirect => {
+                let mut order: Vec<usize> = (0..self.txs.len()).collect();
+                order.sort_by_key(|&i| (i != target, self.txs[i].len()));
+                let mut msg = Some(Msg::Job(spec));
+                for &i in &order {
+                    match self.txs[i].try_send(msg.take().expect("message pending")) {
+                        Ok(()) => {
+                            delivered_to = Some(i);
+                            break;
+                        }
+                        Err(TrySendError::Full(back)) => msg = Some(back),
+                        Err(TrySendError::Disconnected(_)) => panic!("shard hung up"),
+                    }
+                }
+                if let Some(msg) = msg {
+                    // Everyone is full: fall back to backpressure.
+                    self.txs[target].send(msg).expect("shard hung up");
+                    delivered_to = Some(target);
+                }
+                if delivered_to != Some(target) {
+                    self.ingest.redirected += 1;
+                }
+            }
+        }
+        if delivered_to.is_some() {
+            self.ingest.delivered += 1;
+        }
+        // Advance event time everywhere the job did not land.
+        for (i, tx) in self.txs.iter().enumerate() {
+            if Some(i) != delivered_to {
+                let _ = tx.try_send(Msg::Watermark(release));
+            }
+        }
+    }
+
+    /// Pump `source` dry, calling `progress` with a fresh snapshot every
+    /// `every` arrivals (0 disables). Returns the number of arrivals offered.
+    pub fn run_source_with(
+        &mut self,
+        source: &mut dyn ArrivalSource,
+        every: u64,
+        progress: &mut dyn FnMut(&PoolSnapshot),
+    ) -> u64 {
+        let mut n = 0u64;
+        while let Some(spec) = source.next_arrival() {
+            self.offer(spec);
+            n += 1;
+            if every > 0 && n.is_multiple_of(every) {
+                progress(&self.snapshot());
+            }
+        }
+        n
+    }
+
+    /// Pump `source` dry without progress reporting.
+    pub fn run_source(&mut self, source: &mut dyn ArrivalSource) -> u64 {
+        self.run_source_with(source, 0, &mut |_| {})
+    }
+
+    /// A point-in-time view of every shard plus ingest counters.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        let shards = self
+            .snaps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut snap = s.lock().expect("shard snapshot lock").clone();
+                snap.queue_len = self.txs[i].len();
+                snap
+            })
+            .collect();
+        PoolSnapshot { shards, ingest: self.ingest }
+    }
+
+    /// Graceful shutdown: tell every shard to run dry, wait for all of
+    /// them, and return their results ordered by shard index.
+    pub fn drain(self) -> Vec<ShardResult> {
+        let ShardPool { txs, handles, .. } = self;
+        for tx in &txs {
+            tx.send(Msg::Drain).expect("shard hung up");
+        }
+        drop(txs);
+        let mut results: Vec<ShardResult> =
+            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect();
+        results.sort_by_key(|r| r.shard);
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtree_dag::builder::{chain, star};
+
+    fn fifo() -> SchedulerSpec {
+        SchedulerSpec::parse("fifo", 1).expect("fifo parses")
+    }
+
+    #[test]
+    fn policy_and_routing_names_roundtrip() {
+        for p in [OverloadPolicy::Block, OverloadPolicy::DropNewest, OverloadPolicy::Redirect] {
+            assert_eq!(OverloadPolicy::parse(p.name()), Ok(p));
+        }
+        for r in [Routing::Hash, Routing::LeastLoaded] {
+            assert_eq!(Routing::parse(r.name()), Ok(r));
+        }
+        assert!(OverloadPolicy::parse("yolo").is_err());
+        assert!(Routing::parse("ring").is_err());
+    }
+
+    #[test]
+    fn out_of_order_releases_are_clamped_and_counted() {
+        let mut cfg = ServeConfig::new(fifo(), 2);
+        cfg.scenario = "reorder".to_string();
+        let mut pool = ShardPool::launch(cfg);
+        pool.offer(JobSpec { graph: chain(2), release: 5 });
+        pool.offer(JobSpec { graph: star(2), release: 3 }); // late straggler
+        assert_eq!(pool.ingest().reordered, 1);
+        let results = pool.drain();
+        assert_eq!(results[0].summary.jobs, 2);
+        // Both jobs run with release 5 after the clamp.
+        assert_eq!(results[0].instance.last_release(), 5);
+        assert!(results[0].summary.invariants_clean);
+    }
+
+    #[test]
+    fn hash_routing_spreads_across_shards() {
+        let mut cfg = ServeConfig::new(fifo(), 1);
+        cfg.shards = 4;
+        let pool = ShardPool::launch(cfg);
+        let mut hit = vec![false; 4];
+        for seq in 0u64..64 {
+            hit[(seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % 4] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "hash leaves a shard cold: {hit:?}");
+        let results = pool.drain(); // zero-job drain is clean
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert_eq!(r.summary.jobs, 0);
+            assert_eq!(r.summary.max_flow, 0);
+        }
+    }
+
+    #[test]
+    fn snapshot_reports_progress_and_queues() {
+        let mut cfg = ServeConfig::new(fifo(), 2);
+        cfg.shards = 2;
+        let mut pool = ShardPool::launch(cfg);
+        for t in 0..6 {
+            pool.offer(JobSpec { graph: chain(3), release: t });
+        }
+        let snap = pool.snapshot();
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.ingest.offered, 6);
+        assert_eq!(snap.ingest.delivered, 6);
+        let line = snap.line();
+        assert!(line.contains("admitted="), "{line}");
+        let results = pool.drain();
+        let total: usize = results.iter().map(|r| r.summary.jobs).sum();
+        assert_eq!(total, 6);
+    }
+}

@@ -1,0 +1,146 @@
+//! One shard: a worker thread driving a streaming [`Session`] under the
+//! pool's event-time watermark protocol.
+//!
+//! The worker owns a scheduler (built fresh from its
+//! [`SchedulerSpec`]) and the streaming monitor stack — a
+//! [`LowerBound`], an [`InvariantMonitor`], and [`RunHistograms`] attached
+//! to the session as one probe tuple, exactly like the batch
+//! [`summarize`](flowtree_analysis::summarize) path. Messages arrive on a
+//! bounded channel:
+//!
+//! * [`Msg::Job`] admits an arrival and advances the shard's *safe* time to
+//!   the job's release — once the router has shown us release `r`, the
+//!   global nondecreasing-release contract guarantees no later arrival can
+//!   land before `r`, so every step `t < r` may be simulated.
+//! * [`Msg::Watermark`] advances safe time without a job (the arrival went
+//!   to a different shard, or was dropped).
+//! * [`Msg::Drain`] (or a closed channel) lifts the limit entirely: the
+//!   session runs dry, and the worker returns a [`ShardResult`] carrying the
+//!   verified [`RunReport`], the materialized per-shard [`Instance`], and a
+//!   certified [`RunSummary`] — the same record a batch run would produce
+//!   for that instance.
+
+use std::sync::{Arc, Mutex};
+
+use crossbeam::channel::Receiver;
+use flowtree_analysis::{summary_from_parts, RunSummary};
+use flowtree_core::SchedulerSpec;
+use flowtree_dag::Time;
+use flowtree_sim::monitor::{InvariantMonitor, LowerBound};
+use flowtree_sim::{Instance, JobSpec, RunHistograms, RunReport, Session};
+
+/// A message from the router to one shard worker.
+#[derive(Debug)]
+pub enum Msg {
+    /// Admit this arrival (release implies a watermark).
+    Job(JobSpec),
+    /// No job for you, but event time has advanced this far.
+    Watermark(Time),
+    /// No further messages follow: run dry and report.
+    Drain,
+}
+
+/// A live, lock-published view of one shard's progress (see
+/// [`ShardPool::snapshot`](crate::ShardPool::snapshot)).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// The shard's simulated clock.
+    pub now: Time,
+    /// Jobs admitted so far.
+    pub admitted: usize,
+    /// Steps simulated so far.
+    pub steps: u64,
+    /// Subjobs dispatched so far.
+    pub dispatched: u64,
+    /// The live Lemma 5.1 lower bound over admitted jobs.
+    pub lower_bound: u64,
+    /// Messages queued to the shard (filled in by the pool, not the worker).
+    pub queue_len: usize,
+}
+
+/// What one drained shard hands back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardResult {
+    /// The shard's index in the pool.
+    pub shard: usize,
+    /// The certified run summary for this shard's sub-instance.
+    pub summary: RunSummary,
+    /// The full run report (schedule + stats + counters), already verified
+    /// feasible against `instance`.
+    pub report: RunReport,
+    /// The per-shard instance materialized from admissions.
+    pub instance: Instance,
+}
+
+/// Worker body: consume messages until drained, then summarize.
+pub(crate) fn run_shard(
+    shard: usize,
+    m: usize,
+    spec: SchedulerSpec,
+    scenario: String,
+    max_horizon: Time,
+    rx: Receiver<Msg>,
+    snap: Arc<Mutex<ShardSnapshot>>,
+) -> ShardResult {
+    let mut sched = spec.build();
+    let mut lb = LowerBound::streaming();
+    let mut inv = InvariantMonitor::streaming(spec.invariants());
+    let mut histos = RunHistograms::new();
+    let mut session =
+        Session::new(m)
+            .with_max_horizon(max_horizon)
+            .with_probe((&mut lb, &mut inv, &mut histos));
+
+    let mut safe: Time = 0;
+    let mut draining = false;
+    let mut batch: Vec<Msg> = Vec::new();
+    loop {
+        // Block for one message, then absorb the backlog without blocking,
+        // so a burst is admitted whole before simulation resumes.
+        match rx.recv() {
+            Ok(msg) => {
+                batch.push(msg);
+                while let Some(msg) = rx.try_recv() {
+                    batch.push(msg);
+                }
+            }
+            Err(_) => draining = true,
+        }
+        for msg in batch.drain(..) {
+            match msg {
+                Msg::Job(job) => {
+                    safe = safe.max(job.release);
+                    session
+                        .admit(job)
+                        .expect("router delivers jobs in nondecreasing release order");
+                }
+                Msg::Watermark(w) => safe = safe.max(w),
+                Msg::Drain => draining = true,
+            }
+        }
+        let target = if draining { Time::MAX } else { safe };
+        session
+            .run_until(target, sched.as_mut())
+            .unwrap_or_else(|e| panic!("shard {shard}: {e}"));
+        {
+            let counters = session.counters();
+            let mut s = snap.lock().expect("shard snapshot lock");
+            s.now = session.now();
+            s.admitted = session.num_admitted();
+            s.steps = counters.steps;
+            s.dispatched = counters.dispatched;
+            s.lower_bound = session.probe().0.lower_bound();
+        }
+        if draining {
+            break;
+        }
+    }
+
+    let (report, instance) = session.finish();
+    report
+        .verify(&instance)
+        .unwrap_or_else(|e| panic!("shard {shard} produced an infeasible schedule: {e}"));
+    let summary =
+        summary_from_parts(&scenario, spec.name(), &instance, m, &report, &lb, &inv, &histos);
+    ShardResult { shard, summary, report, instance }
+}

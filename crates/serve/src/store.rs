@@ -1,0 +1,152 @@
+//! Persistent results store: append-only JSONL records of drained runs.
+//!
+//! Each [`StoreRecord`] is one shard's certified
+//! [`RunSummary`](flowtree_analysis::RunSummary) plus identifying metadata
+//! (run id, `git describe`, shard index). Records append to
+//! `<dir>/<run_id>.jsonl`, one JSON object per line, so a run can be
+//! re-executed (appending new lines to the same file) without rewriting
+//! history, and [`load_records`] can trend over every run in a directory.
+//! The conventional location is `results/store/` at the repository root.
+
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use flowtree_analysis::RunSummary;
+
+/// One persisted shard result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreRecord {
+    /// Identifies the serve run (conventionally from [`run_id`]).
+    pub run_id: String,
+    /// `git describe --always --dirty` of the producing tree (or
+    /// `"unknown"` outside a repository).
+    pub git: String,
+    /// Which shard of the run this record is.
+    pub shard: usize,
+    /// How many shards the run had.
+    pub shards: usize,
+    /// The shard's certified run summary.
+    pub summary: RunSummary,
+}
+
+serde::impl_serde_struct!(StoreRecord { run_id, git, shard, shards, summary });
+
+/// An append-only directory of JSONL run records.
+#[derive(Debug, Clone)]
+pub struct ResultsStore {
+    dir: PathBuf,
+}
+
+impl ResultsStore {
+    /// Open (creating if needed) the store directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultsStore { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Append one record to `<dir>/<run_id>.jsonl`; returns the file path.
+    pub fn append(&self, record: &StoreRecord) -> io::Result<PathBuf> {
+        let file = self.dir.join(format!("{}.jsonl", sanitize(&record.run_id)));
+        let line = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut f = OpenOptions::new().create(true).append(true).open(&file)?;
+        writeln!(f, "{line}")?;
+        Ok(file)
+    }
+
+    /// Load every record in the store, file-sorted then line-ordered.
+    pub fn load(&self) -> io::Result<Vec<StoreRecord>> {
+        load_records(&self.dir)
+    }
+}
+
+/// Load records from a JSONL file, or from every `*.jsonl` file (sorted by
+/// name) when `path` is a directory.
+pub fn load_records(path: &Path) -> io::Result<Vec<StoreRecord>> {
+    let mut records = Vec::new();
+    if path.is_dir() {
+        let mut files: Vec<PathBuf> = fs::read_dir(path)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+            .collect();
+        files.sort();
+        for file in files {
+            load_file(&file, &mut records)?;
+        }
+    } else {
+        load_file(path, &mut records)?;
+    }
+    Ok(records)
+}
+
+fn load_file(path: &Path, out: &mut Vec<StoreRecord>) -> io::Result<()> {
+    let text = fs::read_to_string(path)?;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let record: StoreRecord = serde_json::from_str(line).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("{}:{}: {e}", path.display(), i + 1))
+        })?;
+        out.push(record);
+    }
+    Ok(())
+}
+
+/// `git describe --always --dirty` of the current tree, or `"unknown"`.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The conventional run id: `<scenario>-<scheduler>-m<m>-s<seed>`,
+/// sanitized for use as a file name.
+pub fn run_id(scenario: &str, scheduler: &str, m: usize, seed: u64) -> String {
+    sanitize(&format!("{scenario}-{scheduler}-m{m}-s{seed}"))
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_ids_are_filesystem_safe() {
+        assert_eq!(run_id("sort farm", "fifo", 8, 42), "sort-farm-fifo-m8-s42");
+        assert_eq!(sanitize("a/b\\c:d"), "a-b-c-d");
+    }
+
+    #[test]
+    fn git_describe_never_panics() {
+        let g = git_describe();
+        assert!(!g.is_empty());
+        assert!(!g.contains('\n'));
+    }
+}

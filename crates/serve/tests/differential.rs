@@ -1,0 +1,225 @@
+//! Differential and soak tests for the sharded serve pipeline.
+//!
+//! The load-bearing guarantee: a one-shard pool replaying a recorded
+//! instance is *bit for bit* the batch engine — same `RunReport`, same
+//! certified `RunSummary`. The multi-shard tests then pin the operational
+//! properties: overload with backpressure neither deadlocks nor loses jobs,
+//! every drained shard emits a valid, verified summary, and the persistent
+//! store round-trips records that the trend renderer can consume.
+
+use flowtree_analysis::summarize;
+use flowtree_core::SchedulerSpec;
+use flowtree_dag::builder::chain;
+use flowtree_serve::{
+    channel_source, GeneratorSource, OverloadPolicy, ReplaySource, ResultsStore, Routing,
+    ServeConfig, ShardPool, StoreRecord,
+};
+use flowtree_sim::{Engine, JobSpec};
+use flowtree_workloads::mix::Scenario;
+
+fn spec(name: &str) -> SchedulerSpec {
+    SchedulerSpec::parse(name, 1).expect("registry name parses")
+}
+
+#[test]
+fn one_shard_replay_is_bit_for_bit_identical_to_batch() {
+    let scenario = Scenario::service(24);
+    let inst = scenario.instantiate(&mut flowtree_workloads::rng(7));
+    let m = 4;
+    let fifo = spec("fifo");
+
+    // Batch references: the monitored summary and a raw engine report.
+    let batch_summary = summarize("service", &inst, m, fifo).expect("batch run");
+    let mut sched = fifo.build();
+    let batch_report = Engine::new(m)
+        .with_max_horizon(100_000_000)
+        .run(&inst, sched.as_mut())
+        .expect("batch engine run");
+
+    // Streamed: one shard consuming a replay of the same arrivals.
+    let mut cfg = ServeConfig::new(fifo, m);
+    cfg.scenario = "service".to_string();
+    let mut pool = ShardPool::launch(cfg);
+    let mut src = ReplaySource::from_instance(&inst);
+    assert_eq!(pool.run_source(&mut src), 24);
+    let results = pool.drain();
+    assert_eq!(results.len(), 1);
+
+    let streamed = &results[0];
+    assert_eq!(streamed.instance, inst, "admissions materialize the replayed instance");
+    assert_eq!(streamed.report, batch_report, "schedule, stats, and counters are identical");
+    assert_eq!(streamed.summary, batch_summary, "certified summaries are identical");
+}
+
+#[test]
+fn one_shard_replay_matches_batch_for_every_matrix_scheduler() {
+    let inst = Scenario::analytics(10).instantiate(&mut flowtree_workloads::rng(13));
+    let m = 4;
+    for s in SchedulerSpec::matrix() {
+        let batch = summarize("analytics", &inst, m, s).expect("batch run");
+        let mut cfg = ServeConfig::new(s, m);
+        cfg.scenario = "analytics".to_string();
+        let mut pool = ShardPool::launch(cfg);
+        pool.run_source(&mut ReplaySource::from_instance(&inst));
+        let results = pool.drain();
+        assert_eq!(results[0].summary, batch, "{} diverges from batch", s.name());
+    }
+}
+
+#[test]
+fn multi_shard_overload_backpressure_loses_nothing_and_conserves_work() {
+    // queue_cap 2 with 60 arrivals over 3 shards forces real backpressure;
+    // Block must neither deadlock nor drop.
+    let scenario = Scenario::service(1);
+    let mut src = GeneratorSource::new(&scenario, 2.0, 60, 11);
+    let mut cfg = ServeConfig::new(spec("fifo"), 2);
+    cfg.shards = 3;
+    cfg.queue_cap = 2;
+    cfg.scenario = "overload".to_string();
+    cfg.routing = Routing::LeastLoaded;
+    let mut pool = ShardPool::launch(cfg);
+    let offered = pool.run_source(&mut src);
+    assert_eq!(offered, 60);
+
+    let snap = pool.snapshot();
+    assert_eq!(snap.ingest.offered, 60);
+    assert_eq!(snap.ingest.delivered, 60);
+    assert_eq!(snap.ingest.dropped, 0);
+
+    let results = pool.drain();
+    assert_eq!(results.len(), 3, "drain emits one result per shard");
+    let total: usize = results.iter().map(|r| r.summary.jobs).sum();
+    assert_eq!(total, 60, "no job lost under backpressure");
+    for r in &results {
+        assert_eq!(r.summary.jobs, r.instance.num_jobs());
+        // FIFO is work-conserving; the per-shard streaming monitor must
+        // agree (Lemma 5.5 on each shard's sub-instance).
+        assert!(r.summary.invariants_clean, "shard {}: {:?}", r.shard, r.summary.violations);
+        r.report.verify(&r.instance).expect("feasible shard schedule");
+    }
+}
+
+#[test]
+fn drop_newest_accounts_for_every_offered_job() {
+    let scenario = Scenario::analytics(1);
+    let mut src = GeneratorSource::new(&scenario, 4.0, 40, 3);
+    let mut cfg = ServeConfig::new(spec("fifo"), 2);
+    cfg.shards = 2;
+    cfg.queue_cap = 1;
+    cfg.policy = OverloadPolicy::DropNewest;
+    cfg.scenario = "shed".to_string();
+    let mut pool = ShardPool::launch(cfg);
+    let offered = pool.run_source(&mut src);
+    let ingest = pool.ingest();
+    let results = pool.drain();
+    let admitted: u64 = results.iter().map(|r| r.summary.jobs as u64).sum();
+    assert_eq!(ingest.delivered, admitted);
+    assert_eq!(admitted + ingest.dropped, offered, "every offer is admitted or counted dropped");
+    for r in &results {
+        assert!(r.summary.invariants_clean);
+    }
+}
+
+#[test]
+fn redirect_policy_never_loses_jobs() {
+    let scenario = Scenario::service(1);
+    let mut src = GeneratorSource::new(&scenario, 3.0, 30, 5);
+    let mut cfg = ServeConfig::new(spec("fifo"), 2);
+    cfg.shards = 2;
+    cfg.queue_cap = 1;
+    cfg.policy = OverloadPolicy::Redirect;
+    cfg.scenario = "redirect".to_string();
+    let mut pool = ShardPool::launch(cfg);
+    let offered = pool.run_source(&mut src);
+    let results = pool.drain();
+    let admitted: u64 = results.iter().map(|r| r.summary.jobs as u64).sum();
+    assert_eq!(admitted, offered, "redirect degrades to backpressure, never loss");
+}
+
+#[test]
+fn channel_source_serves_an_external_producer_to_drain() {
+    let (tx, mut src) = channel_source();
+    let producer = std::thread::spawn(move || {
+        for t in 0..10u64 {
+            tx.send(JobSpec { graph: chain(3), release: t })
+                .expect("pool outlives producer");
+        }
+        // Dropping the sender ends the stream.
+    });
+    let mut cfg = ServeConfig::new(spec("fifo-lpf"), 2);
+    cfg.shards = 2;
+    cfg.scenario = "channel".to_string();
+    let mut pool = ShardPool::launch(cfg);
+    let n = pool.run_source(&mut src);
+    producer.join().expect("producer thread");
+    assert_eq!(n, 10);
+    let results = pool.drain();
+    assert_eq!(results.iter().map(|r| r.summary.jobs).sum::<usize>(), 10);
+}
+
+#[test]
+fn store_roundtrips_and_trend_renders_across_runs() {
+    let dir = std::env::temp_dir().join(format!("flowtree-store-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ResultsStore::open(&dir).expect("open store");
+
+    let inst = Scenario::sort_farm(6).instantiate(&mut flowtree_workloads::rng(2));
+    for name in ["fifo", "lpf"] {
+        let summary = summarize("sort-farm", &inst, 4, spec(name)).expect("batch run");
+        let record = StoreRecord {
+            run_id: flowtree_serve::run_id("sort-farm", name, 4, 2),
+            git: "test".to_string(),
+            shard: 0,
+            shards: 1,
+            summary,
+        };
+        let path = store.append(&record).expect("append");
+        assert!(path.exists());
+    }
+
+    let records = store.load().expect("load store");
+    assert_eq!(records.len(), 2);
+    assert!(records.iter().any(|r| r.summary.scheduler == "fifo"));
+    assert!(records.iter().any(|r| r.summary.scheduler == "lpf"));
+
+    let tables = flowtree_serve::trend_tables(&records);
+    assert_eq!(tables.len(), 1, "one (scenario, m) group");
+    assert_eq!(tables[0].len(), 2, "one row per record");
+
+    let md = flowtree_serve::render_trend(&records);
+    assert!(md.contains("sort-farm") && md.contains("fifo") && md.contains("lpf"), "{md}");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn serve_results_persist_and_reload_through_the_store() {
+    // End to end: pool -> store -> load -> trend.
+    let dir = std::env::temp_dir().join(format!("flowtree-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ResultsStore::open(&dir).expect("open store");
+
+    let inst = Scenario::service(12).instantiate(&mut flowtree_workloads::rng(21));
+    let mut cfg = ServeConfig::new(spec("fifo"), 2);
+    cfg.shards = 2;
+    cfg.scenario = "service".to_string();
+    let mut pool = ShardPool::launch(cfg);
+    pool.run_source(&mut ReplaySource::from_instance(&inst));
+    let results = pool.drain();
+    let shards = results.len();
+    for r in &results {
+        let record = StoreRecord {
+            run_id: flowtree_serve::run_id("service", "fifo", 2, 21),
+            git: flowtree_serve::git_describe(),
+            shard: r.shard,
+            shards,
+            summary: r.summary.clone(),
+        };
+        store.append(&record).expect("append");
+    }
+    let back = store.load().expect("reload");
+    assert_eq!(back.len(), shards);
+    for (record, r) in back.iter().zip(&results) {
+        assert_eq!(record.summary, r.summary, "summary survives the JSONL roundtrip");
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

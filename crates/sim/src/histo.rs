@@ -277,6 +277,10 @@ impl Probe for RunHistograms {
     }
 
     fn on_release(&mut self, t: Time, job: JobId) {
+        // Grow on demand: streaming sessions admit jobs after `on_start`.
+        if job.index() >= self.releases.len() {
+            self.releases.resize(job.index() + 1, None);
+        }
         self.releases[job.index()] = Some(t);
     }
 

@@ -54,6 +54,31 @@ impl Instance {
         Instance::new(vec![JobSpec { graph, release: 0 }])
     }
 
+    /// An instance with no jobs yet, for incremental construction via
+    /// [`push_job`](Self::push_job) (streaming sessions admit arrivals one at
+    /// a time instead of sorting a full batch up front).
+    pub fn empty() -> Self {
+        Instance { jobs: Vec::new() }
+    }
+
+    /// Append a job arriving no earlier than every job already present, so
+    /// the sorted-by-release invariant is preserved without a sort. Returns
+    /// the new job's id. Panics if `spec.release` would go backwards.
+    pub fn push_job(&mut self, spec: JobSpec) -> JobId {
+        if let Some(last) = self.jobs.last() {
+            assert!(
+                spec.release >= last.release,
+                "streamed arrivals must have nondecreasing release times \
+                 ({} after {})",
+                spec.release,
+                last.release
+            );
+        }
+        let id = JobId(self.jobs.len() as u32);
+        self.jobs.push(spec);
+        id
+    }
+
     /// Number of jobs.
     pub fn num_jobs(&self) -> usize {
         self.jobs.len()
@@ -215,6 +240,36 @@ mod tests {
     #[should_panic(expected = "at least one job")]
     fn empty_instance_panics() {
         Instance::new(vec![]);
+    }
+
+    #[test]
+    fn push_job_appends_in_release_order() {
+        let mut i = Instance::empty();
+        assert_eq!(i.num_jobs(), 0);
+        assert_eq!(i.last_release(), 0);
+        assert_eq!(i.push_job(JobSpec { graph: chain(2), release: 1 }), JobId(0));
+        assert_eq!(i.push_job(JobSpec { graph: star(2), release: 1 }), JobId(1));
+        assert_eq!(i.push_job(JobSpec { graph: chain(3), release: 4 }), JobId(2));
+        assert_eq!(i.num_jobs(), 3);
+        assert_eq!(i.last_release(), 4);
+        assert_eq!(i.total_work(), 2 + 3 + 3);
+        // The incrementally built instance equals the batch-sorted one.
+        assert_eq!(
+            i,
+            Instance::new(vec![
+                JobSpec { graph: chain(2), release: 1 },
+                JobSpec { graph: star(2), release: 1 },
+                JobSpec { graph: chain(3), release: 4 },
+            ])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn push_job_rejects_backwards_release() {
+        let mut i = Instance::empty();
+        i.push_job(JobSpec { graph: chain(1), release: 5 });
+        i.push_job(JobSpec { graph: chain(1), release: 4 });
     }
 
     #[test]

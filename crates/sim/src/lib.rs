@@ -45,6 +45,7 @@ pub mod probe;
 pub mod replay;
 pub mod schedule;
 pub mod scheduler;
+pub mod session;
 pub mod speed;
 pub mod state;
 pub mod trace;
@@ -58,6 +59,7 @@ pub use probe::{Counters, JsonlTrace, NullProbe, Probe, StepStat};
 pub use replay::Replay;
 pub use schedule::{FeasibilityError, Schedule};
 pub use scheduler::{Clairvoyance, OnlineScheduler, Selection, SimView};
+pub use session::{Session, SessionError};
 pub use state::SimState;
 
 pub use flowtree_dag::{JobId, NodeId, Time};

@@ -20,7 +20,7 @@
 
 use crate::instance::Instance;
 use crate::probe::{Probe, StepStat};
-use flowtree_dag::{DepthProfile, JobId, Time};
+use flowtree_dag::{DepthProfile, JobGraph, JobId, Time};
 
 /// Live Lemma 5.1 lower-bound tracker.
 ///
@@ -36,9 +36,12 @@ use flowtree_dag::{DepthProfile, JobId, Time};
 pub struct LowerBound {
     profiles: Vec<DepthProfile>,
     /// Per-job Lemma 5.1 bounds on the run's machine size (filled at
-    /// `on_start`).
+    /// `on_start`, or per job at `on_admit` for streaming sessions).
     bounds: Vec<Time>,
     releases: Vec<Option<Time>>,
+    /// Machine size (recorded at `on_start`; streaming admits need it to
+    /// evaluate per-job bounds as graphs arrive).
+    m: u64,
     lb: Time,
     max_flow: Option<Time>,
 }
@@ -53,6 +56,21 @@ impl LowerBound {
             profiles,
             bounds: Vec::new(),
             releases: vec![None; n],
+            m: 0,
+            lb: 0,
+            max_flow: None,
+        }
+    }
+
+    /// A tracker for a streaming [`Session`](crate::Session), which starts
+    /// with zero jobs: profiles and bounds are computed incrementally as the
+    /// session emits [`Probe::on_admit`] for each arriving job.
+    pub fn streaming() -> Self {
+        LowerBound {
+            profiles: Vec::new(),
+            bounds: Vec::new(),
+            releases: Vec::new(),
+            m: 0,
             lb: 0,
             max_flow: None,
         }
@@ -90,11 +108,23 @@ impl Probe for LowerBound {
             self.profiles.len(),
             "LowerBound monitor built from a different instance"
         );
-        let m = (m as u64).max(1);
-        self.bounds = self.profiles.iter().map(|p| p.opt_single_job(m)).collect();
+        self.m = (m as u64).max(1);
+        self.bounds = self.profiles.iter().map(|p| p.opt_single_job(self.m)).collect();
         self.releases = vec![None; num_jobs];
         self.lb = 0;
         self.max_flow = None;
+    }
+
+    fn on_admit(&mut self, _t: Time, job: JobId, graph: &JobGraph) {
+        debug_assert_eq!(
+            job.index(),
+            self.profiles.len(),
+            "streaming admits must arrive in job-id order"
+        );
+        let p = DepthProfile::new(graph);
+        self.bounds.push(p.opt_single_job(self.m.max(1)));
+        self.profiles.push(p);
+        self.releases.push(None);
     }
 
     fn on_release(&mut self, t: Time, job: JobId) {
@@ -204,6 +234,24 @@ impl InvariantMonitor {
     /// Cap on stored violations; beyond it only the count grows, so a badly
     /// broken scheduler on a long horizon cannot exhaust memory.
     pub const MAX_RECORDED: usize = 64;
+
+    /// Monitor a streaming [`Session`](crate::Session) against `checks`.
+    /// Sessions are inherently multi-job, so the single-job rectangle-tail
+    /// check is never armed (matching [`new`](Self::new) on a multi-job
+    /// instance); work conservation is checked per step as usual.
+    pub fn streaming(checks: InvariantChecks) -> Self {
+        InvariantMonitor {
+            checks,
+            profile: None,
+            m: 0,
+            tail_start: None,
+            release: 0,
+            pending_narrow: None,
+            done: false,
+            violations: Vec::new(),
+            total: 0,
+        }
+    }
 
     /// Monitor a run of the given instance against `checks`.
     pub fn new(instance: &Instance, checks: InvariantChecks) -> Self {

@@ -26,7 +26,7 @@
 //!   `io::Write`; [`crate::replay`] parses the stream back.
 
 use crate::metrics::FlowStats;
-use flowtree_dag::{JobId, NodeId, Time};
+use flowtree_dag::{JobGraph, JobId, NodeId, Time};
 use std::io::Write;
 
 /// Per-step summary handed to [`Probe::on_step`] after the step's picks have
@@ -73,6 +73,17 @@ pub trait Probe {
     #[inline]
     fn on_start(&mut self, m: usize, num_jobs: usize) {
         let _ = (m, num_jobs);
+    }
+
+    /// `job` was admitted to a streaming [`Session`](crate::Session) at
+    /// wall-clock time `t`, ahead of its release firing. Batch
+    /// [`Engine`](crate::Engine) runs never emit this (the whole instance is
+    /// known at `on_start`); streaming-capable probes use it to learn a
+    /// job's graph incrementally (see
+    /// [`LowerBound::streaming`](crate::monitor::LowerBound::streaming)).
+    #[inline]
+    fn on_admit(&mut self, t: Time, job: JobId, graph: &JobGraph) {
+        let _ = (t, job, graph);
     }
 
     /// `job` was released at time `t`.
@@ -147,6 +158,10 @@ impl<P: Probe + ?Sized> Probe for &mut P {
         (**self).on_start(m, num_jobs)
     }
     #[inline]
+    fn on_admit(&mut self, t: Time, job: JobId, graph: &JobGraph) {
+        (**self).on_admit(t, job, graph)
+    }
+    #[inline]
     fn on_release(&mut self, t: Time, job: JobId) {
         (**self).on_release(t, job)
     }
@@ -188,6 +203,10 @@ macro_rules! impl_probe_tuple {
             #[inline]
             fn on_start(&mut self, m: usize, num_jobs: usize) {
                 $(self.$idx.on_start(m, num_jobs);)+
+            }
+            #[inline]
+            fn on_admit(&mut self, t: Time, job: JobId, graph: &JobGraph) {
+                $(self.$idx.on_admit(t, job, graph);)+
             }
             #[inline]
             fn on_release(&mut self, t: Time, job: JobId) {
@@ -324,6 +343,13 @@ impl Probe for Counters {
     }
 
     fn on_release(&mut self, t: Time, job: JobId) {
+        // Streaming sessions start with zero jobs and admit as they go; jobs
+        // release in id order, so growing to `index + 1` here leaves the
+        // vectors identical to the batch-presized ones once all jobs release.
+        if job.index() >= self.releases.len() {
+            self.releases.resize(job.index() + 1, None);
+            self.completions.resize(job.index() + 1, None);
+        }
         self.releases[job.index()] = Some(t);
     }
 

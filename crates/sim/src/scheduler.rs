@@ -122,6 +122,7 @@ impl<'a> SimView<'a> {
 
 /// Sink for the subjobs the scheduler wants to run this step. The engine
 /// validates every push (readiness, distinctness) and the total count.
+#[derive(Debug)]
 pub struct Selection {
     picks: Vec<(JobId, NodeId)>,
     capacity: usize,

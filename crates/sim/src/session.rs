@@ -1,0 +1,513 @@
+//! Incremental (streaming) engine entry point.
+//!
+//! [`Engine::run`](crate::Engine::run) needs the whole [`Instance`] up
+//! front; a [`Session`] instead accepts jobs one at a time via
+//! [`admit`](Session::admit) and simulates on demand via
+//! [`run_until`](Session::run_until), so a long-running service can feed
+//! arrivals as they happen. The step loop mirrors the engine's exactly —
+//! same release order, same idle-gap fast-forward, same stamp-based
+//! selection validation, same probe event stream — so a session that admits
+//! every job of an instance before its release time produces a
+//! [`RunReport`] *identical* to the batch engine's (the differential tests
+//! in `flowtree-serve` pin this bit-for-bit).
+//!
+//! The contract that makes this work: a job may only be admitted with
+//! `release >= now()`, and admissions must have nondecreasing release
+//! times. Callers that ingest from concurrent sources enforce this with an
+//! event-time watermark (see `flowtree-serve`): simulate step `t` only once
+//! every arrival with release `<= t` has been admitted.
+
+use crate::engine::{EngineError, RunReport};
+use crate::instance::{Instance, JobSpec};
+use crate::probe::{Counters, NullProbe, Probe, StepStat};
+use crate::schedule::Schedule;
+use crate::scheduler::{OnlineScheduler, Selection, SimView};
+use crate::state::SimState;
+use flowtree_dag::{JobId, Time};
+
+/// Errors from [`Session::admit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The job's release time is before the session's current time — the
+    /// steps that should have seen it were already simulated.
+    ReleaseInPast {
+        /// The rejected release time.
+        release: Time,
+        /// The session's current time.
+        now: Time,
+    },
+    /// The job's release time is before an earlier admission's — admissions
+    /// must arrive in nondecreasing release order.
+    ReleaseOutOfOrder {
+        /// The rejected release time.
+        release: Time,
+        /// The latest admitted release.
+        last: Time,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::ReleaseInPast { release, now } => {
+                write!(f, "cannot admit a job released at {release}: session is at {now}")
+            }
+            SessionError::ReleaseOutOfOrder { release, last } => {
+                write!(f, "cannot admit a job released at {release} after one released at {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Default safety horizon: far enough to never bind in practice, low enough
+/// that `horizon + 1` cannot overflow.
+const DEFAULT_HORIZON: Time = Time::MAX / 4;
+
+/// A resumable simulation accepting streamed arrivals.
+///
+/// ```
+/// use flowtree_sim::{Session, Instance, JobSpec};
+/// # use flowtree_sim::{Selection, SimView, OnlineScheduler, Clairvoyance};
+/// # use flowtree_dag::{builder::chain, NodeId, Time};
+/// # struct Greedy;
+/// # impl OnlineScheduler for Greedy {
+/// #     fn clairvoyance(&self) -> Clairvoyance { Clairvoyance::NonClairvoyant }
+/// #     fn select(&mut self, _t: Time, view: &SimView<'_>, sel: &mut Selection) {
+/// #         for &job in view.alive() {
+/// #             for &v in view.ready(job) {
+/// #                 if !sel.push(job, NodeId(v)) { return; }
+/// #             }
+/// #         }
+/// #     }
+/// # }
+/// let mut sched = Greedy;
+/// let mut s = Session::new(2);
+/// s.admit(JobSpec { graph: chain(3), release: 0 }).unwrap();
+/// s.run_until(Time::MAX, &mut sched).unwrap(); // runs dry at t=3
+/// assert_eq!(s.now(), 3);
+/// let (report, inst) = s.finish();
+/// report.verify(&inst).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct Session<P: Probe = NullProbe> {
+    m: usize,
+    max_horizon: Time,
+    probe: P,
+    instance: Instance,
+    state: SimState,
+    schedule: Schedule,
+    counters: Counters,
+    /// Flat node-array offsets per job (see `Engine::run`).
+    node_off: Vec<usize>,
+    node_stamp: Vec<Time>,
+    job_stamp: Vec<Time>,
+    sel: Selection,
+    t: Time,
+    started: bool,
+}
+
+impl Session<NullProbe> {
+    /// A session over `m` identical processors, with no instrumentation.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "need at least one processor");
+        let instance = Instance::empty();
+        let state = SimState::new(&instance);
+        Session {
+            m,
+            max_horizon: DEFAULT_HORIZON,
+            probe: NullProbe,
+            instance,
+            state,
+            schedule: Schedule::new(m),
+            counters: Counters::default(),
+            node_off: vec![0],
+            node_stamp: Vec::new(),
+            job_stamp: Vec::new(),
+            sel: Selection::new(m),
+            t: 0,
+            started: false,
+        }
+    }
+}
+
+impl<P: Probe> Session<P> {
+    /// Attach `probe` (before any admit/step; the session has not started).
+    /// Streaming-capable probes learn job graphs via
+    /// [`Probe::on_admit`].
+    pub fn with_probe<Q: Probe>(self, probe: Q) -> Session<Q> {
+        assert!(!self.started, "attach probes before the session starts");
+        Session {
+            m: self.m,
+            max_horizon: self.max_horizon,
+            probe,
+            instance: self.instance,
+            state: self.state,
+            schedule: self.schedule,
+            counters: self.counters,
+            node_off: self.node_off,
+            node_stamp: self.node_stamp,
+            job_stamp: self.job_stamp,
+            sel: self.sel,
+            t: self.t,
+            started: self.started,
+        }
+    }
+
+    /// Override the safety horizon (a stalling scheduler surfaces as
+    /// [`EngineError::HorizonExceeded`] instead of spinning forever).
+    pub fn with_max_horizon(mut self, horizon: Time) -> Self {
+        self.max_horizon = horizon;
+        self
+    }
+
+    /// Machine size.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.t
+    }
+
+    /// Jobs admitted so far.
+    pub fn num_admitted(&self) -> usize {
+        self.instance.num_jobs()
+    }
+
+    /// The instance materialized from admissions so far.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The engine-maintained counters (live snapshot).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The attached probe (live snapshot — e.g. per-shard monitors).
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Have all admitted jobs finished (vacuously true before any admit)?
+    pub fn is_drained(&self) -> bool {
+        self.state.all_done()
+    }
+
+    fn ensure_started(&mut self) {
+        if !self.started {
+            self.started = true;
+            // A streaming run starts with zero known jobs; probes grow.
+            self.counters.on_start(self.m, 0);
+            self.probe.on_start(self.m, 0);
+        }
+    }
+
+    /// Admit one job. Its release must be `>= now()` and `>=` every earlier
+    /// admission's release; the job releases (and its roots become ready)
+    /// once simulation reaches its release time.
+    pub fn admit(&mut self, spec: JobSpec) -> Result<JobId, SessionError> {
+        self.ensure_started();
+        if spec.release < self.t {
+            return Err(SessionError::ReleaseInPast { release: spec.release, now: self.t });
+        }
+        let last = self.instance.last_release();
+        if self.instance.num_jobs() > 0 && spec.release < last {
+            return Err(SessionError::ReleaseOutOfOrder { release: spec.release, last });
+        }
+        let n = spec.graph.n();
+        let id = self.instance.push_job(spec);
+        self.state.push_job(&self.instance);
+        self.node_off.push(self.node_off.last().unwrap() + n);
+        self.node_stamp.resize(self.node_stamp.len() + n, 0);
+        self.job_stamp.push(0);
+        self.probe.on_admit(self.t, id, self.instance.graph(id));
+        Ok(id)
+    }
+
+    /// Simulate until `t_end`, or until the session runs dry (every admitted
+    /// job finished and none pending), whichever comes first. Semantics per
+    /// step are identical to [`Engine::run`](crate::Engine::run): due
+    /// releases fire (with `on_arrival`), all-idle stretches fast-forward,
+    /// selections are validated. Callers feeding from concurrent sources
+    /// must only pass a `t_end` no later than their arrival watermark.
+    pub fn run_until(
+        &mut self,
+        t_end: Time,
+        scheduler: &mut dyn OnlineScheduler,
+    ) -> Result<(), EngineError> {
+        self.ensure_started();
+        let clair = scheduler.clairvoyance();
+        while self.t < t_end {
+            if self.state.all_done() {
+                break;
+            }
+            if self.t > self.max_horizon {
+                return Err(EngineError::HorizonExceeded { horizon: self.max_horizon });
+            }
+
+            while let Some(job) = self.state.release_one(&self.instance, self.t) {
+                self.counters.on_release(self.t, job);
+                self.probe.on_release(self.t, job);
+                let view = SimView::new(&self.instance, &self.state, self.m, clair);
+                scheduler.on_arrival(self.t, job, &view);
+            }
+
+            // Idle-gap fast-forward, capped additionally at `t_end`. A gap
+            // split across `run_until` calls replays as the same stepwise
+            // event stream, so probes cannot tell it from the engine's
+            // single-call gap.
+            if self.state.alive().is_empty() {
+                let next = self
+                    .state
+                    .next_release_time(&self.instance)
+                    .expect("no job alive and none pending, yet not all done");
+                debug_assert!(next > self.t, "a release due now was not applied");
+                let end = next.min(t_end).min(self.max_horizon + 1);
+                let gap = end - self.t;
+                self.counters.on_idle_gap(self.t, gap, self.m);
+                self.probe.on_idle_gap(self.t, gap, self.m);
+                self.schedule.push_empty_steps(gap);
+                self.t = end;
+                continue;
+            }
+
+            let ready_depth = self.state.total_ready();
+            self.sel.clear();
+            {
+                let view = SimView::new(&self.instance, &self.state, self.m, clair);
+                scheduler.select(self.t, &view, &mut self.sel);
+            }
+            let picks = self.sel.picks();
+
+            // Stamp validation, exactly as in `Engine::run`.
+            let stamp = self.t + 1;
+            for &(j, v) in picks {
+                if j.index() >= self.instance.num_jobs() || v.index() >= self.instance.graph(j).n()
+                {
+                    return Err(EngineError::NotReady { t: self.t, job: j, node: v });
+                }
+                let slot = &mut self.node_stamp[self.node_off[j.index()] + v.index()];
+                if *slot == stamp {
+                    return Err(EngineError::DuplicateSelection { t: self.t, job: j, node: v });
+                }
+                *slot = stamp;
+                if !self.state.is_ready(j, v) {
+                    return Err(EngineError::NotReady { t: self.t, job: j, node: v });
+                }
+            }
+
+            self.counters.on_select(self.t, picks);
+            self.probe.on_select(self.t, picks);
+            for &(j, v) in picks {
+                self.probe.on_dispatch(self.t, j, v);
+                self.state.complete(&self.instance, j, v, self.t + 1);
+            }
+
+            let stat = StepStat {
+                scheduled: picks.len(),
+                idle_procs: self.m - picks.len(),
+                ready_depth,
+            };
+            self.counters.on_step(self.t, stat);
+            self.probe.on_step(self.t, stat);
+
+            let mut any_finished = false;
+            for &(j, _) in picks {
+                if self.state.unfinished(j) == 0 && self.job_stamp[j.index()] != stamp {
+                    self.job_stamp[j.index()] = stamp;
+                    any_finished = true;
+                    self.counters.on_complete(self.t + 1, j);
+                    self.probe.on_complete(self.t + 1, j);
+                }
+            }
+
+            if any_finished {
+                self.state.prune_alive();
+            }
+            self.schedule.extend_step(picks);
+            self.t += 1;
+        }
+        Ok(())
+    }
+
+    /// Finish the session: fire `on_finish`, compute flow statistics, and
+    /// return the [`RunReport`] plus the materialized [`Instance`] (needed
+    /// to verify the schedule or compute instance-level lower bounds).
+    ///
+    /// Panics if some admitted job never completed — drain with
+    /// [`run_until`](Self::run_until)`(Time::MAX, …)` first.
+    pub fn finish(mut self) -> (RunReport, Instance) {
+        self.ensure_started();
+        self.counters.on_finish(self.t);
+        self.probe.on_finish(self.t);
+        let stats = self.counters.flow_stats();
+        (
+            RunReport { schedule: self.schedule, stats, counters: self.counters },
+            self.instance,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::probe::JsonlTrace;
+    use crate::scheduler::Clairvoyance;
+    use flowtree_dag::builder::{chain, star};
+    use flowtree_dag::NodeId;
+
+    struct Greedy;
+
+    impl OnlineScheduler for Greedy {
+        fn clairvoyance(&self) -> Clairvoyance {
+            Clairvoyance::NonClairvoyant
+        }
+        fn select(&mut self, _t: Time, view: &SimView<'_>, sel: &mut Selection) {
+            for &job in view.alive() {
+                for &v in view.ready(job) {
+                    if !sel.push(job, NodeId(v)) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn specs() -> Vec<JobSpec> {
+        vec![
+            JobSpec { graph: chain(3), release: 0 },
+            JobSpec { graph: star(4), release: 1 },
+            JobSpec { graph: chain(2), release: 9 },
+        ]
+    }
+
+    /// The headline property: admit-before-release streaming == batch, down
+    /// to the bytes of the trace and the full `RunReport`.
+    #[test]
+    fn piecewise_session_matches_batch_engine_bit_for_bit() {
+        let inst = Instance::new(specs());
+        let mut batch_trace = JsonlTrace::new(Vec::new());
+        let batch = Engine::new(2).with_probe(&mut batch_trace).run(&inst, &mut Greedy).unwrap();
+
+        let mut stream_trace = JsonlTrace::new(Vec::new());
+        let mut s = Session::new(2).with_probe(&mut stream_trace);
+        // Admit lazily, advancing in awkward increments that split the idle
+        // gap before t=9 across calls.
+        s.admit(specs().remove(0)).unwrap();
+        s.run_until(1, &mut Greedy).unwrap();
+        s.admit(specs().remove(1)).unwrap();
+        s.run_until(5, &mut Greedy).unwrap();
+        s.run_until(7, &mut Greedy).unwrap();
+        s.admit(specs().remove(2)).unwrap();
+        s.run_until(Time::MAX, &mut Greedy).unwrap();
+        let (stream, materialized) = s.finish();
+
+        assert_eq!(materialized, inst);
+        assert_eq!(stream, batch);
+        stream.verify(&inst).unwrap();
+        let a = String::from_utf8(batch_trace.finish().unwrap()).unwrap();
+        let b = String::from_utf8(stream_trace.finish().unwrap()).unwrap();
+        // The only legitimate difference is the `start` record: a streaming
+        // session cannot know the final job count up front, so it reports 0.
+        let (a0, a_rest) = a.split_once('\n').unwrap();
+        let (b0, b_rest) = b.split_once('\n').unwrap();
+        assert_eq!(a0, r#"{"ev":"start","m":2,"jobs":3}"#);
+        assert_eq!(b0, r#"{"ev":"start","m":2,"jobs":0}"#);
+        assert_eq!(a_rest, b_rest);
+    }
+
+    #[test]
+    fn run_until_stops_at_the_requested_time() {
+        let mut s = Session::new(2);
+        s.admit(JobSpec { graph: chain(5), release: 0 }).unwrap();
+        s.run_until(2, &mut Greedy).unwrap();
+        assert_eq!(s.now(), 2);
+        assert!(!s.is_drained());
+        s.run_until(Time::MAX, &mut Greedy).unwrap();
+        assert_eq!(s.now(), 5);
+        assert!(s.is_drained());
+    }
+
+    #[test]
+    fn session_runs_dry_without_advancing_past_last_completion() {
+        let mut s = Session::new(4);
+        s.admit(JobSpec { graph: chain(2), release: 3 }).unwrap();
+        s.run_until(1_000, &mut Greedy).unwrap();
+        // Idle gap 0..3, then two busy steps; the clock freezes at 5.
+        assert_eq!(s.now(), 5);
+        assert!(s.is_drained());
+        // A later admission resumes from the frozen clock.
+        s.admit(JobSpec { graph: chain(1), release: 10 }).unwrap();
+        s.run_until(1_000, &mut Greedy).unwrap();
+        assert_eq!(s.now(), 11);
+    }
+
+    #[test]
+    fn admit_rejects_past_and_out_of_order_releases() {
+        let mut s = Session::new(2);
+        s.admit(JobSpec { graph: chain(1), release: 5 }).unwrap();
+        assert_eq!(
+            s.admit(JobSpec { graph: chain(1), release: 4 }),
+            Err(SessionError::ReleaseOutOfOrder { release: 4, last: 5 })
+        );
+        s.run_until(Time::MAX, &mut Greedy).unwrap();
+        assert_eq!(s.now(), 6);
+        assert_eq!(
+            s.admit(JobSpec { graph: chain(1), release: 5 }),
+            Err(SessionError::ReleaseInPast { release: 5, now: 6 })
+        );
+    }
+
+    #[test]
+    fn empty_session_is_inert() {
+        let mut s = Session::new(3);
+        s.run_until(100, &mut Greedy).unwrap();
+        assert_eq!(s.now(), 0);
+        assert!(s.is_drained());
+    }
+
+    #[test]
+    fn streaming_monitors_match_batch_monitors() {
+        use crate::monitor::{InvariantChecks, InvariantMonitor, LowerBound};
+
+        let inst = Instance::new(specs());
+        let mut lb = LowerBound::new(&inst);
+        let mut mon = InvariantMonitor::new(&inst, InvariantChecks::WORK_CONSERVING);
+        Engine::new(2).with_probe((&mut lb, &mut mon)).run(&inst, &mut Greedy).unwrap();
+
+        let mut slb = LowerBound::streaming();
+        let mut smon = InvariantMonitor::streaming(InvariantChecks::WORK_CONSERVING);
+        let mut s = Session::new(2).with_probe((&mut slb, &mut smon));
+        for spec in specs() {
+            s.admit(spec).unwrap();
+        }
+        s.run_until(Time::MAX, &mut Greedy).unwrap();
+        s.finish();
+
+        assert_eq!(slb.lower_bound(), lb.lower_bound());
+        assert_eq!(slb.max_flow(), lb.max_flow());
+        assert_eq!(slb.ratio(), lb.ratio());
+        assert_eq!(smon.is_clean(), mon.is_clean());
+        assert_eq!(smon.total_violations(), mon.total_violations());
+    }
+
+    #[test]
+    fn lazy_scheduler_hits_session_horizon() {
+        struct Lazy;
+        impl OnlineScheduler for Lazy {
+            fn clairvoyance(&self) -> Clairvoyance {
+                Clairvoyance::NonClairvoyant
+            }
+            fn select(&mut self, _t: Time, _v: &SimView<'_>, _s: &mut Selection) {}
+        }
+        let mut s = Session::new(2).with_max_horizon(20);
+        s.admit(JobSpec { graph: chain(2), release: 0 }).unwrap();
+        let err = s.run_until(Time::MAX, &mut Lazy).unwrap_err();
+        assert_eq!(err, EngineError::HorizonExceeded { horizon: 20 });
+    }
+}

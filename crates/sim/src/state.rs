@@ -78,6 +78,26 @@ impl SimState {
         }
     }
 
+    /// Register the next job appended to `instance` after this state was
+    /// built (streaming admission): call once per
+    /// [`Instance::push_job`](crate::Instance::push_job), in order. The new
+    /// job starts unreleased; [`release_one`](Self::release_one) picks it up
+    /// when its release time is due, exactly as for a batch-constructed
+    /// instance.
+    pub fn push_job(&mut self, instance: &Instance) {
+        let spec = &instance.jobs()[self.jobs.len()];
+        let g = &spec.graph;
+        self.jobs.push(JobState {
+            indeg: g.nodes().map(|v| g.in_degree(v) as u32).collect(),
+            ready: Vec::new(),
+            pos: vec![NOT_READY; g.n()],
+            seq: vec![0; g.n()],
+            completion: vec![0; g.n()],
+            unfinished: g.n() as u32,
+            released: false,
+        });
+    }
+
     /// Release the next job by arrival order if its release time is `<= t`.
     /// Returns `None` when no release is due — the peek costs nothing, so
     /// the engine's loop pays no allocation on the (overwhelmingly common)
@@ -359,6 +379,23 @@ mod tests {
         assert_eq!(st.release_one(&inst, 2), Some(JobId(1)));
         assert_eq!(st.release_one(&inst, 99), None);
         assert_eq!(st.next_release_time(&inst), None);
+    }
+
+    #[test]
+    fn pushed_jobs_behave_like_batch_construction() {
+        let mut inst = Instance::empty();
+        let mut st = SimState::new(&inst);
+        assert!(st.all_done()); // vacuously: zero jobs
+        inst.push_job(JobSpec { graph: chain(3), release: 0 });
+        st.push_job(&inst);
+        assert!(!st.all_done());
+        assert_eq!(st.release_due(&inst, 0), vec![JobId(0)]);
+        inst.push_job(JobSpec { graph: star(2), release: 2 });
+        st.push_job(&inst);
+        assert_eq!(st.next_release_time(&inst), Some(2));
+        assert_eq!(st.release_due(&inst, 2), vec![JobId(1)]);
+        assert_eq!(st.alive(), &[JobId(0), JobId(1)]);
+        assert_eq!(st.total_ready(), 2);
     }
 
     #[test]

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerate the committed adversarial-instance report corpus under
+# results/store/. The Section-4 adversary drives FIFO's competitive ratio
+# toward Θ(log m / log log m); persisting its certified summaries in the
+# results store makes ratio regressions on hard instances visible in
+# review via `flowtree-repro report --trend results/store`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() { cargo run --release -q -p flowtree-cli -- "$@"; }
+
+mkdir -p results/store
+rm -f results/store/adversary-*.jsonl
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+for m in 8 16; do
+    inst="$tmp/adversary-m$m.json"
+    run gen adversary -m "$m" --jobs 32 --seed 42 -o "$inst"
+    for sched in fifo lpf guess-double; do
+        run report adversary --instance "$inst" --scheduler "$sched" -m "$m" \
+            --seed 42 --store results/store >/dev/null
+    done
+done
+
+run report --trend results/store

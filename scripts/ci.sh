@@ -23,4 +23,16 @@ cargo run --release -p flowtree-cli -- bench --quick --check BENCH_engine.json \
     -o /tmp/flowtree_bench_smoke.json >/dev/null
 rm -f /tmp/flowtree_bench_smoke.json
 
+echo "==> serve smoke (2 shards, fixed seed, bounded horizon, clean drain)"
+SMOKE_STORE=$(mktemp -d)
+cargo run --release -q -p flowtree-cli -- serve service --shards 2 --rate 1.0 \
+    --scheduler fifo -m 4 --jobs 24 --seed 7 --horizon 100000 \
+    --store "$SMOKE_STORE" >/dev/null
+# The drained store records must parse back into a trend table.
+cargo run --release -q -p flowtree-cli -- report --trend "$SMOKE_STORE" >/dev/null
+rm -rf "$SMOKE_STORE"
+
+echo "==> report --trend over the committed store corpus"
+cargo run --release -q -p flowtree-cli -- report --trend results/store >/dev/null
+
 echo "CI OK"

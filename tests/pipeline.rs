@@ -7,7 +7,7 @@ use flowtree::sim::metrics::flow_stats;
 use flowtree::workloads::{adversary, arrivals, batched, trees};
 
 /// Every scheduler in the repository, built from the registry.
-fn all_schedulers() -> Vec<Box<dyn OnlineScheduler>> {
+fn all_schedulers() -> Vec<Box<dyn OnlineScheduler + Send>> {
     SchedulerSpec::all(8).iter().map(|spec| spec.build()).collect()
 }
 

@@ -1,8 +1,11 @@
 //! Offline subset of `crossbeam` used by the workspace: multi-producer
 //! multi-consumer [`channel`]s, implemented over `std::sync` primitives
 //! (`Mutex` + `Condvar`). Semantics match the crossbeam subset the
-//! workspace relies on: cloneable senders and receivers, and `recv`
-//! returning `Err` once all senders are dropped and the queue is drained.
+//! workspace relies on: cloneable senders and receivers, `recv` returning
+//! `Err` once all senders are dropped and the queue is drained, and
+//! [`channel::bounded`] queues whose `send` blocks while full (the
+//! backpressure primitive `flowtree-serve` builds on) with a non-blocking
+//! [`channel::Sender::try_send`] escape hatch.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -11,12 +14,16 @@ pub mod channel {
     struct Inner<T> {
         queue: Mutex<State<T>>,
         ready: Condvar,
+        /// Signalled when a slot frees up in a bounded channel.
+        space: Condvar,
     }
 
     struct State<T> {
         items: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// `None` = unbounded; `Some(cap)` = at most `cap` queued items.
+        cap: Option<usize>,
     }
 
     /// Sending half of an unbounded MPMC channel.
@@ -29,6 +36,18 @@ pub mod channel {
         inner: Arc<Inner<T>>,
     }
 
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
     /// `send` failed because every receiver was dropped; returns the value.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
@@ -36,6 +55,42 @@ pub mod channel {
     /// `recv` failed because the channel is empty and every sender dropped.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// `try_send` failed; returns the value either way.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The (bounded) channel is at capacity.
+        Full(T),
+        /// Every receiver was dropped.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recover the value that failed to send.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// Was the failure a full queue (as opposed to disconnection)?
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    write!(f, "sending on a channel with no receivers")
+                }
+            }
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
 
     impl std::fmt::Display for RecvError {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -52,26 +107,78 @@ pub mod channel {
     impl std::error::Error for RecvError {}
     impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
 
-    /// Create an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
-            queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1 }),
+            queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1, cap }),
             ready: Condvar::new(),
+            space: Condvar::new(),
         });
         (Sender { inner: inner.clone() }, Receiver { inner })
     }
 
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    /// Create a bounded MPMC channel holding at most `cap` items
+    /// (`cap >= 1`). `send` blocks while the queue is full; `try_send`
+    /// returns [`TrySendError::Full`] instead.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "a bounded channel needs capacity for at least one item");
+        with_cap(Some(cap))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueue `value`; fails only if every receiver was dropped.
+        /// Enqueue `value`, blocking while a bounded queue is at capacity;
+        /// fails only if every receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut st = self.inner.queue.lock().unwrap();
-            if st.receivers == 0 {
-                return Err(SendError(value));
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match st.cap {
+                    Some(cap) if st.items.len() >= cap => {
+                        st = self.inner.space.wait(st).unwrap();
+                    }
+                    _ => break,
+                }
             }
             st.items.push_back(value);
             drop(st);
             self.inner.ready.notify_one();
             Ok(())
+        }
+
+        /// Enqueue without blocking: fails with [`TrySendError::Full`] when a
+        /// bounded queue is at capacity (the caller applies its overload
+        /// policy) or [`TrySendError::Disconnected`] when every receiver was
+        /// dropped.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.inner.queue.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = st.cap {
+                if st.items.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            st.items.push_back(value);
+            drop(st);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().unwrap().items.len()
+        }
+
+        /// Is the queue currently empty?
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -82,6 +189,8 @@ pub mod channel {
             let mut st = self.inner.queue.lock().unwrap();
             loop {
                 if let Some(v) = st.items.pop_front() {
+                    drop(st);
+                    self.inner.space.notify_one();
                     return Ok(v);
                 }
                 if st.senders == 0 {
@@ -94,7 +203,21 @@ pub mod channel {
         /// Dequeue without blocking; `None` when empty (regardless of
         /// sender liveness).
         pub fn try_recv(&self) -> Option<T> {
-            self.inner.queue.lock().unwrap().items.pop_front()
+            let v = self.inner.queue.lock().unwrap().items.pop_front();
+            if v.is_some() {
+                self.inner.space.notify_one();
+            }
+            v
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().unwrap().items.len()
+        }
+
+        /// Is the queue currently empty?
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -126,7 +249,13 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.inner.queue.lock().unwrap().receivers -= 1;
+            let mut st = self.inner.queue.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                // Wake blocked bounded senders so they observe disconnection.
+                self.inner.space.notify_all();
+            }
         }
     }
 
@@ -161,6 +290,52 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(rx);
             assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full_then_accepts_after_recv() {
+            let (tx, rx) = bounded::<u8>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert!(tx.try_send(3).unwrap_err().is_full());
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(tx.len(), 2);
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_slot_frees() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap();
+            std::thread::scope(|s| {
+                let h = s.spawn(|| tx.send(2)); // blocks: queue full
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                assert_eq!(rx.recv(), Ok(1));
+                h.join().unwrap().unwrap();
+                assert_eq!(rx.recv(), Ok(2));
+            });
+        }
+
+        #[test]
+        fn bounded_blocked_sender_unblocks_on_receiver_drop() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap();
+            std::thread::scope(|s| {
+                let h = s.spawn(|| tx.send(2));
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                drop(rx);
+                assert_eq!(h.join().unwrap(), Err(SendError(2)));
+            });
+        }
+
+        #[test]
+        fn try_send_disconnected_when_receivers_gone() {
+            let (tx, rx) = bounded::<u8>(4);
+            drop(rx);
+            let err = tx.try_send(7).unwrap_err();
+            assert!(!err.is_full());
+            assert_eq!(err.into_inner(), 7);
         }
 
         #[test]
