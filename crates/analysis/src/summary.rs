@@ -285,7 +285,7 @@ mod tests {
         // Corollary 5.4 + Lemma 5.3: for a single out-tree released at 0,
         // the Lemma 5.1 bound is exact and LPF achieves it.
         let inst = Instance::single(complete_kary(2, 4));
-        let spec = SchedulerSpec::parse("lpf", 1).unwrap();
+        let spec = "lpf".parse::<SchedulerSpec>().unwrap();
         let s = summarize("single", &inst, 4, spec).unwrap();
         assert_eq!(s.max_flow, s.lower_bound);
         assert_eq!(s.lower_bound, s.job_lower_bound);
@@ -298,7 +298,7 @@ mod tests {
     #[test]
     fn summary_serde_roundtrips() {
         let inst = Instance::single(complete_kary(2, 3));
-        let spec = SchedulerSpec::parse("fifo", 1).unwrap();
+        let spec = "fifo".parse::<SchedulerSpec>().unwrap();
         let s = summarize("single", &inst, 2, spec).unwrap();
         let json = serde_json::to_string_pretty(&s).unwrap();
         let back: RunSummary = serde_json::from_str(&json).unwrap();
@@ -312,7 +312,7 @@ mod tests {
     #[test]
     fn markdown_report_carries_the_headline_numbers() {
         let inst = Instance::single(complete_kary(2, 3));
-        let spec = SchedulerSpec::parse("lpf", 1).unwrap();
+        let spec = "lpf".parse::<SchedulerSpec>().unwrap();
         let s = summarize("single", &inst, 2, spec).unwrap();
         let md = s.to_markdown();
         assert!(md.contains("competitive ratio"));
@@ -323,7 +323,7 @@ mod tests {
     #[test]
     fn algo_a_reports_no_violations_because_no_checks_apply() {
         let inst = Instance::single(complete_kary(2, 3));
-        let spec = SchedulerSpec::parse("algo-a", 4).unwrap();
+        let spec = SchedulerSpec::from_name_with_half("algo-a", 4).unwrap();
         let s = summarize("single", &inst, 8, spec).unwrap();
         assert!(s.invariants_clean);
         assert!(s.ratio >= 1.0);

@@ -202,7 +202,7 @@ fn run_matrix(o: &Opts) -> Result<Value, String> {
         let inst = stream_instance(w);
         let total_work = inst.total_work();
         for &name in w.schedulers {
-            let spec = SchedulerSpec::parse(name, 8)?;
+            let spec = SchedulerSpec::from_name_with_half(name, 8)?;
             for &m in w.ms {
                 // Correctness outside the timed region: one verified run.
                 {

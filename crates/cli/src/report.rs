@@ -8,6 +8,7 @@
 //! flowtree-repro report service --scheduler fifo -m 16 -o report.md
 //! flowtree-repro report adversary --instance inst.json --store results/store
 //! flowtree-repro report --trend results/store/
+//! flowtree-repro report --trend results/store/ --plot
 //! ```
 
 use crate::scenario::ScenarioOpts;
@@ -20,7 +21,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
     // Trend mode has no scenario/scheduler: it reads the store and renders.
     if let Some(i) = args.iter().position(|a| a == "--trend") {
         let path = args.get(i + 1).ok_or("--trend needs a store file or directory")?;
-        return trend(path);
+        if path.starts_with("--") {
+            return Err("--trend needs a store file or directory".to_string());
+        }
+        let plot = args.iter().any(|a| a == "--plot");
+        return trend(path, plot);
     }
 
     let mut format = "md".to_string();
@@ -30,7 +35,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "report",
         args,
         true,
-        " [--format json|md] [--instance FILE] [--store DIR] | --trend STORE",
+        " [--format json|md] [--instance FILE] [--store DIR] | --trend STORE [--plot]",
         &mut |flag, it| {
             match flag {
                 "--format" => format = it.next().ok_or("--format needs json or md")?.clone(),
@@ -54,6 +59,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             shard: 0,
             shards: 1,
             summary: summary.clone(),
+            swaps: Vec::new(),
         };
         let path = store.append(&record).map_err(|e| format!("append to {dir}: {e}"))?;
         eprintln!("appended store record to {}", path.display());
@@ -73,14 +79,18 @@ pub fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Render the trend tables for a store file or directory.
-fn trend(path: &str) -> Result<(), String> {
+/// Render the trend tables (and, with `--plot`, the longitudinal ASCII
+/// ratio plots) for a store file or directory.
+fn trend(path: &str, plot: bool) -> Result<(), String> {
     let records =
         load_records(std::path::Path::new(path)).map_err(|e| format!("load {path}: {e}"))?;
     if records.is_empty() {
         return Err(format!("no store records under {path}"));
     }
     print!("{}", flowtree_serve::render_trend(&records));
+    if plot {
+        print!("{}", flowtree_serve::render_trend_plots(&records));
+    }
     Ok(())
 }
 
@@ -97,7 +107,7 @@ fn build_summary(
         .map_err(|e| format!("parse {path}: {e}"))?,
         None => o.build_instance()?,
     };
-    let spec = SchedulerSpec::parse(&o.scheduler, o.half)?;
+    let spec = SchedulerSpec::from_name_with_half(&o.scheduler, o.half)?;
     flowtree_analysis::summarize(&o.scenario, &instance, o.m, spec)
 }
 
@@ -207,10 +217,12 @@ mod tests {
                 shard: 0,
                 shards: 1,
                 summary,
+                swaps: Vec::new(),
             })
             .unwrap();
-        assert!(trend(dir.to_str().unwrap()).is_ok());
-        assert!(trend("/nonexistent/store/path").is_err());
+        assert!(trend(dir.to_str().unwrap(), false).is_ok());
+        assert!(trend(dir.to_str().unwrap(), true).is_ok());
+        assert!(trend("/nonexistent/store/path", false).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -3,23 +3,29 @@
 //! Arrivals stream from a generator (scenario blend at `--rate` expected
 //! jobs per step) or a replayed trace (`--replay FILE`), are routed across
 //! `--shards` engine shards under a bounded-queue overload policy, and each
-//! drained shard reports a certified `RunSummary`. With `--store DIR` the
-//! summaries append to the persistent results store (conventionally
-//! `results/store/`) for `report --trend` to consume.
+//! drained shard reports a certified `RunSummary`. The control plane is
+//! exposed too: `--swap-at T:SPEC` hot-swaps every shard's scheduler at
+//! event time `T`, and `--steal` turns on work stealing between shards
+//! (full-queue arrivals stage router-side and migrate to idle shards).
+//! With `--store DIR` the summaries append to the persistent results store
+//! (conventionally `results/store/`) for `report --trend` to consume.
 //!
 //! ```text
 //! flowtree-repro serve service --shards 2 --rate 0.5 --scheduler fifo -m 4
 //! flowtree-repro serve analytics --shards 4 --policy redirect --store results/store
 //! flowtree-repro serve replayed --replay trace.jsonl --scheduler lpf
+//! flowtree-repro serve service --shards 2 --swap-at 40:lpf --steal --queue-cap 4
 //! ```
 
 use crate::scenario::{parse_num, ScenarioOpts};
 use flowtree_analysis::table::f3;
 use flowtree_analysis::Table;
 use flowtree_core::SchedulerSpec;
+use flowtree_dag::Time;
 use flowtree_serve::{
-    git_describe, run_id, ArrivalSource, GeneratorSource, OverloadPolicy, ReplaySource,
-    ResultsStore, Routing, ServeConfig, ShardPool, ShardResult, StoreRecord,
+    git_describe, run_id, ArrivalSource, GeneratorSource, IngestStats, OverloadPolicy,
+    ReplaySource, ResultsStore, Routing, ServeConfig, ShardPool, ShardResult, StealConfig,
+    StoreRecord,
 };
 use flowtree_workloads::mix::Scenario;
 
@@ -35,6 +41,9 @@ struct ServeOpts {
     store: Option<String>,
     run: Option<String>,
     horizon: u64,
+    swap_at: Vec<String>,
+    steal: bool,
+    steal_watermarks: Option<String>,
 }
 
 impl Default for ServeOpts {
@@ -50,6 +59,9 @@ impl Default for ServeOpts {
             store: None,
             run: None,
             horizon: 100_000_000,
+            swap_at: Vec::new(),
+            steal: false,
+            steal_watermarks: None,
         }
     }
 }
@@ -63,7 +75,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         false,
         " [--shards N] [--rate R] [--queue-cap N] [--policy block|drop|redirect]\n\
          \u{20}        [--routing hash|least-loaded] [--replay FILE] [--stats-every N]\n\
-         \u{20}        [--store DIR] [--run-id ID] [--horizon H]",
+         \u{20}        [--store DIR] [--run-id ID] [--horizon H] [--swap-at T:SPEC]\n\
+         \u{20}        [--steal] [--steal-watermarks LOW:HIGH]",
         &mut |flag, it| {
             match flag {
                 "--shards" => s.shards = parse_num(it, "--shards")?,
@@ -76,13 +89,21 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 "--replay" => s.replay = Some(it.next().ok_or("--replay needs a path")?.clone()),
                 "--store" => s.store = Some(it.next().ok_or("--store needs a directory")?.clone()),
                 "--run-id" => s.run = Some(it.next().ok_or("--run-id needs an id")?.clone()),
+                "--swap-at" => s.swap_at.push(it.next().ok_or("--swap-at needs T:SPEC")?.clone()),
+                "--steal" => s.steal = true,
+                "--steal-watermarks" => {
+                    s.steal = true;
+                    s.steal_watermarks =
+                        Some(it.next().ok_or("--steal-watermarks needs LOW:HIGH")?.clone());
+                }
                 _ => return Ok(false),
             }
             Ok(true)
         },
     )?;
-    let results = serve(&o, &s, &mut |line| println!("{line}"))?;
+    let (results, ingest) = serve(&o, &s, &mut |line| println!("{line}"))?;
     print!("{}", summary_table(&o, &s, &results));
+    println!("{}", accounting_line(&ingest));
     if let Some(dir) = &s.store {
         let path = persist(&o, &s, &results, dir)?;
         eprintln!("appended {} record(s) to {path}", results.len());
@@ -90,24 +111,82 @@ pub fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Launch the pool, pump the source dry (emitting a stats line through
-/// `heartbeat` every `--stats-every` arrivals), and drain.
+/// Parse one `--swap-at T:SPEC` directive against the run's `--half`.
+fn parse_swap(arg: &str, half: Time) -> Result<(Time, SchedulerSpec), String> {
+    let (t, name) = arg
+        .split_once(':')
+        .ok_or_else(|| format!("--swap-at wants T:SPEC (e.g. 100:lpf), got '{arg}'"))?;
+    let at: Time = t.parse().map_err(|_| format!("--swap-at time '{t}' is not an integer"))?;
+    let spec = SchedulerSpec::from_name_with_half(name, half)?;
+    Ok((at, spec))
+}
+
+/// Parse `--steal-watermarks LOW:HIGH`.
+fn parse_watermarks(arg: &str) -> Result<StealConfig, String> {
+    let (lo, hi) = arg
+        .split_once(':')
+        .ok_or_else(|| format!("--steal-watermarks wants LOW:HIGH (e.g. 2:8), got '{arg}'"))?;
+    let low_watermark = lo
+        .parse()
+        .map_err(|_| format!("steal low watermark '{lo}' is not an integer"))?;
+    let high_watermark = hi
+        .parse()
+        .map_err(|_| format!("steal high watermark '{hi}' is not an integer"))?;
+    Ok(StealConfig { low_watermark, high_watermark })
+}
+
+/// The post-drain ingest ledger; ends in `(balanced)` exactly when every
+/// offered arrival is accounted for and stolen jobs net to zero.
+fn accounting_line(ingest: &IngestStats) -> String {
+    let balanced = ingest.delivered + ingest.dropped == ingest.offered
+        && ingest.stolen_in == ingest.stolen_out;
+    format!(
+        "ingest: offered={} delivered={} dropped={} redirected={} reordered={} \
+         stolen_in={} stolen_out={} {}",
+        ingest.offered,
+        ingest.delivered,
+        ingest.dropped,
+        ingest.redirected,
+        ingest.reordered,
+        ingest.stolen_in,
+        ingest.stolen_out,
+        if balanced {
+            "(balanced)"
+        } else {
+            "(IMBALANCED)"
+        },
+    )
+}
+
+/// Launch the pool, queue any hot-swaps, pump the source dry (emitting a
+/// stats line through `heartbeat` every `--stats-every` arrivals), and
+/// drain.
 fn serve(
     o: &ScenarioOpts,
     s: &ServeOpts,
     heartbeat: &mut dyn FnMut(&str),
-) -> Result<Vec<ShardResult>, String> {
+) -> Result<(Vec<ShardResult>, IngestStats), String> {
     if s.shards == 0 {
         return Err("--shards must be at least 1".into());
     }
-    let spec = SchedulerSpec::parse(&o.scheduler, o.half)?;
-    let mut cfg = ServeConfig::new(spec, o.m);
-    cfg.shards = s.shards;
-    cfg.scenario = o.scenario.clone();
-    cfg.queue_cap = s.queue_cap;
-    cfg.policy = OverloadPolicy::parse(&s.policy)?;
-    cfg.routing = Routing::parse(&s.routing)?;
-    cfg.max_horizon = s.horizon;
+    let spec = SchedulerSpec::from_name_with_half(&o.scheduler, o.half)?;
+    let swaps: Vec<(Time, SchedulerSpec)> =
+        s.swap_at.iter().map(|a| parse_swap(a, o.half)).collect::<Result<_, _>>()?;
+    let mut builder = ServeConfig::builder(spec, o.m)
+        .shards(s.shards)
+        .scenario(o.scenario.clone())
+        .queue_cap(s.queue_cap)
+        .policy(s.policy.parse::<OverloadPolicy>()?)
+        .routing(s.routing.parse::<Routing>()?)
+        .max_horizon(s.horizon);
+    if s.steal {
+        let marks = match &s.steal_watermarks {
+            Some(arg) => parse_watermarks(arg)?,
+            None => StealConfig::default(),
+        };
+        builder = builder.steal(marks);
+    }
+    let cfg = builder.build()?;
 
     let mut source: Box<dyn ArrivalSource> = match &s.replay {
         Some(path) => {
@@ -129,22 +208,40 @@ fn serve(
         }
     };
 
-    let mut pool = ShardPool::launch(cfg);
-    pool.run_source_with(source.as_mut(), s.stats_every, &mut |snap| heartbeat(&snap.line()));
+    let pool = ShardPool::launch(cfg)?;
+    let handle = pool.handle();
+    // Queue swaps before any arrival: per-shard FIFO ordering makes a
+    // `--swap-at 0:SPEC` take effect before the first admission.
+    for &(at, swap_spec) in &swaps {
+        handle.swap(None, at, swap_spec)?;
+    }
+    pool.run_source_with(source.as_mut(), s.stats_every, &mut |snap| heartbeat(&snap.line()))?;
     let ingest = pool.ingest();
     heartbeat(&format!(
-        "stream ended: offered={} delivered={} dropped={} redirected={} — draining {} shard(s)",
-        ingest.offered, ingest.delivered, ingest.dropped, ingest.redirected, s.shards
+        "stream ended: offered={} delivered={} dropped={} redirected={} staged={} — \
+         draining {} shard(s)",
+        ingest.offered,
+        ingest.delivered,
+        ingest.dropped,
+        ingest.redirected,
+        pool.snapshot().in_flight(),
+        s.shards
     ));
-    Ok(pool.drain())
+    let results = pool.drain()?;
+    Ok((results, handle.ingest()))
 }
 
 /// Render the final per-shard summary table.
 fn summary_table(o: &ScenarioOpts, s: &ServeOpts, results: &[ShardResult]) -> String {
     let mut table = Table::new(
         format!(
-            "serve '{}' — {} on {} shard(s) × m = {}, policy {}",
-            o.scenario, o.scheduler, s.shards, o.m, s.policy
+            "serve '{}' — {} on {} shard(s) × m = {}, policy {}{}",
+            o.scenario,
+            o.scheduler,
+            s.shards,
+            o.m,
+            s.policy,
+            if s.steal { ", stealing" } else { "" }
         ),
         &[
             "shard",
@@ -154,6 +251,7 @@ fn summary_table(o: &ScenarioOpts, s: &ServeOpts, results: &[ShardResult]) -> St
             "max flow",
             "ratio ≤",
             "flow p99",
+            "swaps",
             "invariants",
         ],
     );
@@ -167,6 +265,11 @@ fn summary_table(o: &ScenarioOpts, s: &ServeOpts, results: &[ShardResult]) -> St
             sm.max_flow.to_string(),
             f3(sm.ratio),
             sm.flow.p99.to_string(),
+            if r.swaps.is_empty() {
+                "-".to_string()
+            } else {
+                r.swaps.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(" ")
+            },
             if sm.invariants_clean {
                 "clean".to_string()
             } else {
@@ -194,6 +297,7 @@ fn persist(
             shard: r.shard,
             shards: results.len(),
             summary: r.summary.clone(),
+            swaps: r.swaps.clone(),
         };
         store.append(&record).map_err(|e| format!("append to {dir}: {e}"))?;
     }
@@ -220,13 +324,17 @@ mod tests {
         let mut s = ServeOpts { shards: 2, stats_every: 4, ..ServeOpts::default() };
         s.rate = 1.0;
         let mut lines = Vec::new();
-        let results = serve(&opts("service"), &s, &mut |l| lines.push(l.to_string())).unwrap();
+        let (results, ingest) =
+            serve(&opts("service"), &s, &mut |l| lines.push(l.to_string())).unwrap();
         assert_eq!(results.len(), 2);
         assert_eq!(results.iter().map(|r| r.summary.jobs).sum::<usize>(), 10);
         assert!(lines.iter().any(|l| l.contains("admitted=")), "{lines:?}");
         assert!(lines.last().unwrap().contains("draining"));
         let table = summary_table(&opts("service"), &s, &results);
         assert!(table.contains("| shard |"), "{table}");
+        assert!(table.contains("| swaps |"), "{table}");
+        let ledger = accounting_line(&ingest);
+        assert!(ledger.ends_with("(balanced)"), "{ledger}");
     }
 
     #[test]
@@ -235,12 +343,70 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let s = ServeOpts { shards: 2, rate: 1.0, ..ServeOpts::default() };
         let o = opts("service");
-        let results = serve(&o, &s, &mut |_| {}).unwrap();
+        let (results, _) = serve(&o, &s, &mut |_| {}).unwrap();
         persist(&o, &s, &results, dir.to_str().unwrap()).unwrap();
         let records = flowtree_serve::load_records(&dir).unwrap();
         assert_eq!(records.len(), 2, "one record per shard");
         assert!(records.iter().all(|r| r.summary.scenario == "service"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn swap_at_relabels_every_shard_and_persists_the_event() {
+        let dir = std::env::temp_dir().join(format!("flowtree-swap-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = ServeOpts {
+            shards: 2,
+            rate: 1.0,
+            swap_at: vec!["0:lpf".to_string()],
+            ..ServeOpts::default()
+        };
+        let o = opts("service");
+        let (results, ingest) = serve(&o, &s, &mut |_| {}).unwrap();
+        for r in &results {
+            assert_eq!(r.summary.scheduler, "lpf");
+            assert_eq!(r.swaps.len(), 1);
+            assert_eq!(
+                (r.swaps[0].from.as_str(), r.swaps[0].to.as_str(), r.swaps[0].t),
+                ("fifo", "lpf", 0)
+            );
+        }
+        assert!(accounting_line(&ingest).ends_with("(balanced)"));
+        persist(&o, &s, &results, dir.to_str().unwrap()).unwrap();
+        let records = flowtree_serve::load_records(&dir).unwrap();
+        assert!(records.iter().all(|r| r.swaps.len() == 1), "swap events persisted");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stealing_serve_balances_the_ledger() {
+        let s = ServeOpts {
+            shards: 2,
+            rate: 1.0,
+            queue_cap: 2,
+            steal: true,
+            steal_watermarks: Some("0:2".to_string()),
+            ..ServeOpts::default()
+        };
+        let o = ScenarioOpts { jobs: 40, ..opts("service") };
+        let (results, ingest) = serve(&o, &s, &mut |_| {}).unwrap();
+        assert_eq!(results.iter().map(|r| r.summary.jobs).sum::<usize>() as u64, ingest.offered);
+        assert_eq!(ingest.stolen_in, ingest.stolen_out);
+        assert!(accounting_line(&ingest).ends_with("(balanced)"), "{ingest:?}");
+    }
+
+    #[test]
+    fn swap_and_watermark_args_parse_strictly() {
+        assert!(parse_swap("100:lpf", 8).is_ok());
+        assert!(parse_swap("lpf", 8).is_err());
+        assert!(parse_swap("x:lpf", 8).is_err());
+        assert!(parse_swap("5:not-a-scheduler", 8).is_err());
+        assert_eq!(
+            parse_watermarks("2:8"),
+            Ok(StealConfig { low_watermark: 2, high_watermark: 8 })
+        );
+        assert!(parse_watermarks("8").is_err());
+        assert!(parse_watermarks("a:b").is_err());
     }
 
     #[test]
@@ -252,5 +418,12 @@ mod tests {
         let zero = ServeOpts { shards: 0, ..ServeOpts::default() };
         let err = serve(&opts("service"), &zero, &mut |_| {}).unwrap_err();
         assert!(err.contains("--shards"), "{err}");
+        let marks = ServeOpts {
+            steal: true,
+            steal_watermarks: Some("8:2".to_string()),
+            ..ServeOpts::default()
+        };
+        let err = serve(&opts("service"), &marks, &mut |_| {}).unwrap_err();
+        assert!(err.contains("watermark"), "{err}");
     }
 }

@@ -38,7 +38,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let instance: Instance =
         serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
 
-    let spec = SchedulerSpec::parse(&scheduler_name, half)?;
+    let spec = SchedulerSpec::from_name_with_half(&scheduler_name, half)?;
     let mut sched = spec.build();
     let report = Engine::new(m)
         .with_max_horizon(1_000_000_000)
@@ -84,7 +84,9 @@ mod tests {
     fn all_scheduler_names_resolve_and_run() {
         let inst = Instance::single(flowtree_dag::builder::star(6));
         for name in SCHEDULER_NAMES {
-            let mut s = SchedulerSpec::parse(name, 4).unwrap_or_else(|e| panic!("{e}")).build();
+            let mut s = SchedulerSpec::from_name_with_half(name, 4)
+                .unwrap_or_else(|e| panic!("{e}"))
+                .build();
             let report = Engine::new(8)
                 .with_max_horizon(100_000)
                 .run(&inst, s.as_mut())
@@ -95,6 +97,6 @@ mod tests {
 
     #[test]
     fn unknown_scheduler_is_an_error() {
-        assert!(SchedulerSpec::parse("sjf-magic", 1).is_err());
+        assert!("sjf-magic".parse::<SchedulerSpec>().is_err());
     }
 }

@@ -14,7 +14,7 @@ pub fn run_engine(
     instance: &Instance,
     trace: Option<&mut JsonlTrace<Vec<u8>>>,
 ) -> Result<RunReport, String> {
-    let mut sched = SchedulerSpec::parse(&o.scheduler, o.half)?.build();
+    let mut sched = SchedulerSpec::from_name_with_half(&o.scheduler, o.half)?.build();
     let mut engine = Engine::new(o.m).with_max_horizon(100_000_000);
     let report = match trace {
         Some(t) => engine.with_probe(t).run(instance, sched.as_mut()),

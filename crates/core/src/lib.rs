@@ -41,4 +41,4 @@ pub use fifo::{Fifo, TieBreak};
 pub use guess_double::GuessDoubleA;
 pub use lpf::Lpf;
 pub use mc::McReplay;
-pub use registry::{build_scheduler, SchedulerSpec, SCHEDULER_NAMES};
+pub use registry::{build_scheduler, SchedulerSpec, DEFAULT_HALF, SCHEDULER_NAMES};

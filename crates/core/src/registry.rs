@@ -11,6 +11,10 @@ use crate::{AlgoA, Fifo, GuessDoubleA, Lpf, TieBreak};
 use flowtree_dag::Time;
 use flowtree_sim::{InvariantChecks, OnlineScheduler};
 
+/// Default `algo-a` half-batch length used when a spec is parsed without an
+/// explicit parameter (the `FromStr` impl); matches the CLI `--half` default.
+pub const DEFAULT_HALF: Time = 8;
+
 /// Canonical CLI names, one per registry entry (order matches `--help`).
 pub const SCHEDULER_NAMES: &[&str] = &[
     "fifo",
@@ -75,10 +79,11 @@ impl SchedulerSpec {
         }
     }
 
-    /// Parse a CLI name into a spec. `half` parameterizes `algo-a`; the
-    /// other entries ignore it. Parameterized entries get the same fixed
-    /// defaults the CLI has always used (seed 1).
-    pub fn parse(name: &str, half: Time) -> Result<Self, String> {
+    /// Parse a CLI name into a spec, overriding the `algo-a` half-batch
+    /// parameter; the other entries ignore `half`. Parameterized entries get
+    /// the same fixed defaults the CLI has always used (seed 1). Prefer
+    /// `name.parse::<SchedulerSpec>()` when the default half is fine.
+    pub fn from_name_with_half(name: &str, half: Time) -> Result<Self, String> {
         Ok(match name {
             "fifo" => SchedulerSpec::Fifo(TieBreak::BecameReady),
             "fifo-last" => SchedulerSpec::Fifo(TieBreak::LastReady),
@@ -100,11 +105,18 @@ impl SchedulerSpec {
         })
     }
 
+    /// Deprecated alias of [`SchedulerSpec::from_name_with_half`].
+    #[deprecated(note = "use `name.parse::<SchedulerSpec>()` or \
+                         `SchedulerSpec::from_name_with_half`")]
+    pub fn parse(name: &str, half: Time) -> Result<Self, String> {
+        Self::from_name_with_half(name, half)
+    }
+
     /// Every registry entry, in [`SCHEDULER_NAMES`] order.
     pub fn all(half: Time) -> Vec<SchedulerSpec> {
         SCHEDULER_NAMES
             .iter()
-            .map(|n| SchedulerSpec::parse(n, half).expect("registry names parse"))
+            .map(|n| SchedulerSpec::from_name_with_half(n, half).expect("registry names parse"))
             .collect()
     }
 
@@ -152,6 +164,25 @@ impl SchedulerSpec {
     }
 }
 
+impl std::str::FromStr for SchedulerSpec {
+    type Err = String;
+
+    /// Parse a registry name. `algo-a` takes [`DEFAULT_HALF`] as its
+    /// half-batch length; use [`SchedulerSpec::from_name_with_half`] to
+    /// override it.
+    fn from_str(s: &str) -> Result<Self, String> {
+        Self::from_name_with_half(s, DEFAULT_HALF)
+    }
+}
+
+impl std::fmt::Display for SchedulerSpec {
+    /// The canonical CLI name (parameters are not encoded, matching
+    /// [`SchedulerSpec::name`]).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Build a fresh scheduler from `spec` (see [`SchedulerSpec::build`]).
 pub fn build_scheduler(spec: SchedulerSpec) -> Box<dyn OnlineScheduler + Send> {
     match spec {
@@ -173,15 +204,36 @@ mod tests {
     #[test]
     fn every_name_parses_and_roundtrips() {
         for &name in SCHEDULER_NAMES {
-            let spec = SchedulerSpec::parse(name, 8).unwrap_or_else(|e| panic!("{e}"));
+            let spec: SchedulerSpec = name.parse().unwrap_or_else(|e: String| panic!("{e}"));
             assert_eq!(spec.name(), name);
+            // Display is the FromStr inverse (modulo parameters).
+            assert_eq!(spec.to_string(), name);
         }
     }
 
     #[test]
+    fn from_name_with_half_parameterizes_algo_a() {
+        assert_eq!(
+            SchedulerSpec::from_name_with_half("algo-a", 16),
+            Ok(SchedulerSpec::AlgoA { alpha: 4, half: 16 })
+        );
+        // The FromStr path uses the documented default.
+        assert_eq!(
+            "algo-a".parse::<SchedulerSpec>(),
+            Ok(SchedulerSpec::AlgoA { alpha: 4, half: DEFAULT_HALF })
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parse_shim_still_works() {
+        assert_eq!(SchedulerSpec::parse("lpf", 1), Ok(SchedulerSpec::Lpf));
+    }
+
+    #[test]
     fn unknown_name_is_an_error() {
-        assert!(SchedulerSpec::parse("sjf-magic", 1).is_err());
-        assert!(SchedulerSpec::parse("", 1).is_err());
+        assert!("sjf-magic".parse::<SchedulerSpec>().is_err());
+        assert!("".parse::<SchedulerSpec>().is_err());
     }
 
     #[test]

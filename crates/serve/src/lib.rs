@@ -23,7 +23,13 @@
 //!   watermark**: a shard simulates step `t` only once it knows no arrival
 //!   with release `<= t` can still reach it, so a one-shard pool reproduces
 //!   the batch engine's `RunReport` bit for bit (pinned by the differential
-//!   tests).
+//!   tests). A **control plane** rides on the same channels
+//!   ([`ShardCmd`](shard::ShardCmd)): runtime operations — offer, live
+//!   scheduler hot-swap ([`PoolHandle::swap`]), synchronous quiesce,
+//!   snapshots, drain requests — go through a cloneable [`PoolHandle`], and
+//!   optional work stealing ([`StealConfig`]) migrates not-yet-admitted jobs
+//!   from an overloaded shard's staged ingress to an idle one with exact
+//!   accounting ([`IngestStats`]).
 //! * [`store`] — append-only JSONL store of [`StoreRecord`]s (run id, git
 //!   describe, shard, summary) under a directory like `results/store/`.
 //! * [`trend`] — cross-run trend tables over store records (ratio,
@@ -38,8 +44,11 @@ pub mod source;
 pub mod store;
 pub mod trend;
 
-pub use pool::{IngestStats, OverloadPolicy, PoolSnapshot, Routing, ServeConfig, ShardPool};
-pub use shard::{ShardResult, ShardSnapshot};
+pub use pool::{
+    IngestStats, OverloadPolicy, PoolHandle, PoolSnapshot, Routing, ServeConfig,
+    ServeConfigBuilder, ServeError, ShardPool, StealConfig,
+};
+pub use shard::{ShardResult, ShardSnapshot, SwapEvent};
 pub use source::{channel_source, ArrivalSource, ChannelSource, GeneratorSource, ReplaySource};
 pub use store::{git_describe, load_records, run_id, ResultsStore, StoreRecord};
-pub use trend::{render_trend, trend_tables};
+pub use trend::{render_trend, render_trend_plots, trend_tables};

@@ -1,18 +1,34 @@
 //! The shard pool: bounded-queue routing of an arrival stream across N
-//! engine shards, with explicit overload behavior and graceful drain.
+//! engine shards, with a control plane for live scheduler hot-swap and
+//! work stealing, explicit overload behavior, and graceful drain.
 //!
 //! Each shard is a worker thread (see [`crate::shard`]) behind a bounded
-//! channel of [`Msg`]s. The router serializes arrivals: it clamps the rare
-//! out-of-order release from a misbehaving source (counting it in
+//! channel of [`ShardCmd`]s. The router serializes arrivals: it clamps the
+//! rare out-of-order release from a misbehaving source (counting it in
 //! [`IngestStats::reordered`]), picks a shard ([`Routing`]), delivers the
 //! job under the configured [`OverloadPolicy`], and broadcasts the release
 //! as a watermark to every other shard so they may keep simulating. The
 //! watermark broadcast uses `try_send` and silently skips full queues: a
-//! full queue already holds a message whose eventual processing advances
+//! full queue already holds a command whose eventual processing advances
 //! that shard at least as far, so skipping cannot deadlock or stall a shard
 //! forever — it only delays it until its backlog drains.
+//!
+//! With stealing enabled ([`StealConfig`]), an arrival whose target queue
+//! is full is *staged* router-side instead of blocking the ingest thread.
+//! When one shard's ingress backlog (queue + staged) sinks to the low
+//! watermark while another's exceeds the high watermark, the router
+//! migrates staged — never admitted — jobs to the underloaded shard in one
+//! [`ShardCmd::Donate`] batch. A shard whose staged queue is nonempty has
+//! its broadcast watermark capped at the staged front's release, so it can
+//! never simulate past a job it has yet to receive.
+//!
+//! Runtime control (offer / swap / snapshot / quiesce / drain request) is
+//! a [`PoolHandle`]: a cheap clone that external front doors can drive
+//! without owning the pool. [`ShardPool`] owns the worker threads and is
+//! the only way to [`drain`](ShardPool::drain) and join them.
 
-use std::sync::{Arc, Mutex};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{self, Sender, TrySendError};
@@ -20,14 +36,45 @@ use flowtree_core::SchedulerSpec;
 use flowtree_dag::Time;
 use flowtree_sim::JobSpec;
 
-use crate::shard::{run_shard, Msg, ShardResult, ShardSnapshot};
+use crate::shard::{run_shard, ShardCmd, ShardResult, ShardSnapshot, SwapDirective};
 use crate::source::ArrivalSource;
+
+/// Everything that can go wrong launching or driving a pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The configuration failed validation (message says which field).
+    InvalidConfig(String),
+    /// A worker thread could not be spawned.
+    Spawn(String),
+    /// The pool's workers are gone (already drained or panicked); the
+    /// handle can no longer deliver commands.
+    PoolClosed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+            ServeError::Spawn(msg) => write!(f, "failed to spawn shard worker: {msg}"),
+            ServeError::PoolClosed => f.write_str("pool is closed (shards already drained)"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ServeError> for String {
+    fn from(e: ServeError) -> String {
+        e.to_string()
+    }
+}
 
 /// What to do with an arrival whose target shard queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OverloadPolicy {
     /// Apply backpressure: block the ingest thread until there is room
-    /// (never loses work; the default).
+    /// (never loses work; the default). With stealing enabled the arrival
+    /// is staged router-side instead, so ingest never blocks.
     Block,
     /// Shed load: drop the arriving job (counted in
     /// [`IngestStats::dropped`]); its release still advances watermarks.
@@ -48,8 +95,17 @@ impl OverloadPolicy {
     }
 
     /// Parse a CLI name.
+    #[deprecated(note = "use `name.parse::<OverloadPolicy>()`")]
     pub fn parse(name: &str) -> Result<Self, String> {
-        match name {
+        name.parse()
+    }
+}
+
+impl std::str::FromStr for OverloadPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
             "block" => Ok(OverloadPolicy::Block),
             "drop" => Ok(OverloadPolicy::DropNewest),
             "redirect" => Ok(OverloadPolicy::Redirect),
@@ -60,13 +116,19 @@ impl OverloadPolicy {
     }
 }
 
+impl std::fmt::Display for OverloadPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// How the router picks a shard for each arrival.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Routing {
     /// Multiplicative hash of the arrival sequence number — stateless and
     /// uniform, like consistent hashing over a fixed ring.
     Hash,
-    /// The shard with the shortest queue right now.
+    /// The shard with the shortest ingress backlog (queue + staged) now.
     LeastLoaded,
 }
 
@@ -80,8 +142,17 @@ impl Routing {
     }
 
     /// Parse a CLI name.
+    #[deprecated(note = "use `name.parse::<Routing>()`")]
     pub fn parse(name: &str) -> Result<Self, String> {
-        match name {
+        name.parse()
+    }
+}
+
+impl std::str::FromStr for Routing {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
             "hash" => Ok(Routing::Hash),
             "least-loaded" => Ok(Routing::LeastLoaded),
             other => Err(format!("unknown routing '{other}'; known: hash, least-loaded")),
@@ -89,7 +160,32 @@ impl Routing {
     }
 }
 
-/// Configuration of a [`ShardPool`].
+impl std::fmt::Display for Routing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Work-stealing thresholds over each shard's ingress backlog
+/// (channel queue + router-side staged jobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealConfig {
+    /// A shard whose backlog is at or below this may steal.
+    pub low_watermark: usize,
+    /// A shard whose backlog is at or above this (and has staged jobs to
+    /// give) may be stolen from.
+    pub high_watermark: usize,
+}
+
+impl Default for StealConfig {
+    fn default() -> Self {
+        StealConfig { low_watermark: 2, high_watermark: 8 }
+    }
+}
+
+/// Configuration of a [`ShardPool`]. Build one with
+/// [`ServeConfig::builder`] (validated) or [`ServeConfig::new`] (the
+/// always-valid single-shard default).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Number of engine shards (worker threads).
@@ -109,6 +205,9 @@ pub struct ServeConfig {
     /// Safety horizon per shard (a stalling scheduler errors out instead of
     /// spinning forever).
     pub max_horizon: Time,
+    /// Work-stealing thresholds; `None` disables stealing and keeps the
+    /// delivery path identical to the pre-control-plane pool.
+    pub steal: Option<StealConfig>,
 }
 
 impl ServeConfig {
@@ -124,16 +223,120 @@ impl ServeConfig {
             policy: OverloadPolicy::Block,
             routing: Routing::Hash,
             max_horizon: 100_000_000,
+            steal: None,
         }
+    }
+
+    /// Start a validated configuration.
+    pub fn builder(spec: SchedulerSpec, m: usize) -> ServeConfigBuilder {
+        ServeConfigBuilder { cfg: ServeConfig::new(spec, m) }
+    }
+
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.shards < 1 {
+            return Err(ServeError::InvalidConfig("need at least one shard".into()));
+        }
+        if self.m < 1 {
+            return Err(ServeError::InvalidConfig("need at least one processor per shard".into()));
+        }
+        if self.queue_cap < 1 {
+            return Err(ServeError::InvalidConfig("queues must hold at least one command".into()));
+        }
+        if self.max_horizon < 1 || self.max_horizon >= Time::MAX / 2 {
+            return Err(ServeError::InvalidConfig(format!(
+                "max_horizon must be in [1, {}), got {}",
+                Time::MAX / 2,
+                self.max_horizon
+            )));
+        }
+        if let Some(steal) = self.steal {
+            if steal.low_watermark >= steal.high_watermark {
+                return Err(ServeError::InvalidConfig(format!(
+                    "steal low watermark ({}) must be below the high watermark ({})",
+                    steal.low_watermark, steal.high_watermark
+                )));
+            }
+            if self.policy != OverloadPolicy::Block {
+                return Err(ServeError::InvalidConfig(format!(
+                    "work stealing stages full-queue arrivals and requires the '{}' \
+                     overload policy, got '{}'",
+                    OverloadPolicy::Block,
+                    self.policy
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Chained, validated construction of a [`ServeConfig`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Number of engine shards.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
+        self
+    }
+
+    /// Scenario label for summaries and store records.
+    pub fn scenario(mut self, scenario: impl Into<String>) -> Self {
+        self.cfg.scenario = scenario.into();
+        self
+    }
+
+    /// Bounded queue capacity per shard.
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.cfg.queue_cap = cap;
+        self
+    }
+
+    /// Full-queue behavior.
+    pub fn policy(mut self, policy: OverloadPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Shard placement.
+    pub fn routing(mut self, routing: Routing) -> Self {
+        self.cfg.routing = routing;
+        self
+    }
+
+    /// Per-shard safety horizon.
+    pub fn max_horizon(mut self, horizon: Time) -> Self {
+        self.cfg.max_horizon = horizon;
+        self
+    }
+
+    /// Enable work stealing with these thresholds.
+    pub fn steal(mut self, steal: StealConfig) -> Self {
+        self.cfg.steal = Some(steal);
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<ServeConfig, ServeError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
 /// Ingest-side counters (what happened to offered arrivals).
+///
+/// The books must always balance:
+/// `delivered + dropped + staged-in-flight == offered`, and pool-wide
+/// `stolen_in == stolen_out` (every migrated job leaves one shard's staged
+/// queue and lands on another).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IngestStats {
     /// Arrivals offered to the pool.
     pub offered: u64,
-    /// Arrivals delivered to some shard.
+    /// Arrivals delivered to some shard (directly, pumped from staging, or
+    /// donated to a thief).
     pub delivered: u64,
     /// Arrivals shed under [`OverloadPolicy::DropNewest`].
     pub dropped: u64,
@@ -142,6 +345,10 @@ pub struct IngestStats {
     pub redirected: u64,
     /// Arrivals whose release went backwards and was clamped forward.
     pub reordered: u64,
+    /// Jobs migrated onto an underloaded shard by work stealing.
+    pub stolen_in: u64,
+    /// Jobs migrated off an overloaded shard's staged queue.
+    pub stolen_out: u64,
 }
 
 /// A point-in-time view of the whole pool.
@@ -164,18 +371,360 @@ impl PoolSnapshot {
         self.shards.iter().map(|s| s.dispatched).sum()
     }
 
+    /// Arrivals staged router-side, offered but not yet delivered.
+    pub fn in_flight(&self) -> u64 {
+        self.shards.iter().map(|s| s.staged as u64).sum()
+    }
+
+    /// Whether every offered arrival is accounted for:
+    /// `delivered + dropped + in-flight == offered` and
+    /// `stolen_in == stolen_out`.
+    pub fn accounting_balanced(&self) -> bool {
+        self.ingest.delivered + self.ingest.dropped + self.in_flight() == self.ingest.offered
+            && self.ingest.stolen_in == self.ingest.stolen_out
+    }
+
     /// One human-readable stats line (the CLI's periodic heartbeat).
     pub fn line(&self) -> String {
         let now = self.shards.iter().map(|s| s.now).min().unwrap_or(0);
         let queued: usize = self.shards.iter().map(|s| s.queue_len).sum();
         let lb = self.shards.iter().map(|s| s.lower_bound).max().unwrap_or(0);
         format!(
-            "t>={now} admitted={} dispatched={} queued={queued} lb>={lb} dropped={} redirected={}",
+            "t>={now} admitted={} dispatched={} queued={queued} staged={} lb>={lb} \
+             dropped={} redirected={} stolen={}",
             self.total_admitted(),
             self.total_dispatched(),
+            self.in_flight(),
             self.ingest.dropped,
             self.ingest.redirected,
+            self.ingest.stolen_in,
         )
+    }
+}
+
+/// Router state: everything the ingest path mutates, behind one lock.
+#[derive(Debug)]
+struct Router {
+    seq: u64,
+    last_release: Time,
+    ingest: IngestStats,
+    /// Per-shard arrivals accepted but not yet delivered (steal mode only).
+    staged: Vec<VecDeque<JobSpec>>,
+}
+
+/// Shared pool state: what both the owning [`ShardPool`] and every cloned
+/// [`PoolHandle`] see.
+#[derive(Debug)]
+struct PoolCore {
+    cfg: ServeConfig,
+    txs: Vec<Sender<ShardCmd>>,
+    snaps: Vec<Arc<Mutex<ShardSnapshot>>>,
+    router: Mutex<Router>,
+}
+
+/// A cloneable runtime-control handle onto a running pool.
+///
+/// Handles carry every operation that does not require owning the worker
+/// threads: [`offer`](Self::offer), [`swap`](Self::swap),
+/// [`snapshot`](Self::snapshot), [`quiesce`](Self::quiesce), and
+/// [`request_drain`](Self::request_drain). Joining the workers and
+/// collecting [`ShardResult`]s stays with [`ShardPool::drain`].
+#[derive(Debug, Clone)]
+pub struct PoolHandle {
+    core: Arc<PoolCore>,
+}
+
+impl PoolHandle {
+    /// The pool's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.core.cfg
+    }
+
+    /// Ingest counters so far.
+    pub fn ingest(&self) -> IngestStats {
+        self.router().ingest
+    }
+
+    fn router(&self) -> MutexGuard<'_, Router> {
+        self.core.router.lock().expect("pool router lock")
+    }
+
+    fn pick_shard(&self, r: &Router) -> usize {
+        match self.core.cfg.routing {
+            Routing::Hash => {
+                (r.seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % self.core.txs.len()
+            }
+            Routing::LeastLoaded => (0..self.core.txs.len())
+                .min_by_key(|&i| self.core.txs[i].len() + r.staged[i].len())
+                .expect("at least one shard"),
+        }
+    }
+
+    /// Flush shard `i`'s staged queue into its channel while there is room.
+    fn pump_shard(&self, r: &mut Router, i: usize) -> Result<(), ServeError> {
+        while let Some(job) = r.staged[i].pop_front() {
+            match self.core.txs[i].try_send(ShardCmd::Admit(job)) {
+                Ok(()) => r.ingest.delivered += 1,
+                Err(TrySendError::Full(ShardCmd::Admit(job))) => {
+                    r.staged[i].push_front(job);
+                    break;
+                }
+                Err(TrySendError::Full(_)) => unreachable!("pumped a non-admit command"),
+                Err(TrySendError::Disconnected(_)) => return Err(ServeError::PoolClosed),
+            }
+        }
+        Ok(())
+    }
+
+    /// One stealing round: if some shard's backlog sank to the low
+    /// watermark while another's exceeds the high watermark *and* has
+    /// staged jobs to give, migrate half the victim's staged queue (taken
+    /// from the back — the latest arrivals) to the thief in one
+    /// [`ShardCmd::Donate`] batch. The thief re-releases donated jobs at
+    /// its own event time, so admitted work never moves and per-shard
+    /// determinism is untouched.
+    fn rebalance(&self, r: &mut Router) -> Result<(), ServeError> {
+        let Some(steal) = self.core.cfg.steal else {
+            return Ok(());
+        };
+        let n = self.core.txs.len();
+        if n < 2 {
+            return Ok(());
+        }
+        let backlog: Vec<usize> =
+            (0..n).map(|i| self.core.txs[i].len() + r.staged[i].len()).collect();
+        let thief = (0..n)
+            .filter(|&i| r.staged[i].is_empty() && backlog[i] <= steal.low_watermark)
+            .min_by_key(|&i| backlog[i]);
+        let victim = (0..n)
+            .filter(|&i| !r.staged[i].is_empty() && backlog[i] >= steal.high_watermark)
+            .max_by_key(|&i| backlog[i]);
+        let (Some(thief), Some(victim)) = (thief, victim) else {
+            return Ok(());
+        };
+        if thief == victim {
+            return Ok(());
+        }
+        let keep = r.staged[victim].len() - r.staged[victim].len().div_ceil(2);
+        let moved: Vec<JobSpec> = r.staged[victim].split_off(keep).into();
+        let count = moved.len() as u64;
+        match self.core.txs[thief].try_send(ShardCmd::Donate(moved)) {
+            Ok(()) => {
+                r.ingest.stolen_out += count;
+                r.ingest.stolen_in += count;
+                r.ingest.delivered += count;
+            }
+            Err(TrySendError::Full(ShardCmd::Donate(jobs))) => {
+                // Thief filled up in the meantime: put the jobs back.
+                r.staged[victim].extend(jobs);
+            }
+            Err(TrySendError::Full(_)) => unreachable!("donated a non-donate command"),
+            Err(TrySendError::Disconnected(_)) => return Err(ServeError::PoolClosed),
+        }
+        Ok(())
+    }
+
+    /// Route one arrival. A release earlier than the last offered one is
+    /// clamped forward (counted in [`IngestStats::reordered`]) so shard
+    /// sessions always see admissible order.
+    pub fn offer(&self, mut spec: JobSpec) -> Result<(), ServeError> {
+        let r = &mut *self.router();
+        r.ingest.offered += 1;
+        if spec.release < r.last_release {
+            spec.release = r.last_release;
+            r.ingest.reordered += 1;
+        }
+        r.last_release = spec.release;
+        let release = spec.release;
+        let target = self.pick_shard(r);
+        r.seq = r.seq.wrapping_add(1);
+
+        let mut delivered_to = None;
+        if self.core.cfg.steal.is_some() {
+            // Staging path: never block ingest; preserve per-shard FIFO by
+            // staging behind any jobs already waiting for this shard.
+            self.pump_shard(r, target)?;
+            if r.staged[target].is_empty() {
+                match self.core.txs[target].try_send(ShardCmd::Admit(spec)) {
+                    Ok(()) => {
+                        delivered_to = Some(target);
+                        r.ingest.delivered += 1;
+                    }
+                    Err(TrySendError::Full(ShardCmd::Admit(job))) => {
+                        r.staged[target].push_back(job);
+                    }
+                    Err(TrySendError::Full(_)) => unreachable!("offered a non-admit command"),
+                    Err(TrySendError::Disconnected(_)) => return Err(ServeError::PoolClosed),
+                }
+            } else {
+                r.staged[target].push_back(spec);
+            }
+            self.rebalance(r)?;
+        } else {
+            match self.core.cfg.policy {
+                OverloadPolicy::Block => {
+                    self.core.txs[target]
+                        .send(ShardCmd::Admit(spec))
+                        .map_err(|_| ServeError::PoolClosed)?;
+                    delivered_to = Some(target);
+                }
+                OverloadPolicy::DropNewest => {
+                    match self.core.txs[target].try_send(ShardCmd::Admit(spec)) {
+                        Ok(()) => delivered_to = Some(target),
+                        Err(TrySendError::Full(_)) => r.ingest.dropped += 1,
+                        Err(TrySendError::Disconnected(_)) => return Err(ServeError::PoolClosed),
+                    }
+                }
+                OverloadPolicy::Redirect => {
+                    let mut order: Vec<usize> = (0..self.core.txs.len()).collect();
+                    order.sort_by_key(|&i| (i != target, self.core.txs[i].len()));
+                    let mut cmd = Some(ShardCmd::Admit(spec));
+                    for &i in &order {
+                        match self.core.txs[i].try_send(cmd.take().expect("command pending")) {
+                            Ok(()) => {
+                                delivered_to = Some(i);
+                                break;
+                            }
+                            Err(TrySendError::Full(back)) => cmd = Some(back),
+                            Err(TrySendError::Disconnected(_)) => {
+                                return Err(ServeError::PoolClosed)
+                            }
+                        }
+                    }
+                    if let Some(cmd) = cmd {
+                        // Everyone is full: fall back to backpressure.
+                        self.core.txs[target].send(cmd).map_err(|_| ServeError::PoolClosed)?;
+                        delivered_to = Some(target);
+                    }
+                    if delivered_to != Some(target) {
+                        r.ingest.redirected += 1;
+                    }
+                }
+            }
+            if delivered_to.is_some() {
+                r.ingest.delivered += 1;
+            }
+        }
+        // Advance event time everywhere the job did not land. A shard with
+        // staged jobs must not outrun its own backlog, so its watermark is
+        // capped at the staged front's release.
+        for (i, tx) in self.core.txs.iter().enumerate() {
+            if Some(i) != delivered_to {
+                let w = match r.staged[i].front() {
+                    Some(job) => release.min(job.release),
+                    None => release,
+                };
+                let _ = tx.try_send(ShardCmd::Watermark(w));
+            }
+        }
+        Ok(())
+    }
+
+    /// Pump `source` dry, calling `progress` with a fresh snapshot every
+    /// `every` arrivals (0 disables). Returns the number of arrivals offered.
+    pub fn run_source_with(
+        &self,
+        source: &mut dyn ArrivalSource,
+        every: u64,
+        progress: &mut dyn FnMut(&PoolSnapshot),
+    ) -> Result<u64, ServeError> {
+        let mut n = 0u64;
+        while let Some(spec) = source.next_arrival() {
+            self.offer(spec)?;
+            n += 1;
+            if every > 0 && n.is_multiple_of(every) {
+                progress(&self.snapshot());
+            }
+        }
+        Ok(n)
+    }
+
+    /// Pump `source` dry without progress reporting.
+    pub fn run_source(&self, source: &mut dyn ArrivalSource) -> Result<u64, ServeError> {
+        self.run_source_with(source, 0, &mut |_| {})
+    }
+
+    /// Request a live scheduler hot-swap at event time `at` on one shard
+    /// (`Some(i)`) or every shard (`None`). The swap applies once the
+    /// shard's simulation reaches `at` (immediately if already past it);
+    /// the drained [`ShardResult`] records it as a
+    /// [`SwapEvent`](crate::SwapEvent).
+    pub fn swap(
+        &self,
+        shard: Option<usize>,
+        at: Time,
+        spec: SchedulerSpec,
+    ) -> Result<(), ServeError> {
+        let directive = SwapDirective { at, spec };
+        let targets: Vec<usize> = match shard {
+            Some(i) if i >= self.core.txs.len() => {
+                return Err(ServeError::InvalidConfig(format!(
+                    "shard {i} out of range (pool has {})",
+                    self.core.txs.len()
+                )));
+            }
+            Some(i) => vec![i],
+            None => (0..self.core.txs.len()).collect(),
+        };
+        for i in targets {
+            self.core.txs[i]
+                .send(ShardCmd::Swap(directive))
+                .map_err(|_| ServeError::PoolClosed)?;
+        }
+        Ok(())
+    }
+
+    /// A point-in-time view of every shard plus ingest counters.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        let r = self.router();
+        let shards = self
+            .core
+            .snaps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut snap = s.lock().expect("shard snapshot lock").clone();
+                snap.queue_len = self.core.txs[i].len();
+                snap.staged = r.staged[i].len();
+                snap
+            })
+            .collect();
+        PoolSnapshot { shards, ingest: r.ingest }
+    }
+
+    /// Synchronous barrier: every shard finishes all in-flight work up to
+    /// its current watermark, then reports. Returns settled snapshots in
+    /// shard order.
+    pub fn quiesce(&self) -> Result<Vec<ShardSnapshot>, ServeError> {
+        let mut replies = Vec::with_capacity(self.core.txs.len());
+        for tx in &self.core.txs {
+            let (reply_tx, reply_rx) = channel::bounded(1);
+            tx.send(ShardCmd::Quiesce(reply_tx)).map_err(|_| ServeError::PoolClosed)?;
+            replies.push(reply_rx);
+        }
+        replies
+            .into_iter()
+            .map(|rx| rx.recv().map_err(|_| ServeError::PoolClosed))
+            .collect()
+    }
+
+    /// Flush every staged job (blocking until the shards accept them) and
+    /// tell every shard to run dry. After this the pool accepts no more
+    /// work; join the workers with [`ShardPool::drain`].
+    pub fn request_drain(&self) -> Result<(), ServeError> {
+        let r = &mut *self.router();
+        for i in 0..self.core.txs.len() {
+            while let Some(job) = r.staged[i].pop_front() {
+                self.core.txs[i]
+                    .send(ShardCmd::Admit(job))
+                    .map_err(|_| ServeError::PoolClosed)?;
+                r.ingest.delivered += 1;
+            }
+        }
+        for tx in &self.core.txs {
+            tx.send(ShardCmd::Drain).map_err(|_| ServeError::PoolClosed)?;
+        }
+        Ok(())
     }
 }
 
@@ -183,25 +732,20 @@ impl PoolSnapshot {
 ///
 /// Feed it with [`offer`](Self::offer) (or [`run_source`](Self::run_source)
 /// to pump an [`ArrivalSource`] dry), watch it with
-/// [`snapshot`](Self::snapshot), and finish with [`drain`](Self::drain),
-/// which returns one [`ShardResult`] per shard.
+/// [`snapshot`](Self::snapshot), control it through a cloned
+/// [`handle`](Self::handle), and finish with [`drain`](Self::drain), which
+/// returns one [`ShardResult`] per shard.
 #[derive(Debug)]
 pub struct ShardPool {
-    cfg: ServeConfig,
-    txs: Vec<Sender<Msg>>,
+    handle: PoolHandle,
     handles: Vec<JoinHandle<ShardResult>>,
-    snaps: Vec<Arc<Mutex<ShardSnapshot>>>,
-    seq: u64,
-    last_release: Time,
-    ingest: IngestStats,
 }
 
 impl ShardPool {
-    /// Spawn the shard workers and return the pool, ready for arrivals.
-    pub fn launch(cfg: ServeConfig) -> Self {
-        assert!(cfg.shards >= 1, "need at least one shard");
-        assert!(cfg.m >= 1, "need at least one processor per shard");
-        assert!(cfg.queue_cap >= 1, "queues must hold at least one message");
+    /// Validate `cfg`, spawn the shard workers, and return the pool ready
+    /// for arrivals.
+    pub fn launch(cfg: ServeConfig) -> Result<Self, ServeError> {
+        cfg.validate()?;
         let mut txs = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
         let mut snaps = Vec::with_capacity(cfg.shards);
@@ -214,154 +758,89 @@ impl ShardPool {
             let handle = std::thread::Builder::new()
                 .name(format!("flowtree-shard-{shard}"))
                 .spawn(move || run_shard(shard, m, spec, scenario, horizon, rx, worker_snap))
-                .expect("spawn shard worker");
+                .map_err(|e| ServeError::Spawn(e.to_string()))?;
             txs.push(tx);
             handles.push(handle);
             snaps.push(snap);
         }
-        ShardPool {
+        let staged = (0..cfg.shards).map(|_| VecDeque::new()).collect();
+        let core = PoolCore {
             cfg,
             txs,
-            handles,
             snaps,
-            seq: 0,
-            last_release: 0,
-            ingest: IngestStats::default(),
-        }
+            router: Mutex::new(Router {
+                seq: 0,
+                last_release: 0,
+                ingest: IngestStats::default(),
+                staged,
+            }),
+        };
+        Ok(ShardPool { handle: PoolHandle { core: Arc::new(core) }, handles })
+    }
+
+    /// A cloneable runtime-control handle onto this pool.
+    pub fn handle(&self) -> PoolHandle {
+        self.handle.clone()
     }
 
     /// The pool's configuration.
     pub fn config(&self) -> &ServeConfig {
-        &self.cfg
+        self.handle.config()
     }
 
     /// Ingest counters so far.
     pub fn ingest(&self) -> IngestStats {
-        self.ingest
+        self.handle.ingest()
     }
 
-    fn pick_shard(&self) -> usize {
-        match self.cfg.routing {
-            Routing::Hash => {
-                (self.seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % self.txs.len()
-            }
-            Routing::LeastLoaded => (0..self.txs.len())
-                .min_by_key(|&i| self.txs[i].len())
-                .expect("at least one shard"),
-        }
+    /// Route one arrival (see [`PoolHandle::offer`]).
+    pub fn offer(&self, spec: JobSpec) -> Result<(), ServeError> {
+        self.handle.offer(spec)
     }
 
-    /// Route one arrival. A release earlier than the last offered one is
-    /// clamped forward (counted in [`IngestStats::reordered`]) so shard
-    /// sessions always see admissible order.
-    pub fn offer(&mut self, mut spec: JobSpec) {
-        self.ingest.offered += 1;
-        if spec.release < self.last_release {
-            spec.release = self.last_release;
-            self.ingest.reordered += 1;
-        }
-        self.last_release = spec.release;
-        let release = spec.release;
-        let target = self.pick_shard();
-        self.seq = self.seq.wrapping_add(1);
-
-        let mut delivered_to = None;
-        match self.cfg.policy {
-            OverloadPolicy::Block => {
-                self.txs[target].send(Msg::Job(spec)).expect("shard hung up");
-                delivered_to = Some(target);
-            }
-            OverloadPolicy::DropNewest => match self.txs[target].try_send(Msg::Job(spec)) {
-                Ok(()) => delivered_to = Some(target),
-                Err(TrySendError::Full(_)) => self.ingest.dropped += 1,
-                Err(TrySendError::Disconnected(_)) => panic!("shard hung up"),
-            },
-            OverloadPolicy::Redirect => {
-                let mut order: Vec<usize> = (0..self.txs.len()).collect();
-                order.sort_by_key(|&i| (i != target, self.txs[i].len()));
-                let mut msg = Some(Msg::Job(spec));
-                for &i in &order {
-                    match self.txs[i].try_send(msg.take().expect("message pending")) {
-                        Ok(()) => {
-                            delivered_to = Some(i);
-                            break;
-                        }
-                        Err(TrySendError::Full(back)) => msg = Some(back),
-                        Err(TrySendError::Disconnected(_)) => panic!("shard hung up"),
-                    }
-                }
-                if let Some(msg) = msg {
-                    // Everyone is full: fall back to backpressure.
-                    self.txs[target].send(msg).expect("shard hung up");
-                    delivered_to = Some(target);
-                }
-                if delivered_to != Some(target) {
-                    self.ingest.redirected += 1;
-                }
-            }
-        }
-        if delivered_to.is_some() {
-            self.ingest.delivered += 1;
-        }
-        // Advance event time everywhere the job did not land.
-        for (i, tx) in self.txs.iter().enumerate() {
-            if Some(i) != delivered_to {
-                let _ = tx.try_send(Msg::Watermark(release));
-            }
-        }
-    }
-
-    /// Pump `source` dry, calling `progress` with a fresh snapshot every
-    /// `every` arrivals (0 disables). Returns the number of arrivals offered.
+    /// Pump `source` dry with progress reporting (see
+    /// [`PoolHandle::run_source_with`]).
     pub fn run_source_with(
-        &mut self,
+        &self,
         source: &mut dyn ArrivalSource,
         every: u64,
         progress: &mut dyn FnMut(&PoolSnapshot),
-    ) -> u64 {
-        let mut n = 0u64;
-        while let Some(spec) = source.next_arrival() {
-            self.offer(spec);
-            n += 1;
-            if every > 0 && n.is_multiple_of(every) {
-                progress(&self.snapshot());
-            }
-        }
-        n
+    ) -> Result<u64, ServeError> {
+        self.handle.run_source_with(source, every, progress)
     }
 
-    /// Pump `source` dry without progress reporting.
-    pub fn run_source(&mut self, source: &mut dyn ArrivalSource) -> u64 {
-        self.run_source_with(source, 0, &mut |_| {})
+    /// Pump `source` dry (see [`PoolHandle::run_source`]).
+    pub fn run_source(&self, source: &mut dyn ArrivalSource) -> Result<u64, ServeError> {
+        self.handle.run_source(source)
+    }
+
+    /// Request a scheduler hot-swap (see [`PoolHandle::swap`]).
+    pub fn swap(
+        &self,
+        shard: Option<usize>,
+        at: Time,
+        spec: SchedulerSpec,
+    ) -> Result<(), ServeError> {
+        self.handle.swap(shard, at, spec)
     }
 
     /// A point-in-time view of every shard plus ingest counters.
     pub fn snapshot(&self) -> PoolSnapshot {
-        let shards = self
-            .snaps
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                let mut snap = s.lock().expect("shard snapshot lock").clone();
-                snap.queue_len = self.txs[i].len();
-                snap
-            })
-            .collect();
-        PoolSnapshot { shards, ingest: self.ingest }
+        self.handle.snapshot()
     }
 
-    /// Graceful shutdown: tell every shard to run dry, wait for all of
-    /// them, and return their results ordered by shard index.
-    pub fn drain(self) -> Vec<ShardResult> {
-        let ShardPool { txs, handles, .. } = self;
-        for tx in &txs {
-            tx.send(Msg::Drain).expect("shard hung up");
-        }
-        drop(txs);
-        let mut results: Vec<ShardResult> =
-            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect();
+    /// Graceful shutdown: flush staged work, tell every shard to run dry,
+    /// wait for all of them, and return their results ordered by shard
+    /// index.
+    pub fn drain(self) -> Result<Vec<ShardResult>, ServeError> {
+        self.handle.request_drain()?;
+        let mut results: Vec<ShardResult> = self
+            .handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect();
         results.sort_by_key(|r| r.shard);
-        results
+        Ok(results)
     }
 }
 
@@ -371,47 +850,87 @@ mod tests {
     use flowtree_dag::builder::{chain, star};
 
     fn fifo() -> SchedulerSpec {
-        SchedulerSpec::parse("fifo", 1).expect("fifo parses")
+        "fifo".parse().expect("fifo parses")
     }
 
     #[test]
     fn policy_and_routing_names_roundtrip() {
         for p in [OverloadPolicy::Block, OverloadPolicy::DropNewest, OverloadPolicy::Redirect] {
-            assert_eq!(OverloadPolicy::parse(p.name()), Ok(p));
+            assert_eq!(p.name().parse::<OverloadPolicy>(), Ok(p));
+            assert_eq!(p.to_string(), p.name());
         }
         for r in [Routing::Hash, Routing::LeastLoaded] {
-            assert_eq!(Routing::parse(r.name()), Ok(r));
+            assert_eq!(r.name().parse::<Routing>(), Ok(r));
+            assert_eq!(r.to_string(), r.name());
         }
-        assert!(OverloadPolicy::parse("yolo").is_err());
-        assert!(Routing::parse("ring").is_err());
+        assert!("yolo".parse::<OverloadPolicy>().is_err());
+        assert!("ring".parse::<Routing>().is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parse_shims_still_work() {
+        assert_eq!(OverloadPolicy::parse("drop"), Ok(OverloadPolicy::DropNewest));
+        assert_eq!(Routing::parse("least-loaded"), Ok(Routing::LeastLoaded));
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        assert!(ServeConfig::builder(fifo(), 2).shards(2).queue_cap(8).build().is_ok());
+        for bad in [
+            ServeConfig::builder(fifo(), 2).shards(0).build(),
+            ServeConfig::builder(fifo(), 0).build(),
+            ServeConfig::builder(fifo(), 2).queue_cap(0).build(),
+            ServeConfig::builder(fifo(), 2).max_horizon(0).build(),
+            ServeConfig::builder(fifo(), 2).max_horizon(Time::MAX).build(),
+            ServeConfig::builder(fifo(), 2)
+                .shards(2)
+                .steal(StealConfig { low_watermark: 4, high_watermark: 4 })
+                .build(),
+            ServeConfig::builder(fifo(), 2)
+                .shards(2)
+                .policy(OverloadPolicy::DropNewest)
+                .steal(StealConfig::default())
+                .build(),
+        ] {
+            match bad {
+                Err(ServeError::InvalidConfig(msg)) => assert!(!msg.is_empty()),
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+        assert!(
+            ShardPool::launch(ServeConfig { shards: 0, ..ServeConfig::new(fifo(), 1) }).is_err()
+        );
     }
 
     #[test]
     fn out_of_order_releases_are_clamped_and_counted() {
-        let mut cfg = ServeConfig::new(fifo(), 2);
-        cfg.scenario = "reorder".to_string();
-        let mut pool = ShardPool::launch(cfg);
-        pool.offer(JobSpec { graph: chain(2), release: 5 });
-        pool.offer(JobSpec { graph: star(2), release: 3 }); // late straggler
+        let cfg = ServeConfig::builder(fifo(), 2)
+            .scenario("reorder")
+            .build()
+            .expect("valid config");
+        let pool = ShardPool::launch(cfg).expect("launch");
+        pool.offer(JobSpec { graph: chain(2), release: 5 }).expect("offer");
+        pool.offer(JobSpec { graph: star(2), release: 3 }).expect("offer"); // late straggler
         assert_eq!(pool.ingest().reordered, 1);
-        let results = pool.drain();
+        let results = pool.drain().expect("drain");
         assert_eq!(results[0].summary.jobs, 2);
         // Both jobs run with release 5 after the clamp.
         assert_eq!(results[0].instance.last_release(), 5);
         assert!(results[0].summary.invariants_clean);
+        assert!(results[0].swaps.is_empty());
     }
 
     #[test]
     fn hash_routing_spreads_across_shards() {
-        let mut cfg = ServeConfig::new(fifo(), 1);
-        cfg.shards = 4;
-        let pool = ShardPool::launch(cfg);
+        let cfg = ServeConfig::builder(fifo(), 1).shards(4).build().expect("valid config");
+        let pool = ShardPool::launch(cfg).expect("launch");
         let mut hit = vec![false; 4];
         for seq in 0u64..64 {
             hit[(seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % 4] = true;
         }
         assert!(hit.iter().all(|&h| h), "hash leaves a shard cold: {hit:?}");
-        let results = pool.drain(); // zero-job drain is clean
+        let results = pool.drain().expect("drain"); // zero-job drain is clean
         assert_eq!(results.len(), 4);
         for r in &results {
             assert_eq!(r.summary.jobs, 0);
@@ -421,20 +940,112 @@ mod tests {
 
     #[test]
     fn snapshot_reports_progress_and_queues() {
-        let mut cfg = ServeConfig::new(fifo(), 2);
-        cfg.shards = 2;
-        let mut pool = ShardPool::launch(cfg);
+        let cfg = ServeConfig::builder(fifo(), 2).shards(2).build().expect("valid config");
+        let pool = ShardPool::launch(cfg).expect("launch");
         for t in 0..6 {
-            pool.offer(JobSpec { graph: chain(3), release: t });
+            pool.offer(JobSpec { graph: chain(3), release: t }).expect("offer");
         }
         let snap = pool.snapshot();
         assert_eq!(snap.shards.len(), 2);
         assert_eq!(snap.ingest.offered, 6);
         assert_eq!(snap.ingest.delivered, 6);
+        assert!(snap.accounting_balanced(), "{:?}", snap.ingest);
         let line = snap.line();
         assert!(line.contains("admitted="), "{line}");
-        let results = pool.drain();
+        assert!(line.contains("staged="), "{line}");
+        let results = pool.drain().expect("drain");
         let total: usize = results.iter().map(|r| r.summary.jobs).sum();
         assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn hot_swap_records_event_and_relabels_summary() {
+        let cfg = ServeConfig::builder(fifo(), 2).scenario("swap").build().expect("valid");
+        let pool = ShardPool::launch(cfg).expect("launch");
+        let handle = pool.handle();
+        handle.swap(None, 4, "lpf".parse().expect("lpf parses")).expect("swap queued");
+        for t in 0..8 {
+            pool.offer(JobSpec { graph: chain(3), release: t }).expect("offer");
+        }
+        let results = pool.drain().expect("drain");
+        assert_eq!(results[0].summary.jobs, 8);
+        assert_eq!(results[0].summary.scheduler, "lpf");
+        assert_eq!(results[0].swaps.len(), 1);
+        let ev = &results[0].swaps[0];
+        assert_eq!((ev.from.as_str(), ev.to.as_str()), ("fifo", "lpf"));
+        assert!(ev.t >= 4, "swap applied before its directive time: {ev:?}");
+        assert!(results[0].summary.invariants_clean);
+    }
+
+    #[test]
+    fn swap_on_out_of_range_shard_is_rejected() {
+        let pool = ShardPool::launch(ServeConfig::new(fifo(), 1)).expect("launch");
+        let err = pool.swap(Some(7), 0, fifo()).expect_err("out of range");
+        assert!(matches!(err, ServeError::InvalidConfig(_)), "{err}");
+        pool.drain().expect("drain");
+    }
+
+    #[test]
+    fn donated_jobs_are_rereleased_at_the_thief() {
+        // Bypass the router and donate out-of-order releases directly: the
+        // shard must clamp them forward instead of panicking.
+        let pool = ShardPool::launch(ServeConfig::new(fifo(), 1)).expect("launch");
+        pool.offer(JobSpec { graph: chain(2), release: 9 }).expect("offer");
+        let donated =
+            vec![JobSpec { graph: chain(2), release: 3 }, JobSpec { graph: star(2), release: 1 }];
+        pool.handle.core.txs[0].send(ShardCmd::Donate(donated)).expect("donate");
+        let results = pool.drain().expect("drain");
+        assert_eq!(results[0].summary.jobs, 3);
+        // Clamped to the last admitted release, never earlier.
+        assert!(results[0].instance.last_release() >= 9);
+        assert!(results[0].summary.invariants_clean);
+    }
+
+    #[test]
+    fn stealing_pool_loses_no_work_and_balances_books() {
+        let cfg = ServeConfig::builder(fifo(), 1)
+            .shards(2)
+            .queue_cap(2)
+            .scenario("steal")
+            .steal(StealConfig { low_watermark: 0, high_watermark: 2 })
+            .build()
+            .expect("valid config");
+        let pool = ShardPool::launch(cfg).expect("launch");
+        let total = 64usize;
+        for t in 0..total {
+            pool.offer(JobSpec { graph: chain(4), release: t as Time }).expect("offer");
+            let snap = pool.snapshot();
+            assert!(snap.accounting_balanced(), "mid-stream books: {:?}", snap.ingest);
+        }
+        let results = pool.drain().expect("drain");
+        let ingest = results.iter().map(|r| r.summary.jobs).sum::<usize>();
+        assert_eq!(ingest, total, "work was lost");
+        for r in &results {
+            assert!(r.summary.invariants_clean, "shard {} dirty", r.shard);
+        }
+    }
+
+    #[test]
+    fn quiesce_settles_all_shards_to_the_watermark() {
+        let cfg = ServeConfig::builder(fifo(), 2).shards(2).build().expect("valid");
+        let pool = ShardPool::launch(cfg).expect("launch");
+        for t in 0..10 {
+            pool.offer(JobSpec { graph: chain(2), release: t }).expect("offer");
+        }
+        let settled = pool.handle().quiesce().expect("quiesce");
+        assert_eq!(settled.len(), 2);
+        let admitted: usize = settled.iter().map(|s| s.admitted).sum();
+        assert_eq!(admitted, 10, "quiesce replies before processing the backlog");
+        pool.drain().expect("drain");
+    }
+
+    #[test]
+    fn handle_outlives_drain_and_reports_closed() {
+        let pool = ShardPool::launch(ServeConfig::new(fifo(), 1)).expect("launch");
+        let handle = pool.handle();
+        pool.drain().expect("drain");
+        let err = handle.offer(JobSpec { graph: chain(2), release: 0 }).expect_err("closed");
+        assert_eq!(err, ServeError::PoolClosed);
+        assert!(handle.quiesce().is_err());
     }
 }

@@ -1,47 +1,102 @@
 //! One shard: a worker thread driving a streaming [`Session`] under the
-//! pool's event-time watermark protocol.
+//! pool's control-plane protocol.
 //!
 //! The worker owns a scheduler (built fresh from its
 //! [`SchedulerSpec`]) and the streaming monitor stack — a
 //! [`LowerBound`], an [`InvariantMonitor`], and [`RunHistograms`] attached
 //! to the session as one probe tuple, exactly like the batch
-//! [`summarize`](flowtree_analysis::summarize) path. Messages arrive on a
+//! [`summarize`](flowtree_analysis::summarize) path. Commands arrive on a
 //! bounded channel:
 //!
-//! * [`Msg::Job`] admits an arrival and advances the shard's *safe* time to
-//!   the job's release — once the router has shown us release `r`, the
-//!   global nondecreasing-release contract guarantees no later arrival can
-//!   land before `r`, so every step `t < r` may be simulated.
-//! * [`Msg::Watermark`] advances safe time without a job (the arrival went
-//!   to a different shard, or was dropped).
-//! * [`Msg::Drain`] (or a closed channel) lifts the limit entirely: the
-//!   session runs dry, and the worker returns a [`ShardResult`] carrying the
-//!   verified [`RunReport`], the materialized per-shard [`Instance`], and a
-//!   certified [`RunSummary`] — the same record a batch run would produce
-//!   for that instance.
+//! * [`ShardCmd::Admit`] admits an arrival and advances the shard's *safe*
+//!   time to the job's release — once the router has shown us release `r`,
+//!   the global nondecreasing-release contract guarantees no later arrival
+//!   can land before `r`, so every step `t < r` may be simulated.
+//! * [`ShardCmd::Watermark`] advances safe time without a job (the arrival
+//!   went to a different shard, was dropped, or is staged behind this
+//!   shard's own backlog).
+//! * [`ShardCmd::Donate`] admits jobs migrated from another shard's ingress
+//!   backlog (work stealing). A donated job's release is clamped forward to
+//!   this shard's event time — migration re-releases it here — so the
+//!   session's nondecreasing-admission contract survives the move.
+//! * [`ShardCmd::Swap`] requests a **live scheduler hot-swap** at an event
+//!   time: the shard quiesces there (finishes every whole subjob step up to
+//!   the swap point; sessions never split a step), rebuilds the scheduler
+//!   from the new [`SchedulerSpec`] against live state via
+//!   [`Session::prime_scheduler`], retargets the invariant monitor, and
+//!   records a [`SwapEvent`] for the drain summary.
+//! * [`ShardCmd::Quiesce`] finishes all in-flight work up to the current
+//!   watermark, then replies with a fresh [`ShardSnapshot`] — a synchronous
+//!   barrier for callers that need a settled view.
+//! * [`ShardCmd::Snapshot`] replies immediately with the shard's current
+//!   view, without forcing simulation.
+//! * [`ShardCmd::Drain`] (or a closed channel) lifts the watermark limit
+//!   entirely: the session runs dry, and the worker returns a
+//!   [`ShardResult`] carrying the verified [`RunReport`], the materialized
+//!   per-shard [`Instance`], a certified [`RunSummary`], and every
+//!   [`SwapEvent`] along the way.
 
 use std::sync::{Arc, Mutex};
 
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, Sender};
 use flowtree_analysis::{summary_from_parts, RunSummary};
 use flowtree_core::SchedulerSpec;
 use flowtree_dag::Time;
 use flowtree_sim::monitor::{InvariantMonitor, LowerBound};
-use flowtree_sim::{Instance, JobSpec, RunHistograms, RunReport, Session};
+use flowtree_sim::{Instance, JobSpec, OnlineScheduler, RunHistograms, RunReport, Session};
 
-/// A message from the router to one shard worker.
+/// A control-plane command from the router to one shard worker.
 #[derive(Debug)]
-pub enum Msg {
-    /// Admit this arrival (release implies a watermark).
-    Job(JobSpec),
+pub enum ShardCmd {
+    /// Admit this arrival (its release implies a watermark).
+    Admit(JobSpec),
     /// No job for you, but event time has advanced this far.
     Watermark(Time),
-    /// No further messages follow: run dry and report.
+    /// Admit jobs stolen from another shard's ingress backlog; releases are
+    /// clamped forward to this shard's event time.
+    Donate(Vec<JobSpec>),
+    /// Hot-swap the scheduler once simulation reaches the directive's time.
+    Swap(SwapDirective),
+    /// Finish in-flight work up to the current watermark, then reply with a
+    /// settled snapshot.
+    Quiesce(Sender<ShardSnapshot>),
+    /// Reply with the current snapshot without forcing simulation.
+    Snapshot(Sender<ShardSnapshot>),
+    /// No further arrivals follow: run dry and report.
     Drain,
 }
 
+/// A scheduler hot-swap request: at event time `at`, switch to `spec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapDirective {
+    /// Event time of the switch. If the shard's clock is already past `at`
+    /// when the command is processed, the swap applies immediately.
+    pub at: Time,
+    /// The scheduler to rebuild to.
+    pub spec: SchedulerSpec,
+}
+
+/// One recorded scheduler hot-swap (carried into the results store).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapEvent {
+    /// Event time at which the new scheduler took over.
+    pub t: Time,
+    /// Registry name of the scheduler swapped out.
+    pub from: String,
+    /// Registry name of the scheduler swapped in.
+    pub to: String,
+}
+
+serde::impl_serde_struct!(SwapEvent { t, from, to });
+
+impl std::fmt::Display for SwapEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}→{}@{}", self.from, self.to, self.t)
+    }
+}
+
 /// A live, lock-published view of one shard's progress (see
-/// [`ShardPool::snapshot`](crate::ShardPool::snapshot)).
+/// [`PoolHandle::snapshot`](crate::PoolHandle::snapshot)).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShardSnapshot {
     /// The shard's simulated clock.
@@ -54,8 +109,15 @@ pub struct ShardSnapshot {
     pub dispatched: u64,
     /// The live Lemma 5.1 lower bound over admitted jobs.
     pub lower_bound: u64,
-    /// Messages queued to the shard (filled in by the pool, not the worker).
+    /// Jobs admitted via [`ShardCmd::Donate`] (stolen in).
+    pub donated: u64,
+    /// Scheduler hot-swaps applied so far.
+    pub swaps: u64,
+    /// Commands queued to the shard (filled in by the pool, not the worker).
     pub queue_len: usize,
+    /// Arrivals staged router-side for this shard, awaiting delivery
+    /// (filled in by the pool; nonzero only with stealing enabled).
+    pub staged: usize,
 }
 
 /// What one drained shard hands back.
@@ -63,26 +125,48 @@ pub struct ShardSnapshot {
 pub struct ShardResult {
     /// The shard's index in the pool.
     pub shard: usize,
-    /// The certified run summary for this shard's sub-instance.
+    /// The certified run summary for this shard's sub-instance (labelled
+    /// with the *final* scheduler after any hot-swaps).
     pub summary: RunSummary,
     /// The full run report (schedule + stats + counters), already verified
     /// feasible against `instance`.
     pub report: RunReport,
     /// The per-shard instance materialized from admissions.
     pub instance: Instance,
+    /// Every scheduler hot-swap applied, in event-time order.
+    pub swaps: Vec<SwapEvent>,
 }
 
-/// Worker body: consume messages until drained, then summarize.
+/// The concrete probe stack every shard session carries.
+type ShardProbe<'a> = (&'a mut LowerBound, &'a mut InvariantMonitor, &'a mut RunHistograms);
+
+fn snapshot_of(session: &Session<ShardProbe<'_>>, swaps: u64, donated: u64) -> ShardSnapshot {
+    let counters = session.counters();
+    ShardSnapshot {
+        now: session.now(),
+        admitted: session.num_admitted(),
+        steps: counters.steps,
+        dispatched: counters.dispatched,
+        lower_bound: session.probe().0.lower_bound(),
+        donated,
+        swaps,
+        queue_len: 0,
+        staged: 0,
+    }
+}
+
+/// Worker body: consume commands until drained, then summarize.
 pub(crate) fn run_shard(
     shard: usize,
     m: usize,
     spec: SchedulerSpec,
     scenario: String,
     max_horizon: Time,
-    rx: Receiver<Msg>,
+    rx: Receiver<ShardCmd>,
     snap: Arc<Mutex<ShardSnapshot>>,
 ) -> ShardResult {
-    let mut sched = spec.build();
+    let mut spec = spec;
+    let mut sched: Box<dyn OnlineScheduler + Send> = spec.build();
     let mut lb = LowerBound::streaming();
     let mut inv = InvariantMonitor::streaming(spec.invariants());
     let mut histos = RunHistograms::new();
@@ -93,43 +177,87 @@ pub(crate) fn run_shard(
 
     let mut safe: Time = 0;
     let mut draining = false;
-    let mut batch: Vec<Msg> = Vec::new();
+    let mut donated: u64 = 0;
+    let mut swaps: Vec<SwapEvent> = Vec::new();
+    let mut pending_swaps: Vec<SwapDirective> = Vec::new();
+    let mut quiesce_replies: Vec<Sender<ShardSnapshot>> = Vec::new();
+    let mut batch: Vec<ShardCmd> = Vec::new();
     loop {
-        // Block for one message, then absorb the backlog without blocking,
+        // Block for one command, then absorb the backlog without blocking,
         // so a burst is admitted whole before simulation resumes.
         match rx.recv() {
-            Ok(msg) => {
-                batch.push(msg);
-                while let Some(msg) = rx.try_recv() {
-                    batch.push(msg);
+            Ok(cmd) => {
+                batch.push(cmd);
+                while let Some(cmd) = rx.try_recv() {
+                    batch.push(cmd);
                 }
             }
             Err(_) => draining = true,
         }
-        for msg in batch.drain(..) {
-            match msg {
-                Msg::Job(job) => {
+        for cmd in batch.drain(..) {
+            match cmd {
+                ShardCmd::Admit(job) => {
                     safe = safe.max(job.release);
                     session
                         .admit(job)
                         .expect("router delivers jobs in nondecreasing release order");
                 }
-                Msg::Watermark(w) => safe = safe.max(w),
-                Msg::Drain => draining = true,
+                ShardCmd::Watermark(w) => safe = safe.max(w),
+                ShardCmd::Donate(jobs) => {
+                    for mut job in jobs {
+                        // Migration re-releases the job at this shard's
+                        // event time: never earlier than the clock or the
+                        // latest admission, so the session contract holds.
+                        job.release = job.release.max(session.now());
+                        if session.num_admitted() > 0 {
+                            job.release = job.release.max(session.instance().last_release());
+                        }
+                        safe = safe.max(job.release);
+                        session.admit(job).expect("donated releases are clamped admissible");
+                        donated += 1;
+                    }
+                }
+                ShardCmd::Swap(d) => {
+                    pending_swaps.push(d);
+                    pending_swaps.sort_by_key(|d| d.at);
+                }
+                ShardCmd::Quiesce(reply) => quiesce_replies.push(reply),
+                ShardCmd::Snapshot(reply) => {
+                    let _ = reply.send(snapshot_of(&session, swaps.len() as u64, donated));
+                }
+                ShardCmd::Drain => draining = true,
             }
         }
         let target = if draining { Time::MAX } else { safe };
+        // Apply every swap due inside this simulation window, quiescing the
+        // session at each swap point first. The watermark certifies nothing
+        // can happen between a dry clock and the swap time, so swapping the
+        // moment the session settles is equivalent to swapping at `at`.
+        while let Some(&d) = pending_swaps.first() {
+            if d.at > target {
+                break;
+            }
+            pending_swaps.remove(0);
+            session
+                .run_until(d.at, sched.as_mut())
+                .unwrap_or_else(|e| panic!("shard {shard}: {e}"));
+            let t_swap = d.at.max(session.now());
+            let from = spec;
+            spec = d.spec;
+            sched = spec.build();
+            session.probe_mut().1.set_checks(spec.invariants());
+            session.prime_scheduler(sched.as_mut());
+            swaps.push(SwapEvent { t: t_swap, from: from.to_string(), to: spec.to_string() });
+        }
         session
             .run_until(target, sched.as_mut())
             .unwrap_or_else(|e| panic!("shard {shard}: {e}"));
         {
-            let counters = session.counters();
-            let mut s = snap.lock().expect("shard snapshot lock");
-            s.now = session.now();
-            s.admitted = session.num_admitted();
-            s.steps = counters.steps;
-            s.dispatched = counters.dispatched;
-            s.lower_bound = session.probe().0.lower_bound();
+            let fresh = snapshot_of(&session, swaps.len() as u64, donated);
+            *snap.lock().expect("shard snapshot lock") = fresh.clone();
+            for reply in quiesce_replies.drain(..) {
+                let _ = reply.send(fresh.clone());
+            }
         }
         if draining {
             break;
@@ -142,5 +270,5 @@ pub(crate) fn run_shard(
         .unwrap_or_else(|e| panic!("shard {shard} produced an infeasible schedule: {e}"));
     let summary =
         summary_from_parts(&scenario, spec.name(), &instance, m, &report, &lb, &inv, &histos);
-    ShardResult { shard, summary, report, instance }
+    ShardResult { shard, summary, report, instance, swaps }
 }

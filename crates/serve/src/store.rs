@@ -14,6 +14,8 @@ use std::path::{Path, PathBuf};
 
 use flowtree_analysis::RunSummary;
 
+use crate::shard::SwapEvent;
+
 /// One persisted shard result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoreRecord {
@@ -28,9 +30,46 @@ pub struct StoreRecord {
     pub shards: usize,
     /// The shard's certified run summary.
     pub summary: RunSummary,
+    /// Scheduler hot-swaps applied during the run, in event-time order
+    /// (empty for swap-free runs and for records predating the field).
+    pub swaps: Vec<SwapEvent>,
 }
 
-serde::impl_serde_struct!(StoreRecord { run_id, git, shard, shards, summary });
+// Manual impl instead of `impl_serde_struct!`: the macro rejects records
+// missing a field, but `swaps` was added after stores were already written,
+// so old JSONL lines must deserialize with an empty swap list.
+impl serde::Serialize for StoreRecord {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("run_id".to_string(), serde::Serialize::to_value(&self.run_id)),
+            ("git".to_string(), serde::Serialize::to_value(&self.git)),
+            ("shard".to_string(), serde::Serialize::to_value(&self.shard)),
+            ("shards".to_string(), serde::Serialize::to_value(&self.shards)),
+            ("summary".to_string(), serde::Serialize::to_value(&self.summary)),
+            ("swaps".to_string(), serde::Serialize::to_value(&self.swaps)),
+        ])
+    }
+}
+
+impl serde::Deserialize for StoreRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn field<T: serde::Deserialize>(v: &serde::Value, name: &str) -> Result<T, serde::Error> {
+            let f = v.get(name).ok_or_else(|| serde::Error::missing_field(name))?;
+            T::from_value(f)
+        }
+        Ok(StoreRecord {
+            run_id: field(v, "run_id")?,
+            git: field(v, "git")?,
+            shard: field(v, "shard")?,
+            shards: field(v, "shards")?,
+            summary: field(v, "summary")?,
+            swaps: match v.get("swaps") {
+                Some(f) => serde::Deserialize::from_value(f)?,
+                None => Vec::new(),
+            },
+        })
+    }
+}
 
 /// An append-only directory of JSONL run records.
 #[derive(Debug, Clone)]
@@ -141,6 +180,38 @@ mod tests {
     fn run_ids_are_filesystem_safe() {
         assert_eq!(run_id("sort farm", "fifo", 8, 42), "sort-farm-fifo-m8-s42");
         assert_eq!(sanitize("a/b\\c:d"), "a-b-c-d");
+    }
+
+    fn sample_summary() -> RunSummary {
+        use crate::pool::{ServeConfig, ShardPool};
+        let pool = ShardPool::launch(ServeConfig::new("fifo".parse().expect("fifo parses"), 1))
+            .expect("launch");
+        pool.offer(flowtree_sim::JobSpec { graph: flowtree_dag::builder::chain(2), release: 0 })
+            .expect("offer");
+        pool.drain().expect("drain").remove(0).summary
+    }
+
+    #[test]
+    fn records_without_swaps_field_still_deserialize() {
+        let record = StoreRecord {
+            run_id: "r1".to_string(),
+            git: "abc1234".to_string(),
+            shard: 0,
+            shards: 1,
+            summary: sample_summary(),
+            swaps: vec![SwapEvent { t: 7, from: "fifo".to_string(), to: "lpf".to_string() }],
+        };
+        let line = serde_json::to_string(&record).expect("serializes");
+        assert!(line.contains("\"swaps\""), "{line}");
+        let back: StoreRecord = serde_json::from_str(&line).expect("roundtrips");
+        assert_eq!(back, record);
+
+        // A pre-control-plane line has no "swaps" key at all.
+        let legacy = line.replace(",\"swaps\":[{\"t\":7,\"from\":\"fifo\",\"to\":\"lpf\"}]", "");
+        assert!(!legacy.contains("swaps"), "{legacy}");
+        let old: StoreRecord = serde_json::from_str(&legacy).expect("legacy line loads");
+        assert!(old.swaps.is_empty());
+        assert_eq!(old.summary, record.summary);
     }
 
     #[test]

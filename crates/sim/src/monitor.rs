@@ -274,6 +274,21 @@ impl InvariantMonitor {
         }
     }
 
+    /// Switch the enforced checks mid-run — the probe half of a live
+    /// scheduler hot-swap: steps from here on are judged against the *new*
+    /// scheduler's invariants, while violations already recorded stand.
+    /// Disabling the rectangle-tail check discards its pending state;
+    /// enabling it mid-run arms only if a single-job depth profile was built
+    /// at construction (streaming monitors never have one, matching
+    /// [`streaming`](Self::streaming)'s multi-job semantics).
+    pub fn set_checks(&mut self, checks: InvariantChecks) {
+        self.checks = checks;
+        if checks.rectangle_tail_alpha.is_none() {
+            self.tail_start = None;
+            self.pending_narrow = None;
+        }
+    }
+
     /// Recorded violations (first [`Self::MAX_RECORDED`] of them).
     pub fn violations(&self) -> &[Violation] {
         &self.violations

@@ -192,6 +192,14 @@ impl<P: Probe> Session<P> {
         &self.probe
     }
 
+    /// Mutable access to the attached probe, for mid-stream reconfiguration
+    /// (e.g. retargeting an `InvariantMonitor` at a scheduler hot-swap).
+    /// Probes see every event exactly once either way; this only exposes
+    /// their own knobs, not the event stream.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
     /// Have all admitted jobs finished (vacuously true before any admit)?
     pub fn is_drained(&self) -> bool {
         self.state.all_done()
@@ -226,6 +234,25 @@ impl<P: Probe> Session<P> {
         self.job_stamp.push(0);
         self.probe.on_admit(self.t, id, self.instance.graph(id));
         Ok(id)
+    }
+
+    /// Introduce every alive (released, unfinished) job to `scheduler`, in
+    /// arrival order, as if each arrived right now.
+    ///
+    /// This is the quiesce half of a **live scheduler hot-swap**: the caller
+    /// stops driving the old scheduler at some step boundary (sessions never
+    /// leave subjob steps half-applied), builds a fresh scheduler, and primes
+    /// it here so its `on_arrival` bookkeeping (FIFO order, clairvoyant
+    /// priorities, batching state) covers the jobs already in flight. Jobs
+    /// admitted but not yet released are *not* replayed — they fire
+    /// `on_arrival` naturally when simulation reaches their release.
+    pub fn prime_scheduler(&mut self, scheduler: &mut dyn OnlineScheduler) {
+        self.ensure_started();
+        let clair = scheduler.clairvoyance();
+        let view = SimView::new(&self.instance, &self.state, self.m, clair);
+        for &job in self.state.alive() {
+            scheduler.on_arrival(self.t, job, &view);
+        }
     }
 
     /// Simulate until `t_end`, or until the session runs dry (every admitted
@@ -494,6 +521,79 @@ mod tests {
         assert_eq!(slb.ratio(), lb.ratio());
         assert_eq!(smon.is_clean(), mon.is_clean());
         assert_eq!(smon.total_violations(), mon.total_violations());
+    }
+
+    /// A scheduler that only runs jobs it was told about via `on_arrival` —
+    /// the shape that makes hot-swap priming observable: a fresh instance
+    /// swapped in mid-stream knows nothing and stalls unless primed.
+    struct KnowsArrivals {
+        known: Vec<JobId>,
+    }
+
+    impl OnlineScheduler for KnowsArrivals {
+        fn clairvoyance(&self) -> Clairvoyance {
+            Clairvoyance::NonClairvoyant
+        }
+        fn on_arrival(&mut self, _t: Time, job: JobId, _view: &SimView<'_>) {
+            self.known.push(job);
+        }
+        fn select(&mut self, _t: Time, view: &SimView<'_>, sel: &mut Selection) {
+            for &job in &self.known {
+                for &v in view.ready(job) {
+                    if !sel.push(job, NodeId(v)) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prime_scheduler_replays_alive_jobs_into_a_fresh_scheduler() {
+        let mut s = Session::new(2).with_max_horizon(50);
+        let mut old = KnowsArrivals { known: Vec::new() };
+        s.admit(JobSpec { graph: chain(6), release: 0 }).unwrap();
+        s.admit(JobSpec { graph: star(4), release: 1 }).unwrap();
+        s.run_until(2, &mut old).unwrap();
+
+        // Swap without priming: the new scheduler knows no jobs, schedules
+        // nothing, and the session hits its safety horizon.
+        let mut blank = KnowsArrivals { known: Vec::new() };
+        let err = s.run_until(Time::MAX, &mut blank).unwrap_err();
+        assert_eq!(err, EngineError::HorizonExceeded { horizon: 50 });
+
+        // Same swap, primed: both alive jobs are reintroduced (in arrival
+        // order) and the run completes and verifies.
+        let mut s = Session::new(2).with_max_horizon(50);
+        let mut old = KnowsArrivals { known: Vec::new() };
+        s.admit(JobSpec { graph: chain(6), release: 0 }).unwrap();
+        s.admit(JobSpec { graph: star(4), release: 1 }).unwrap();
+        s.run_until(2, &mut old).unwrap();
+        let mut new = KnowsArrivals { known: Vec::new() };
+        s.prime_scheduler(&mut new);
+        assert_eq!(new.known, &[JobId(0), JobId(1)]);
+        s.run_until(Time::MAX, &mut new).unwrap();
+        let (report, inst) = s.finish();
+        report.verify(&inst).unwrap();
+    }
+
+    #[test]
+    fn prime_scheduler_skips_finished_and_unreleased_jobs() {
+        let mut s = Session::new(4).with_max_horizon(100);
+        let mut old = KnowsArrivals { known: Vec::new() };
+        s.admit(JobSpec { graph: chain(2), release: 0 }).unwrap();
+        s.admit(JobSpec { graph: chain(3), release: 1 }).unwrap();
+        s.admit(JobSpec { graph: chain(2), release: 50 }).unwrap();
+        s.run_until(3, &mut old).unwrap(); // job 0 finished, job 2 unreleased
+        assert_eq!(s.now(), 3);
+        let mut new = KnowsArrivals { known: Vec::new() };
+        s.prime_scheduler(&mut new);
+        assert_eq!(new.known, &[JobId(1)], "only the alive job is replayed");
+        s.run_until(Time::MAX, &mut new).unwrap();
+        // Job 2 reached the swapped-in scheduler through its natural release.
+        assert!(s.is_drained());
+        let (report, inst) = s.finish();
+        report.verify(&inst).unwrap();
     }
 
     #[test]

@@ -32,7 +32,25 @@ cargo run --release -q -p flowtree-cli -- serve service --shards 2 --rate 1.0 \
 cargo run --release -q -p flowtree-cli -- report --trend "$SMOKE_STORE" >/dev/null
 rm -rf "$SMOKE_STORE"
 
+echo "==> serve control-plane smoke (hot-swap + stealing, balanced ledger)"
+SWAP_STORE=$(mktemp -d)
+SWAP_OUT=$(cargo run --release -q -p flowtree-cli -- serve service --shards 2 \
+    --rate 2.0 --scheduler fifo -m 4 --jobs 48 --seed 11 --horizon 100000 \
+    --queue-cap 2 --swap-at 5:lpf --steal --steal-watermarks 0:2 \
+    --store "$SWAP_STORE")
+# The drain table must show the applied swap on every shard, and the ingest
+# ledger must account for every offered job.
+echo "$SWAP_OUT" | grep -q 'fifo→lpf@' \
+    || { echo "serve smoke: missing swap event in drain table"; exit 1; }
+echo "$SWAP_OUT" | grep -q 'ingest: .*(balanced)' \
+    || { echo "serve smoke: ingest ledger did not balance"; exit 1; }
+# Swap-bearing records must parse back through trend tables and plots.
+cargo run --release -q -p flowtree-cli -- report --trend "$SWAP_STORE" --plot \
+    | grep -q 'ratio trend' \
+    || { echo "serve smoke: trend plot missing"; exit 1; }
+rm -rf "$SWAP_STORE"
+
 echo "==> report --trend over the committed store corpus"
-cargo run --release -q -p flowtree-cli -- report --trend results/store >/dev/null
+cargo run --release -q -p flowtree-cli -- report --trend results/store --plot >/dev/null
 
 echo "CI OK"

@@ -286,7 +286,7 @@ fn fixed_instances() -> Vec<Instance> {
 #[test]
 fn registry_schedulers_agree_on_fixed_instances() {
     for name in SCHEDULER_NAMES {
-        let spec = SchedulerSpec::parse(name, 4).unwrap();
+        let spec = SchedulerSpec::from_name_with_half(name, 4).unwrap();
         for inst in &fixed_instances() {
             assert_identical(inst, 8, &mut || spec.build());
         }
@@ -300,7 +300,7 @@ fn registry_schedulers_agree_on_fixed_instances() {
 #[test]
 fn registry_schedulers_uphold_declared_invariants() {
     for name in SCHEDULER_NAMES {
-        let spec = SchedulerSpec::parse(name, 4).unwrap();
+        let spec = SchedulerSpec::from_name_with_half(name, 4).unwrap();
         for inst in &fixed_instances() {
             let mut lb = LowerBound::new(inst);
             let mut inv = InvariantMonitor::new(inst, spec.invariants());
