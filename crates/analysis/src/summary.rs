@@ -244,8 +244,17 @@ pub fn summary_from_parts(
     inv: &InvariantMonitor,
     histos: &RunHistograms,
 ) -> RunSummary {
-    let combined = flowtree_opt::bounds::combined_lower_bound(instance, m as u64);
-    let lower_bound = combined.max(lb.lower_bound()).max(1);
+    // On a completed run every job has released, so the tracker's running
+    // max over released jobs *is* `max_job_lower_bound(instance, m)` — no
+    // need to re-profile every graph at drain time (which dominated the
+    // serve drain path). Only the interval-load bound still needs a pass.
+    let interval = flowtree_opt::interval::interval_load_lower_bound(instance, m as u64);
+    debug_assert_eq!(
+        lb.lower_bound(),
+        flowtree_opt::bounds::max_job_lower_bound(instance, m as u64),
+        "LowerBound tracker must cover every job of a completed run"
+    );
+    let lower_bound = interval.max(lb.lower_bound()).max(1);
     let stats = &report.stats;
     RunSummary {
         scenario: scenario.to_string(),

@@ -1,0 +1,169 @@
+//! The batch-engine throughput matrix (`BENCH_engine.json`).
+//!
+//! Runs the simulation engine over fixed workloads (the dense 64-job ×
+//! 256-subjob stream every experiment's cost is dominated by, plus a
+//! sparse-arrival stream that exercises the idle-gap fast path) for a
+//! matrix of schedulers × machine sizes, with warmup and repeat logic.
+//! Each entry records every wall time observed; `subjobs_per_sec` uses the
+//! *best* repeat (least interference).
+
+use crate::{document, BenchOpts, SEED};
+use flowtree_core::SchedulerSpec;
+use flowtree_sim::{Engine, Instance, JobSpec};
+use serde::Value;
+use std::time::Instant;
+
+/// One benchmark workload: a named instance generator.
+struct Workload {
+    name: &'static str,
+    /// Number of jobs in the stream.
+    jobs: usize,
+    /// Subjobs per job (random recursive out-trees of this size).
+    job_size: usize,
+    /// Release spacing between consecutive jobs.
+    spread: u64,
+    /// Schedulers to run on this workload (registry names).
+    schedulers: &'static [&'static str],
+    /// Machine sizes.
+    ms: &'static [usize],
+}
+
+/// The `--quick` workloads, also part of the full matrix under the same
+/// names — so a committed full-run baseline contains cells a quick CI run
+/// can compare against with `--check`. Sized so every cell runs for about a
+/// millisecond: much smaller and a best-of-N wall time is dominated by
+/// scheduler/OS noise, making the `--check` gate flaky.
+const MINI_STREAM: Workload = Workload {
+    name: "stream-mini",
+    jobs: 96,
+    job_size: 128,
+    spread: 4,
+    schedulers: &["fifo", "lpf"],
+    ms: &[8, 64],
+};
+
+/// Sparse counterpart of [`MINI_STREAM`] (exercises the idle-gap fast path).
+const MINI_SPARSE: Workload = Workload {
+    name: "sparse-mini",
+    jobs: 96,
+    job_size: 128,
+    spread: 1024,
+    schedulers: &["fifo"],
+    ms: &[8],
+};
+
+/// The full benchmark matrix. `stream` is the dense arrival stream used by
+/// the acceptance measurement (64 × 256 at m = 256) and covers the whole
+/// headline scheduler set — the greedy family plus the paper's §5.3
+/// Algorithm 𝒜 and §5.4 guess-double, so their cost is tracked too; `sparse`
+/// spaces releases far apart so most simulated steps are idle gaps; the mini
+/// workloads are the `--quick` cells, included so the committed baseline
+/// covers them.
+const FULL: &[Workload] = &[
+    Workload {
+        name: "stream",
+        jobs: 64,
+        job_size: 256,
+        spread: 8,
+        schedulers: &["fifo", "fifo-last", "lpf", "lrwf", "algo-a", "guess-double"],
+        ms: &[8, 64, 256],
+    },
+    Workload {
+        name: "sparse",
+        jobs: 64,
+        job_size: 256,
+        spread: 2048,
+        schedulers: &["fifo"],
+        ms: &[8, 256],
+    },
+    MINI_STREAM,
+    MINI_SPARSE,
+];
+
+/// Reduced matrix for `--quick` (CI smoke): completes in well under a
+/// second while still touching both workload shapes.
+const QUICK: &[Workload] = &[MINI_STREAM, MINI_SPARSE];
+
+fn stream_instance(w: &Workload) -> Instance {
+    let mut rng = flowtree_workloads::rng(SEED);
+    let jobs = (0..w.jobs)
+        .map(|i| JobSpec {
+            graph: flowtree_workloads::trees::random_recursive_tree(w.job_size, &mut rng),
+            release: (i as u64) * w.spread,
+        })
+        .collect();
+    Instance::new(jobs)
+}
+
+/// Time one engine run (fresh scheduler per run, as schedulers are
+/// stateful). Returns wall seconds; the run is verified once outside the
+/// timed region by the caller.
+fn timed_run(inst: &Instance, m: usize, spec: SchedulerSpec) -> Result<f64, String> {
+    let mut sched = spec.build();
+    let start = Instant::now();
+    let report = Engine::new(m)
+        .with_max_horizon(1_000_000_000)
+        .run(inst, sched.as_mut())
+        .map_err(|e| format!("{} on m={m}: {e}", spec.name()))?;
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(report.schedule.horizon());
+    Ok(secs)
+}
+
+/// Run the whole engine matrix; returns the JSON document.
+pub fn run_engine_matrix(o: &BenchOpts) -> Result<Value, String> {
+    let workloads = if o.quick { QUICK } else { FULL };
+    let mut entries: Vec<Value> = Vec::new();
+
+    for w in workloads {
+        let inst = stream_instance(w);
+        let total_work = inst.total_work();
+        for &name in w.schedulers {
+            let spec = SchedulerSpec::from_name_with_half(name, 8)?;
+            for &m in w.ms {
+                // Correctness outside the timed region: one verified run.
+                {
+                    let mut sched = spec.build();
+                    let report = Engine::new(m)
+                        .with_max_horizon(1_000_000_000)
+                        .run(&inst, sched.as_mut())
+                        .map_err(|e| format!("{name} on m={m}: {e}"))?;
+                    report.verify(&inst).map_err(|e| format!("{name} on m={m}: {e}"))?;
+                }
+                for _ in 0..o.warmup {
+                    timed_run(&inst, m, spec)?;
+                }
+                let mut walls = Vec::with_capacity(o.reps);
+                for _ in 0..o.reps {
+                    walls.push(timed_run(&inst, m, spec)?);
+                }
+                let best = walls.iter().copied().fold(f64::INFINITY, f64::min);
+                let subjobs_per_sec = total_work as f64 / best;
+                println!(
+                    "{:<8} {:<12} m={:<4} {:>12.0} subjobs/s  (best of {} reps: {:.3} ms)",
+                    w.name,
+                    name,
+                    m,
+                    subjobs_per_sec,
+                    o.reps,
+                    best * 1e3
+                );
+                entries.push(Value::Object(vec![
+                    ("workload".into(), Value::Str(w.name.into())),
+                    ("scheduler".into(), Value::Str(name.into())),
+                    ("m".into(), Value::UInt(m as u64)),
+                    ("total_subjobs".into(), Value::UInt(total_work)),
+                    ("repeats".into(), Value::UInt(o.reps as u64)),
+                    (
+                        "wall_secs".into(),
+                        Value::Array(walls.iter().map(|&s| Value::Float(s)).collect()),
+                    ),
+                    ("best_secs".into(), Value::Float(best)),
+                    ("subjobs_per_sec".into(), Value::Float(subjobs_per_sec)),
+                ]));
+            }
+        }
+    }
+
+    Ok(document(o.quick, entries))
+}

@@ -44,6 +44,8 @@ struct ServeOpts {
     swap_at: Vec<String>,
     steal: bool,
     steal_watermarks: Option<String>,
+    ingest_batch: usize,
+    watermark_stride: Time,
 }
 
 impl Default for ServeOpts {
@@ -62,6 +64,8 @@ impl Default for ServeOpts {
             swap_at: Vec::new(),
             steal: false,
             steal_watermarks: None,
+            ingest_batch: 32,
+            watermark_stride: 0,
         }
     }
 }
@@ -76,7 +80,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         " [--shards N] [--rate R] [--queue-cap N] [--policy block|drop|redirect]\n\
          \u{20}        [--routing hash|least-loaded] [--replay FILE] [--stats-every N]\n\
          \u{20}        [--store DIR] [--run-id ID] [--horizon H] [--swap-at T:SPEC]\n\
-         \u{20}        [--steal] [--steal-watermarks LOW:HIGH]",
+         \u{20}        [--steal] [--steal-watermarks LOW:HIGH] [--ingest-batch N]\n\
+         \u{20}        [--watermark-stride T]",
         &mut |flag, it| {
             match flag {
                 "--shards" => s.shards = parse_num(it, "--shards")?,
@@ -96,6 +101,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     s.steal_watermarks =
                         Some(it.next().ok_or("--steal-watermarks needs LOW:HIGH")?.clone());
                 }
+                "--ingest-batch" => s.ingest_batch = parse_num(it, "--ingest-batch")?,
+                "--watermark-stride" => s.watermark_stride = parse_num(it, "--watermark-stride")?,
                 _ => return Ok(false),
             }
             Ok(true)
@@ -142,7 +149,7 @@ fn accounting_line(ingest: &IngestStats) -> String {
         && ingest.stolen_in == ingest.stolen_out;
     format!(
         "ingest: offered={} delivered={} dropped={} redirected={} reordered={} \
-         stolen_in={} stolen_out={} {}",
+         stolen_in={} stolen_out={} wm_skipped={} {}",
         ingest.offered,
         ingest.delivered,
         ingest.dropped,
@@ -150,6 +157,7 @@ fn accounting_line(ingest: &IngestStats) -> String {
         ingest.reordered,
         ingest.stolen_in,
         ingest.stolen_out,
+        ingest.wm_skipped,
         if balanced {
             "(balanced)"
         } else {
@@ -178,7 +186,9 @@ fn serve(
         .queue_cap(s.queue_cap)
         .policy(s.policy.parse::<OverloadPolicy>()?)
         .routing(s.routing.parse::<Routing>()?)
-        .max_horizon(s.horizon);
+        .max_horizon(s.horizon)
+        .ingest_batch(s.ingest_batch)
+        .watermark_stride(s.watermark_stride);
     if s.steal {
         let marks = match &s.steal_watermarks {
             Some(arg) => parse_watermarks(arg)?,

@@ -70,10 +70,21 @@ impl McReplay {
                 }
             }
         }
-        // Sort each level by next_children desc (stable).
+        // Sort each level by next_children desc (stable). Keys are gathered
+        // once per node into a reused scratch, so the comparator works on a
+        // packed (key, node) pair instead of chasing `next_children` twice
+        // per comparison.
         let mut sorted = levels;
+        let mut keyed: Vec<(u32, u32)> = Vec::new();
         for level in &mut sorted {
-            level.sort_by(|&a, &b| next_children[b as usize].cmp(&next_children[a as usize]));
+            keyed.clear();
+            keyed.extend(level.iter().map(|&v| (next_children[v as usize], v)));
+            // Stable sort on the key alone preserves original in-level order
+            // among equal-fanout nodes.
+            keyed.sort_by_key(|&(k, _)| std::cmp::Reverse(k));
+            for (slot, &(_, v)) in level.iter_mut().zip(&keyed) {
+                *slot = v;
+            }
         }
         let remaining_in_level: Vec<usize> = sorted.iter().map(Vec::len).collect();
         let remaining = remaining_in_level.iter().sum();

@@ -177,15 +177,24 @@ impl JobGraph {
     /// path from a source to `v`, so a source has depth 1 (paper, Section 5;
     /// for out-trees this is the usual root distance + 1).
     pub fn depths(&self) -> Vec<u32> {
-        let mut d = vec![1u32; self.n()];
+        let mut d = Vec::new();
+        self.depths_into(&mut d);
+        d
+    }
+
+    /// [`depths`](Self::depths) into a caller-owned buffer, so hot paths
+    /// that profile many graphs (streaming admission) can reuse one
+    /// allocation. `out` is cleared and refilled; its capacity is kept.
+    pub fn depths_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.resize(self.n(), 1);
         for &v in &self.topo {
-            let dv = d[v as usize];
+            let dv = out[v as usize];
             for &c in self.children(NodeId(v)) {
                 let ci = c as usize;
-                d[ci] = d[ci].max(dv + 1);
+                out[ci] = out[ci].max(dv + 1);
             }
         }
-        d
     }
 
     /// The job's **span** `P`: the number of nodes on the longest directed

@@ -38,7 +38,7 @@ pub mod render;
 pub mod sp;
 
 pub use graph::{GraphBuilder, GraphError, JobGraph, NodeId};
-pub use profile::DepthProfile;
+pub use profile::{DepthProfile, DepthScratch};
 
 /// Discrete simulation time. Subjobs occupy unit intervals; a subjob
 /// scheduled "at time `t`" runs during `(t-1, t]` in the paper's convention.

@@ -8,6 +8,13 @@
 
 use crate::graph::JobGraph;
 
+/// Reusable working memory for [`DepthProfile::opt_single_job_in`].
+#[derive(Debug, Clone, Default)]
+pub struct DepthScratch {
+    depths: Vec<u32>,
+    count: Vec<u64>,
+}
+
 /// Precomputed per-depth statistics of one job.
 ///
 /// ```
@@ -98,6 +105,32 @@ impl DepthProfile {
         best
     }
 
+    /// [`opt_single_job`](Self::opt_single_job) of `g` without building (or
+    /// allocating) a profile: the counting buffers live in `scratch` and are
+    /// reused across calls. Streaming admission paths call this once per
+    /// arriving job, so the per-job cost is one depth pass and zero
+    /// allocations after warm-up.
+    pub fn opt_single_job_in(g: &JobGraph, m: u64, scratch: &mut DepthScratch) -> u64 {
+        assert!(m >= 1, "need at least one processor");
+        g.depths_into(&mut scratch.depths);
+        let max_depth = scratch.depths.iter().copied().max().unwrap_or(0) as usize;
+        scratch.count.clear();
+        scratch.count.resize(max_depth, 0);
+        for &d in &scratch.depths {
+            debug_assert!(d >= 1, "depths are 1-based");
+            scratch.count[(d - 1) as usize] += 1;
+        }
+        // Walk depths high-to-low, accumulating W(d) = #nodes deeper than d
+        // (count[d] holds the nodes at depth d + 1, i.e. strictly below d).
+        let mut best = max_depth as u64;
+        let mut w = 0u64;
+        for d in (0..max_depth).rev() {
+            w += scratch.count[d];
+            best = best.max(d as u64 + w.div_ceil(m));
+        }
+        best
+    }
+
     /// The widest depth level — an upper bound on how many processors the
     /// job can use in a *level-synchronous* schedule, and the `m` beyond
     /// which the Lemma 5.1 bound is pure span for layered jobs.
@@ -163,6 +196,22 @@ mod tests {
         assert_eq!(p.work_below(3), 2);
         assert_eq!(p.work_below(5), 0);
         assert_eq!(p.work_below(99), 0);
+    }
+
+    #[test]
+    fn scratch_opt_matches_profile_opt() {
+        let mut scratch = DepthScratch::default();
+        use crate::builder::complete_kary;
+        for g in [chain(1), chain(7), star(6), complete_kary(2, 4), complete_kary(3, 3)] {
+            let p = DepthProfile::new(&g);
+            for m in 1..=9 {
+                assert_eq!(
+                    DepthProfile::opt_single_job_in(&g, m, &mut scratch),
+                    p.opt_single_job(m),
+                    "m={m}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -19,8 +19,19 @@ use flowtree_sim::Instance;
 
 /// Compute the interval-load lower bound (0 if it is vacuous).
 ///
-/// O(k^2) over the k distinct release times — instances in this repository
-/// have at most a few thousand distinct releases.
+/// O(k·m) over the k distinct release times (O(k²) when `m >= k`, where the
+/// direct window scan is the cheaper shape). The linear pass is exact: for a
+/// window ending at release `e_j` with total work `W = P[j+1] - P[i]`,
+///
+/// ```text
+/// ceil(W / m) - (e_j - s_i) = floor((T - P[i]) / m) + s_i - e_j,
+/// T = P[j+1] + m - 1,
+/// ```
+///
+/// and with `P[i] = q_i·m + b_i`, `T = Q·m + c`, the floor splits into
+/// `Q - q_i - [b_i > c]`. Maximizing over window starts `i <= j` therefore
+/// only needs, per residue class `b`, the running maximum of `s_i - q_i` —
+/// a table of `m` entries updated once per point.
 pub fn interval_load_lower_bound(instance: &Instance, m: u64) -> u64 {
     assert!(m >= 1);
     // Aggregate work per distinct release time (jobs are sorted by release).
@@ -37,6 +48,35 @@ pub fn interval_load_lower_bound(instance: &Instance, m: u64) -> u64 {
         prefix.push(prefix.last().unwrap() + w);
     }
 
+    if points.len() as u64 <= m {
+        return interval_load_windows(&points, &prefix, m);
+    }
+
+    let mi = m as i128;
+    // g[b] = max over starts i with P[i] ≡ b (mod m) of (s_i - P[i] / m).
+    let mut g = vec![i128::MIN; m as usize];
+    let mut best: i128 = 0;
+    for (j, &(release, _)) in points.iter().enumerate() {
+        let p = prefix[j] as i128;
+        let (q, b) = (p.div_euclid(mi), p.rem_euclid(mi) as usize);
+        g[b] = g[b].max(release as i128 - q);
+
+        let t = prefix[j + 1] as i128 + mi - 1;
+        let (big_q, c) = (t.div_euclid(mi), t.rem_euclid(mi));
+        let mut h = i128::MIN;
+        for (bb, &gv) in g.iter().enumerate() {
+            if gv != i128::MIN {
+                h = h.max(gv - (bb as i128 > c) as i128);
+            }
+        }
+        best = best.max(big_q + h - release as i128);
+    }
+    best as u64
+}
+
+/// Direct all-windows scan — the reference shape of the bound, used when the
+/// residue table would be larger than the point set.
+fn interval_load_windows(points: &[(u64, u64)], prefix: &[u64], m: u64) -> u64 {
     let mut best = 0u64;
     for i in 0..points.len() {
         for j in i..points.len() {
@@ -99,6 +139,43 @@ mod tests {
             JobSpec { graph: chain(2), release: 100 },
         ]);
         assert_eq!(interval_load_lower_bound(&inst, 4), 1);
+    }
+
+    /// The residue-table pass must agree with the direct all-windows scan
+    /// on point sets large enough to take the linear path.
+    #[test]
+    fn linear_pass_matches_window_scan() {
+        // Deterministic pseudo-random releases/works (xorshift).
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut rand = move |n: u64| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % n
+        };
+        for m in [1u64, 2, 3, 5, 8, 13] {
+            let mut release = 0u64;
+            let jobs = (0..60)
+                .map(|_| {
+                    release += rand(4);
+                    JobSpec { graph: star(rand(13) as usize + 1), release }
+                })
+                .collect();
+            let inst = Instance::new(jobs);
+            let fast = interval_load_lower_bound(&inst, m);
+            let mut points: Vec<(u64, u64)> = Vec::new();
+            for spec in inst.jobs() {
+                match points.last_mut() {
+                    Some((r, w)) if *r == spec.release => *w += spec.graph.work(),
+                    _ => points.push((spec.release, spec.graph.work())),
+                }
+            }
+            let mut prefix = vec![0u64];
+            for &(_, w) in &points {
+                prefix.push(prefix.last().unwrap() + w);
+            }
+            assert_eq!(fast, interval_load_windows(&points, &prefix, m), "m={m}");
+        }
     }
 
     #[test]

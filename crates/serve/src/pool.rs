@@ -5,13 +5,31 @@
 //! Each shard is a worker thread (see [`crate::shard`]) behind a bounded
 //! channel of [`ShardCmd`]s. The router serializes arrivals: it clamps the
 //! rare out-of-order release from a misbehaving source (counting it in
-//! [`IngestStats::reordered`]), picks a shard ([`Routing`]), delivers the
-//! job under the configured [`OverloadPolicy`], and broadcasts the release
-//! as a watermark to every other shard so they may keep simulating. The
-//! watermark broadcast uses `try_send` and silently skips full queues: a
-//! full queue already holds a command whose eventual processing advances
-//! that shard at least as far, so skipping cannot deadlock or stall a shard
-//! forever — it only delays it until its backlog drains.
+//! [`IngestStats::reordered`]), picks a shard ([`Routing`]) per job, and
+//! delivers under the configured [`OverloadPolicy`]. The hot path is
+//! batched: [`PoolHandle::offer_batch`] takes the router lock **once** per
+//! ingest batch, routes every job, coalesces same-shard placements into
+//! one [`ShardCmd::AdmitBatch`] (one queue slot, one channel op), and
+//! flushes event time at the batch boundary. Sources feed batches through
+//! [`PoolHandle::run_source`] via
+//! [`ArrivalSource::next_batch`], bounded by
+//! [`ServeConfig::ingest_batch`] jobs and a release-span flush rule tied to
+//! [`ServeConfig::watermark_stride`], so batching never changes event-time
+//! semantics — only how many channel ops they cost.
+//!
+//! Event time propagates to the other shards as *watermarks*, amortized two
+//! ways: the router remembers the highest watermark each shard is known to
+//! have (never re-sending a value that cannot advance it), and
+//! [`ServeConfig::watermark_stride`] suppresses per-arrival broadcasts
+//! until the frontier has advanced at least that far. Batch boundaries,
+//! [`quiesce`](PoolHandle::quiesce), and drain always flush regardless, so
+//! a shard's safe time lags the frontier by less than one stride while
+//! arrivals flow, and not at all at synchronization points. Broadcasts use
+//! `try_send` and skip full queues (counted in [`IngestStats::wm_skipped`],
+//! surfaced in the CLI drain table): a full queue already holds a command
+//! whose eventual processing advances that shard at least as far, so
+//! skipping cannot deadlock or stall a shard forever — and the dedup
+//! ledger retries the skipped value on the next broadcast anyway.
 //!
 //! With stealing enabled ([`StealConfig`]), an arrival whose target queue
 //! is full is *staged* router-side instead of blocking the ingest thread.
@@ -36,7 +54,7 @@ use flowtree_core::SchedulerSpec;
 use flowtree_dag::Time;
 use flowtree_sim::JobSpec;
 
-use crate::shard::{run_shard, ShardCmd, ShardResult, ShardSnapshot, SwapDirective};
+use crate::shard::{run_shard, ShardCmd, ShardResult, ShardSnapshot, ShardStats, SwapDirective};
 use crate::source::ArrivalSource;
 
 /// Everything that can go wrong launching or driving a pool.
@@ -128,7 +146,13 @@ pub enum Routing {
     /// Multiplicative hash of the arrival sequence number — stateless and
     /// uniform, like consistent hashing over a fixed ring.
     Hash,
-    /// The shard with the shortest ingress backlog (queue + staged) now.
+    /// The shard with the fewest jobs assigned by the router so far (ties
+    /// go to the lowest index). The ledger counts actual placements —
+    /// redirects land where they land, stolen jobs move victim → thief —
+    /// so placement is a pure function of the arrival sequence, never of
+    /// shard timing; that determinism is what lets the differential suite
+    /// compare batched and per-event ingest bit for bit under this routing
+    /// too.
     LeastLoaded,
 }
 
@@ -208,6 +232,18 @@ pub struct ServeConfig {
     /// Work-stealing thresholds; `None` disables stealing and keeps the
     /// delivery path identical to the pre-control-plane pool.
     pub steal: Option<StealConfig>,
+    /// Most arrivals one ingest batch may carry
+    /// ([`run_source`](PoolHandle::run_source) /
+    /// [`offer_batch`](PoolHandle::offer_batch)); 1 degenerates to
+    /// per-event ingest.
+    pub ingest_batch: usize,
+    /// Watermark granularity. While arrivals flow, a shard is only told
+    /// about frontier advances of at least this much (0 = every advance);
+    /// the same value bounds how much event time one ingest batch may span.
+    /// Batch boundaries, quiesce, and drain flush the exact frontier
+    /// regardless, and watermarks never affect final results — only how
+    /// eagerly shards may simulate ahead.
+    pub watermark_stride: Time,
 }
 
 impl ServeConfig {
@@ -224,6 +260,8 @@ impl ServeConfig {
             routing: Routing::Hash,
             max_horizon: 100_000_000,
             steal: None,
+            ingest_batch: 32,
+            watermark_stride: 0,
         }
     }
 
@@ -241,6 +279,11 @@ impl ServeConfig {
         }
         if self.queue_cap < 1 {
             return Err(ServeError::InvalidConfig("queues must hold at least one command".into()));
+        }
+        if self.ingest_batch < 1 {
+            return Err(ServeError::InvalidConfig(
+                "ingest batches must carry at least one arrival".into(),
+            ));
         }
         if self.max_horizon < 1 || self.max_horizon >= Time::MAX / 2 {
             return Err(ServeError::InvalidConfig(format!(
@@ -318,6 +361,18 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Most arrivals one ingest batch may carry (1 = per-event ingest).
+    pub fn ingest_batch(mut self, max: usize) -> Self {
+        self.cfg.ingest_batch = max;
+        self
+    }
+
+    /// Watermark granularity (see [`ServeConfig::watermark_stride`]).
+    pub fn watermark_stride(mut self, stride: Time) -> Self {
+        self.cfg.watermark_stride = stride;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<ServeConfig, ServeError> {
         self.cfg.validate()?;
@@ -349,6 +404,11 @@ pub struct IngestStats {
     pub stolen_in: u64,
     /// Jobs migrated off an overloaded shard's staged queue.
     pub stolen_out: u64,
+    /// Watermark broadcasts skipped because a shard's queue was full. Not
+    /// part of the balance equation: a full queue already holds a command
+    /// that advances the shard at least as far, and the router's dedup
+    /// ledger retries the value on the next broadcast.
+    pub wm_skipped: u64,
 }
 
 /// A point-in-time view of the whole pool.
@@ -410,6 +470,15 @@ struct Router {
     ingest: IngestStats,
     /// Per-shard arrivals accepted but not yet delivered (steal mode only).
     staged: Vec<VecDeque<JobSpec>>,
+    /// Highest watermark each shard is known to have seen (via an admit or
+    /// an accepted broadcast). A broadcast that cannot advance a shard past
+    /// this value is skipped — it would be a no-op channel op.
+    wm_known: Vec<Time>,
+    /// Jobs placed on each shard by the router so far — the deterministic
+    /// load ledger behind [`Routing::LeastLoaded`]. Counts actual
+    /// placements: redirects credit the shard that took the job, stolen
+    /// jobs move victim → thief, drops count nowhere.
+    assigned: Vec<u64>,
 }
 
 /// Shared pool state: what both the owning [`ShardPool`] and every cloned
@@ -418,7 +487,7 @@ struct Router {
 struct PoolCore {
     cfg: ServeConfig,
     txs: Vec<Sender<ShardCmd>>,
-    snaps: Vec<Arc<Mutex<ShardSnapshot>>>,
+    stats: Vec<Arc<ShardStats>>,
     router: Mutex<Router>,
 }
 
@@ -455,7 +524,7 @@ impl PoolHandle {
                 (r.seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % self.core.txs.len()
             }
             Routing::LeastLoaded => (0..self.core.txs.len())
-                .min_by_key(|&i| self.core.txs[i].len() + r.staged[i].len())
+                .min_by_key(|&i| r.assigned[i])
                 .expect("at least one shard"),
         }
     }
@@ -513,6 +582,8 @@ impl PoolHandle {
                 r.ingest.stolen_out += count;
                 r.ingest.stolen_in += count;
                 r.ingest.delivered += count;
+                r.assigned[victim] -= count;
+                r.assigned[thief] += count;
             }
             Err(TrySendError::Full(ShardCmd::Donate(jobs))) => {
                 // Thief filled up in the meantime: put the jobs back.
@@ -524,11 +595,11 @@ impl PoolHandle {
         Ok(())
     }
 
-    /// Route one arrival. A release earlier than the last offered one is
-    /// clamped forward (counted in [`IngestStats::reordered`]) so shard
-    /// sessions always see admissible order.
-    pub fn offer(&self, mut spec: JobSpec) -> Result<(), ServeError> {
-        let r = &mut *self.router();
+    /// Route one arrival under the configured policy, updating the load and
+    /// watermark ledgers. Returns the shard the job was delivered to
+    /// (`None` if it was staged or dropped). Callers broadcast the frontier
+    /// afterwards, so the router lock is held across a whole batch.
+    fn route_one(&self, r: &mut Router, mut spec: JobSpec) -> Result<Option<usize>, ServeError> {
         r.ingest.offered += 1;
         if spec.release < r.last_release {
             spec.release = r.last_release;
@@ -542,7 +613,10 @@ impl PoolHandle {
         let mut delivered_to = None;
         if self.core.cfg.steal.is_some() {
             // Staging path: never block ingest; preserve per-shard FIFO by
-            // staging behind any jobs already waiting for this shard.
+            // staging behind any jobs already waiting for this shard. The
+            // load ledger credits the routed shard now; rebalance moves the
+            // credit if the job is later stolen.
+            r.assigned[target] += 1;
             self.pump_shard(r, target)?;
             if r.staged[target].is_empty() {
                 match self.core.txs[target].try_send(ShardCmd::Admit(spec)) {
@@ -559,7 +633,6 @@ impl PoolHandle {
             } else {
                 r.staged[target].push_back(spec);
             }
-            self.rebalance(r)?;
         } else {
             match self.core.cfg.policy {
                 OverloadPolicy::Block => {
@@ -601,39 +674,176 @@ impl PoolHandle {
                     }
                 }
             }
-            if delivered_to.is_some() {
+            if let Some(i) = delivered_to {
                 r.ingest.delivered += 1;
+                r.assigned[i] += 1;
             }
         }
-        // Advance event time everywhere the job did not land. A shard with
-        // staged jobs must not outrun its own backlog, so its watermark is
-        // capped at the staged front's release.
+        if let Some(i) = delivered_to {
+            // The admit itself carries the release: once the shard processes
+            // it, its safe time is at least this far along.
+            if release > r.wm_known[i] {
+                r.wm_known[i] = release;
+            }
+        }
+        Ok(delivered_to)
+    }
+
+    /// Send frontier watermarks to shards that need them. `force` flushes
+    /// every advance (batch boundaries, quiesce); otherwise
+    /// [`ServeConfig::watermark_stride`] suppresses a broadcast until the
+    /// frontier has advanced at least one stride past what the shard is
+    /// known to have seen.
+    fn broadcast_frontier(&self, r: &mut Router, force: bool) {
+        let frontier = r.last_release;
+        let stride = self.core.cfg.watermark_stride;
         for (i, tx) in self.core.txs.iter().enumerate() {
-            if Some(i) != delivered_to {
-                let w = match r.staged[i].front() {
-                    Some(job) => release.min(job.release),
-                    None => release,
-                };
-                let _ = tx.try_send(ShardCmd::Watermark(w));
+            // A shard with staged jobs must not outrun its own backlog, so
+            // its watermark is capped at the staged front's release.
+            let w = match r.staged[i].front() {
+                Some(job) => frontier.min(job.release),
+                None => frontier,
+            };
+            if w <= r.wm_known[i] {
+                continue;
+            }
+            if !force && w < r.wm_known[i].saturating_add(stride) {
+                continue;
+            }
+            match tx.try_send(ShardCmd::Watermark(w)) {
+                Ok(()) => r.wm_known[i] = w,
+                // A full queue already holds commands that advance this
+                // shard at least as far; the dedup ledger retries the value
+                // on the next broadcast.
+                Err(TrySendError::Full(_)) => r.ingest.wm_skipped += 1,
+                // Workers gone: drain already started; nothing left to pace.
+                Err(TrySendError::Disconnected(_)) => {}
             }
         }
+    }
+
+    /// Route one arrival. A release earlier than the last offered one is
+    /// clamped forward (counted in [`IngestStats::reordered`]) so shard
+    /// sessions always see admissible order.
+    pub fn offer(&self, spec: JobSpec) -> Result<(), ServeError> {
+        let r = &mut *self.router();
+        self.route_one(r, spec)?;
+        if self.core.cfg.steal.is_some() {
+            self.rebalance(r)?;
+        }
+        self.broadcast_frontier(r, false);
         Ok(())
     }
 
-    /// Pump `source` dry, calling `progress` with a fresh snapshot every
-    /// `every` arrivals (0 disables). Returns the number of arrivals offered.
+    /// Route a whole ingest batch under one router lock. Same-shard
+    /// placements coalesce into a single [`ShardCmd::AdmitBatch`] — one
+    /// queue slot, one channel op — and the event-time frontier is flushed
+    /// at the batch boundary. Drains `specs` so the caller can reuse the
+    /// buffer. Placement is identical to offering the same jobs one at a
+    /// time; only the channel traffic differs.
+    pub fn offer_batch(&self, specs: &mut Vec<JobSpec>) -> Result<(), ServeError> {
+        if specs.is_empty() {
+            return Ok(());
+        }
+        let r = &mut *self.router();
+        let stealing = self.core.cfg.steal.is_some();
+        if stealing || self.core.cfg.policy == OverloadPolicy::Block {
+            // Coalescing path: place every arrival first, then deliver one
+            // command per shard.
+            let n = self.core.txs.len();
+            let mut buckets: Vec<Vec<JobSpec>> = (0..n).map(|_| Vec::new()).collect();
+            for mut spec in specs.drain(..) {
+                r.ingest.offered += 1;
+                if spec.release < r.last_release {
+                    spec.release = r.last_release;
+                    r.ingest.reordered += 1;
+                }
+                r.last_release = spec.release;
+                let target = self.pick_shard(r);
+                r.seq = r.seq.wrapping_add(1);
+                r.assigned[target] += 1;
+                buckets[target].push(spec);
+            }
+            for (i, bucket) in buckets.into_iter().enumerate() {
+                if bucket.is_empty() {
+                    continue;
+                }
+                let count = bucket.len() as u64;
+                let last = bucket.last().expect("nonempty bucket").release;
+                if stealing {
+                    // Same non-blocking discipline as route_one, batch-wide:
+                    // FIFO order demands the whole bucket stages if anything
+                    // for this shard is already staged.
+                    self.pump_shard(r, i)?;
+                    if r.staged[i].is_empty() {
+                        match self.core.txs[i].try_send(ShardCmd::AdmitBatch(bucket)) {
+                            Ok(()) => {
+                                r.ingest.delivered += count;
+                                if last > r.wm_known[i] {
+                                    r.wm_known[i] = last;
+                                }
+                            }
+                            Err(TrySendError::Full(ShardCmd::AdmitBatch(jobs))) => {
+                                r.staged[i].extend(jobs);
+                            }
+                            Err(TrySendError::Full(_)) => {
+                                unreachable!("offered a non-admit command")
+                            }
+                            Err(TrySendError::Disconnected(_)) => {
+                                return Err(ServeError::PoolClosed)
+                            }
+                        }
+                    } else {
+                        r.staged[i].extend(bucket);
+                    }
+                } else {
+                    self.core.txs[i]
+                        .send(ShardCmd::AdmitBatch(bucket))
+                        .map_err(|_| ServeError::PoolClosed)?;
+                    r.ingest.delivered += count;
+                    if last > r.wm_known[i] {
+                        r.wm_known[i] = last;
+                    }
+                }
+            }
+        } else {
+            // Drop and redirect decide per arrival from instantaneous queue
+            // room; coalescing those decisions away would change what gets
+            // shed or moved. They keep per-job channel ops but still share
+            // one lock acquisition and one frontier flush per batch.
+            for spec in specs.drain(..) {
+                self.route_one(r, spec)?;
+            }
+        }
+        if stealing {
+            self.rebalance(r)?;
+        }
+        self.broadcast_frontier(r, true);
+        Ok(())
+    }
+
+    /// Pump `source` dry in ingest batches (bounded by
+    /// [`ServeConfig::ingest_batch`] and the stride-sized release span),
+    /// calling `progress` with a fresh snapshot roughly every `every`
+    /// arrivals (0 disables). Returns the number of arrivals offered.
     pub fn run_source_with(
         &self,
         source: &mut dyn ArrivalSource,
         every: u64,
         progress: &mut dyn FnMut(&PoolSnapshot),
     ) -> Result<u64, ServeError> {
+        let (max, span) = (self.core.cfg.ingest_batch, self.core.cfg.watermark_stride);
+        let mut batch = Vec::with_capacity(max);
         let mut n = 0u64;
-        while let Some(spec) = source.next_arrival() {
-            self.offer(spec)?;
-            n += 1;
-            if every > 0 && n.is_multiple_of(every) {
+        let mut next_beat = every;
+        while source.next_batch(max, span, &mut batch) > 0 {
+            n += batch.len() as u64;
+            self.offer_batch(&mut batch)?;
+            if every > 0 && n >= next_beat {
                 progress(&self.snapshot());
+                while next_beat <= n {
+                    next_beat += every;
+                }
             }
         }
         Ok(n)
@@ -674,16 +884,18 @@ impl PoolHandle {
         Ok(())
     }
 
-    /// A point-in-time view of every shard plus ingest counters.
+    /// A point-in-time view of every shard plus ingest counters. Reads the
+    /// shards' atomic progress counters — no shard-side lock, so a snapshot
+    /// never stalls the hot loop.
     pub fn snapshot(&self) -> PoolSnapshot {
         let r = self.router();
         let shards = self
             .core
-            .snaps
+            .stats
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                let mut snap = s.lock().expect("shard snapshot lock").clone();
+                let mut snap = s.load();
                 snap.queue_len = self.core.txs[i].len();
                 snap.staged = r.staged[i].len();
                 snap
@@ -696,6 +908,22 @@ impl PoolHandle {
     /// its current watermark, then reports. Returns settled snapshots in
     /// shard order.
     pub fn quiesce(&self) -> Result<Vec<ShardSnapshot>, ServeError> {
+        {
+            // Flush the exact frontier first: a shard must not settle short
+            // of event time just because strided broadcasts lagged behind.
+            let r = &mut *self.router();
+            let frontier = r.last_release;
+            for (i, tx) in self.core.txs.iter().enumerate() {
+                let w = match r.staged[i].front() {
+                    Some(job) => frontier.min(job.release),
+                    None => frontier,
+                };
+                if w > r.wm_known[i] {
+                    tx.send(ShardCmd::Watermark(w)).map_err(|_| ServeError::PoolClosed)?;
+                    r.wm_known[i] = w;
+                }
+            }
+        }
         let mut replies = Vec::with_capacity(self.core.txs.len());
         for tx in &self.core.txs {
             let (reply_tx, reply_rx) = channel::bounded(1);
@@ -748,31 +976,33 @@ impl ShardPool {
         cfg.validate()?;
         let mut txs = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
-        let mut snaps = Vec::with_capacity(cfg.shards);
+        let mut stats = Vec::with_capacity(cfg.shards);
         for shard in 0..cfg.shards {
             let (tx, rx) = channel::bounded(cfg.queue_cap);
-            let snap = Arc::new(Mutex::new(ShardSnapshot::default()));
+            let stat = Arc::new(ShardStats::default());
             let (m, spec, scenario, horizon) =
                 (cfg.m, cfg.spec, cfg.scenario.clone(), cfg.max_horizon);
-            let worker_snap = Arc::clone(&snap);
+            let worker_stats = Arc::clone(&stat);
             let handle = std::thread::Builder::new()
                 .name(format!("flowtree-shard-{shard}"))
-                .spawn(move || run_shard(shard, m, spec, scenario, horizon, rx, worker_snap))
+                .spawn(move || run_shard(shard, m, spec, scenario, horizon, rx, worker_stats))
                 .map_err(|e| ServeError::Spawn(e.to_string()))?;
             txs.push(tx);
             handles.push(handle);
-            snaps.push(snap);
+            stats.push(stat);
         }
-        let staged = (0..cfg.shards).map(|_| VecDeque::new()).collect();
+        let shards = cfg.shards;
         let core = PoolCore {
             cfg,
             txs,
-            snaps,
+            stats,
             router: Mutex::new(Router {
                 seq: 0,
                 last_release: 0,
                 ingest: IngestStats::default(),
-                staged,
+                staged: (0..shards).map(|_| VecDeque::new()).collect(),
+                wm_known: vec![0; shards],
+                assigned: vec![0; shards],
             }),
         };
         Ok(ShardPool { handle: PoolHandle { core: Arc::new(core) }, handles })
@@ -796,6 +1026,11 @@ impl ShardPool {
     /// Route one arrival (see [`PoolHandle::offer`]).
     pub fn offer(&self, spec: JobSpec) -> Result<(), ServeError> {
         self.handle.offer(spec)
+    }
+
+    /// Route a whole ingest batch (see [`PoolHandle::offer_batch`]).
+    pub fn offer_batch(&self, specs: &mut Vec<JobSpec>) -> Result<(), ServeError> {
+        self.handle.offer_batch(specs)
     }
 
     /// Pump `source` dry with progress reporting (see

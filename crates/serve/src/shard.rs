@@ -12,6 +12,13 @@
 //!   time to the job's release — once the router has shown us release `r`,
 //!   the global nondecreasing-release contract guarantees no later arrival
 //!   can land before `r`, so every step `t < r` may be simulated.
+//! * [`ShardCmd::AdmitBatch`] admits a router-coalesced batch in one queue
+//!   slot and one [`Session::admit_batch`] call; the batch's last release
+//!   implies the watermark. Because placement is per job and the admitted
+//!   sequence per shard is what determines its final result, a batched
+//!   delivery is bit-for-bit equivalent to the same jobs delivered one
+//!   [`ShardCmd::Admit`] at a time (pinned by the batched differential
+//!   suite).
 //! * [`ShardCmd::Watermark`] advances safe time without a job (the arrival
 //!   went to a different shard, was dropped, or is staged behind this
 //!   shard's own backlog).
@@ -32,11 +39,12 @@
 //!   view, without forcing simulation.
 //! * [`ShardCmd::Drain`] (or a closed channel) lifts the watermark limit
 //!   entirely: the session runs dry, and the worker returns a
-//!   [`ShardResult`] carrying the verified [`RunReport`], the materialized
+//!   [`ShardResult`] carrying the [`RunReport`], the materialized
 //!   per-shard [`Instance`], a certified [`RunSummary`], and every
 //!   [`SwapEvent`] along the way.
 
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender};
 use flowtree_analysis::{summary_from_parts, RunSummary};
@@ -50,6 +58,10 @@ use flowtree_sim::{Instance, JobSpec, OnlineScheduler, RunHistograms, RunReport,
 pub enum ShardCmd {
     /// Admit this arrival (its release implies a watermark).
     Admit(JobSpec),
+    /// Admit a coalesced batch of arrivals (releases nondecreasing within
+    /// the batch; the last one implies the watermark). One queue slot, one
+    /// [`Session::admit_batch`] call.
+    AdmitBatch(Vec<JobSpec>),
     /// No job for you, but event time has advanced this far.
     Watermark(Time),
     /// Admit jobs stolen from another shard's ingress backlog; releases are
@@ -95,7 +107,55 @@ impl std::fmt::Display for SwapEvent {
     }
 }
 
-/// A live, lock-published view of one shard's progress (see
+/// Progress counters one shard publishes continuously, lock-free: a set of
+/// relaxed atomics the worker stores after each command batch and any
+/// reader ([`PoolHandle::snapshot`](crate::PoolHandle::snapshot)) loads
+/// without ever blocking the hot loop. Individual fields are each exact;
+/// a multi-field read may straddle a publication (e.g. `dispatched` one
+/// loop ahead of `now`) — callers that need a settled, mutually consistent
+/// view use [`ShardCmd::Quiesce`] or [`ShardCmd::Snapshot`], whose replies
+/// are built synchronously by the worker.
+#[derive(Debug, Default)]
+pub(crate) struct ShardStats {
+    now: AtomicU64,
+    admitted: AtomicU64,
+    steps: AtomicU64,
+    dispatched: AtomicU64,
+    lower_bound: AtomicU64,
+    donated: AtomicU64,
+    swaps: AtomicU64,
+}
+
+impl ShardStats {
+    /// Publish `snap` (worker side). Relaxed: readers tolerate field skew.
+    pub(crate) fn publish(&self, snap: &ShardSnapshot) {
+        self.now.store(snap.now, Ordering::Relaxed);
+        self.admitted.store(snap.admitted as u64, Ordering::Relaxed);
+        self.steps.store(snap.steps, Ordering::Relaxed);
+        self.dispatched.store(snap.dispatched, Ordering::Relaxed);
+        self.lower_bound.store(snap.lower_bound, Ordering::Relaxed);
+        self.donated.store(snap.donated, Ordering::Relaxed);
+        self.swaps.store(snap.swaps, Ordering::Relaxed);
+    }
+
+    /// Load the latest published view (reader side). `queue_len` and
+    /// `staged` are the pool's to fill in.
+    pub(crate) fn load(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            now: self.now.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed) as usize,
+            steps: self.steps.load(Ordering::Relaxed),
+            dispatched: self.dispatched.load(Ordering::Relaxed),
+            lower_bound: self.lower_bound.load(Ordering::Relaxed),
+            donated: self.donated.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            queue_len: 0,
+            staged: 0,
+        }
+    }
+}
+
+/// A point-in-time view of one shard's progress (see
 /// [`PoolHandle::snapshot`](crate::PoolHandle::snapshot)).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShardSnapshot {
@@ -128,8 +188,9 @@ pub struct ShardResult {
     /// The certified run summary for this shard's sub-instance (labelled
     /// with the *final* scheduler after any hot-swaps).
     pub summary: RunSummary,
-    /// The full run report (schedule + stats + counters), already verified
-    /// feasible against `instance`.
+    /// The full run report (schedule + stats + counters). Every step was
+    /// validated online as the session applied it; debug builds additionally
+    /// re-verify the whole schedule against `instance` at drain time.
     pub report: RunReport,
     /// The per-shard instance materialized from admissions.
     pub instance: Instance,
@@ -163,7 +224,7 @@ pub(crate) fn run_shard(
     scenario: String,
     max_horizon: Time,
     rx: Receiver<ShardCmd>,
-    snap: Arc<Mutex<ShardSnapshot>>,
+    stats: Arc<ShardStats>,
 ) -> ShardResult {
     let mut spec = spec;
     let mut sched: Box<dyn OnlineScheduler + Send> = spec.build();
@@ -201,6 +262,14 @@ pub(crate) fn run_shard(
                     session
                         .admit(job)
                         .expect("router delivers jobs in nondecreasing release order");
+                }
+                ShardCmd::AdmitBatch(jobs) => {
+                    if let Some(last) = jobs.last() {
+                        safe = safe.max(last.release);
+                    }
+                    session
+                        .admit_batch(jobs)
+                        .expect("router delivers batches in nondecreasing release order");
                 }
                 ShardCmd::Watermark(w) => safe = safe.max(w),
                 ShardCmd::Donate(jobs) => {
@@ -254,7 +323,7 @@ pub(crate) fn run_shard(
             .unwrap_or_else(|e| panic!("shard {shard}: {e}"));
         {
             let fresh = snapshot_of(&session, swaps.len() as u64, donated);
-            *snap.lock().expect("shard snapshot lock") = fresh.clone();
+            stats.publish(&fresh);
             for reply in quiesce_replies.drain(..) {
                 let _ = reply.send(fresh.clone());
             }
@@ -265,6 +334,10 @@ pub(crate) fn run_shard(
     }
 
     let (report, instance) = session.finish();
+    // The session validated every step online (stamp checks at dispatch
+    // time), so the full feasibility re-scan is a debug-build cross-check,
+    // not a release-path cost.
+    #[cfg(debug_assertions)]
     report
         .verify(&instance)
         .unwrap_or_else(|e| panic!("shard {shard} produced an infeasible schedule: {e}"));

@@ -30,6 +30,24 @@ pub trait ArrivalSource: Send {
     /// The next arrival, or `None` when the stream is exhausted. May block
     /// (e.g. [`ChannelSource`] waits for its producer).
     fn next_arrival(&mut self) -> Option<JobSpec>;
+
+    /// Append the next ingest batch to `out` (callers pass it empty): up to
+    /// `max` arrivals whose releases stay within `span` of the first one.
+    /// Returns how many were appended; 0 ends the stream. The span rule
+    /// keeps batching from changing event-time semantics — a batch never
+    /// spans more frontier than one watermark stride would. The default
+    /// forwards a single [`next_arrival`](Self::next_arrival); sources
+    /// override it to hand over bursts without per-job dispatch.
+    fn next_batch(&mut self, max: usize, span: Time, out: &mut Vec<JobSpec>) -> usize {
+        let _ = (max, span);
+        match self.next_arrival() {
+            Some(spec) => {
+                out.push(spec);
+                1
+            }
+            None => 0,
+        }
+    }
 }
 
 /// Replays a recorded instance (or JSONL trace) job by job.
@@ -90,6 +108,24 @@ impl ReplaySource {
 impl ArrivalSource for ReplaySource {
     fn next_arrival(&mut self) -> Option<JobSpec> {
         self.jobs.pop_front()
+    }
+
+    fn next_batch(&mut self, max: usize, span: Time, out: &mut Vec<JobSpec>) -> usize {
+        let Some(first) = self.jobs.pop_front() else {
+            return 0;
+        };
+        let cutoff = first.release.saturating_add(span);
+        out.push(first);
+        while out.len() < max {
+            match self.jobs.front() {
+                Some(job) if job.release <= cutoff => {
+                    let job = self.jobs.pop_front().expect("front peeked");
+                    out.push(job);
+                }
+                _ => break,
+            }
+        }
+        out.len()
     }
 }
 
@@ -164,6 +200,37 @@ impl ArrivalSource for GeneratorSource {
         }
         self.pending.pop_front()
     }
+
+    fn next_batch(&mut self, max: usize, span: Time, out: &mut Vec<JobSpec>) -> usize {
+        let Some(first) = self.next_arrival() else {
+            return 0;
+        };
+        let cutoff = first.release.saturating_add(span);
+        out.push(first);
+        while out.len() < max {
+            match self.pending.front() {
+                Some(job) if job.release <= cutoff => {
+                    let job = self.pending.pop_front().expect("front peeked");
+                    out.push(job);
+                }
+                Some(_) => break,
+                None => {
+                    // Sample the next step; an out-of-span arrival goes back
+                    // to the front of the pending queue for the next batch.
+                    let Some(job) = self.next_arrival() else {
+                        break;
+                    };
+                    if job.release <= cutoff {
+                        out.push(job);
+                    } else {
+                        self.pending.push_front(job);
+                        break;
+                    }
+                }
+            }
+        }
+        out.len()
+    }
 }
 
 /// Pulls arrivals from a channel fed by an external producer thread; the
@@ -171,6 +238,9 @@ impl ArrivalSource for GeneratorSource {
 #[derive(Debug)]
 pub struct ChannelSource {
     rx: channel::Receiver<JobSpec>,
+    /// An arrival pulled while batching that fell outside the batch's
+    /// release span; it leads the next batch instead.
+    lookahead: Option<JobSpec>,
 }
 
 /// An unbounded arrival channel: feed [`JobSpec`]s through the sender (from
@@ -180,12 +250,34 @@ pub struct ChannelSource {
 /// rather than erroring.
 pub fn channel_source() -> (channel::Sender<JobSpec>, ChannelSource) {
     let (tx, rx) = channel::unbounded();
-    (tx, ChannelSource { rx })
+    (tx, ChannelSource { rx, lookahead: None })
 }
 
 impl ArrivalSource for ChannelSource {
     fn next_arrival(&mut self) -> Option<JobSpec> {
-        self.rx.recv().ok()
+        self.lookahead.take().or_else(|| self.rx.recv().ok())
+    }
+
+    fn next_batch(&mut self, max: usize, span: Time, out: &mut Vec<JobSpec>) -> usize {
+        // Block for the batch's first arrival, then absorb whatever the
+        // producer already queued — never wait for a batch to fill.
+        let Some(first) = self.next_arrival() else {
+            return 0;
+        };
+        let cutoff = first.release.saturating_add(span);
+        out.push(first);
+        while out.len() < max {
+            let Some(job) = self.rx.try_recv() else {
+                break;
+            };
+            if job.release <= cutoff {
+                out.push(job);
+            } else {
+                self.lookahead = Some(job);
+                break;
+            }
+        }
+        out.len()
     }
 }
 
@@ -260,6 +352,72 @@ mod tests {
             std::iter::from_fn(move || src.next_arrival()).collect::<Vec<_>>()
         };
         assert_eq!(collect(4), collect(4));
+    }
+
+    #[test]
+    fn replay_batches_respect_max_and_release_span() {
+        let releases = [0, 0, 0, 2, 2, 5];
+        let inst = Instance::new(
+            releases.iter().map(|&release| JobSpec { graph: chain(2), release }).collect(),
+        );
+        // span 0: only same-release bursts coalesce.
+        let mut src = ReplaySource::from_instance(&inst);
+        let mut sizes = Vec::new();
+        let mut out = Vec::new();
+        while src.next_batch(16, 0, &mut out) > 0 {
+            sizes.push(out.len());
+            out.clear();
+        }
+        assert_eq!(sizes, vec![3, 2, 1]);
+        // span 2 merges [0,2] but not 5; max caps the first batch.
+        let mut src = ReplaySource::from_instance(&inst);
+        let mut out = Vec::new();
+        assert_eq!(src.next_batch(4, 2, &mut out), 4);
+        assert_eq!(out.last().unwrap().release, 2);
+        out.clear();
+        assert_eq!(src.next_batch(4, 2, &mut out), 1);
+        out.clear();
+        assert_eq!(src.next_batch(4, 2, &mut out), 1);
+        assert_eq!(out[0].release, 5);
+        out.clear();
+        assert_eq!(src.next_batch(4, 2, &mut out), 0);
+    }
+
+    #[test]
+    fn batching_yields_the_same_stream_as_single_arrivals() {
+        let scenario = Scenario::service(1);
+        let single: Vec<JobSpec> = {
+            let mut src = GeneratorSource::new(&scenario, 1.5, 40, 7);
+            std::iter::from_fn(move || src.next_arrival()).collect()
+        };
+        let mut batched = Vec::new();
+        let mut src = GeneratorSource::new(&scenario, 1.5, 40, 7);
+        let mut out = Vec::new();
+        while src.next_batch(8, 3, &mut out) > 0 {
+            assert!(out.len() <= 8);
+            let first = out[0].release;
+            assert!(out.iter().all(|j| j.release <= first + 3), "span violated");
+            batched.append(&mut out);
+        }
+        assert_eq!(batched, single);
+    }
+
+    #[test]
+    fn channel_batches_never_block_and_keep_stragglers() {
+        let (tx, mut src) = channel_source();
+        for release in [1, 1, 4] {
+            tx.send(JobSpec { graph: chain(2), release }).unwrap();
+        }
+        let mut out = Vec::new();
+        // Span 0 stops at release 4, which becomes the lookahead...
+        assert_eq!(src.next_batch(8, 0, &mut out), 2);
+        out.clear();
+        // ...and leads the next batch even with the producer idle.
+        assert_eq!(src.next_batch(8, 0, &mut out), 1);
+        assert_eq!(out[0].release, 4);
+        out.clear();
+        drop(tx);
+        assert_eq!(src.next_batch(8, 0, &mut out), 0);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use crate::instance::Instance;
 use crate::probe::{Probe, StepStat};
-use flowtree_dag::{DepthProfile, JobGraph, JobId, Time};
+use flowtree_dag::{DepthProfile, DepthScratch, JobGraph, JobId, Time};
 
 /// Live Lemma 5.1 lower-bound tracker.
 ///
@@ -34,6 +34,8 @@ use flowtree_dag::{DepthProfile, JobGraph, JobId, Time};
 /// every point of the run and exact for single out-forests at the end.
 #[derive(Debug, Clone)]
 pub struct LowerBound {
+    /// Batch-mode profiles (empty for streaming trackers: an admitted job's
+    /// bound is evaluated on arrival and the profile is never needed again).
     profiles: Vec<DepthProfile>,
     /// Per-job Lemma 5.1 bounds on the run's machine size (filled at
     /// `on_start`, or per job at `on_admit` for streaming sessions).
@@ -44,6 +46,9 @@ pub struct LowerBound {
     m: u64,
     lb: Time,
     max_flow: Option<Time>,
+    /// Reused working memory for streaming per-admit bound evaluation, so
+    /// the serve admit path allocates nothing per job.
+    scratch: DepthScratch,
 }
 
 impl LowerBound {
@@ -59,6 +64,7 @@ impl LowerBound {
             m: 0,
             lb: 0,
             max_flow: None,
+            scratch: DepthScratch::default(),
         }
     }
 
@@ -73,6 +79,7 @@ impl LowerBound {
             m: 0,
             lb: 0,
             max_flow: None,
+            scratch: DepthScratch::default(),
         }
     }
 
@@ -118,12 +125,14 @@ impl Probe for LowerBound {
     fn on_admit(&mut self, _t: Time, job: JobId, graph: &JobGraph) {
         debug_assert_eq!(
             job.index(),
-            self.profiles.len(),
+            self.bounds.len(),
             "streaming admits must arrive in job-id order"
         );
-        let p = DepthProfile::new(graph);
-        self.bounds.push(p.opt_single_job(self.m.max(1)));
-        self.profiles.push(p);
+        // One depth pass over the arriving graph, no allocation: the serve
+        // admit path runs this per job, so the profile itself is never
+        // materialized (only the bound matters once the job is in).
+        self.bounds
+            .push(DepthProfile::opt_single_job_in(graph, self.m.max(1), &mut self.scratch));
         self.releases.push(None);
     }
 

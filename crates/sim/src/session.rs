@@ -236,6 +236,49 @@ impl<P: Probe> Session<P> {
         Ok(id)
     }
 
+    /// Admit a whole batch of jobs in one call. The batch is validated
+    /// up front — releases must be nondecreasing within the batch, and the
+    /// first must satisfy the same `>= now()` / `>=` last-admission rules as
+    /// [`admit`](Self::admit) — so the call is all-or-nothing: on error
+    /// nothing was admitted. Capacity for the session's flat per-node
+    /// arrays is reserved once for the whole batch, which is what makes
+    /// batched ingest (see `flowtree-serve`) cheaper than a loop of single
+    /// admissions.
+    pub fn admit_batch(&mut self, specs: Vec<JobSpec>) -> Result<(), SessionError> {
+        self.ensure_started();
+        let mut last = if self.instance.num_jobs() > 0 {
+            Some(self.instance.last_release())
+        } else {
+            None
+        };
+        let mut total_nodes = 0usize;
+        for spec in &specs {
+            if spec.release < self.t {
+                return Err(SessionError::ReleaseInPast { release: spec.release, now: self.t });
+            }
+            if let Some(last) = last {
+                if spec.release < last {
+                    return Err(SessionError::ReleaseOutOfOrder { release: spec.release, last });
+                }
+            }
+            last = Some(spec.release);
+            total_nodes += spec.graph.n();
+        }
+        self.node_off.reserve(specs.len());
+        self.node_stamp.reserve(total_nodes);
+        self.job_stamp.reserve(specs.len());
+        for spec in specs {
+            let n = spec.graph.n();
+            let id = self.instance.push_job(spec);
+            self.state.push_job(&self.instance);
+            self.node_off.push(self.node_off.last().unwrap() + n);
+            self.node_stamp.resize(self.node_stamp.len() + n, 0);
+            self.job_stamp.push(0);
+            self.probe.on_admit(self.t, id, self.instance.graph(id));
+        }
+        Ok(())
+    }
+
     /// Introduce every alive (released, unfinished) job to `scheduler`, in
     /// arrival order, as if each arrived right now.
     ///
@@ -488,6 +531,57 @@ mod tests {
             s.admit(JobSpec { graph: chain(1), release: 5 }),
             Err(SessionError::ReleaseInPast { release: 5, now: 6 })
         );
+    }
+
+    /// Batched admission must be indistinguishable from a loop of single
+    /// admissions — same report, same materialized instance, same trace.
+    #[test]
+    fn admit_batch_matches_single_admissions_bit_for_bit() {
+        let mut trace_a = JsonlTrace::new(Vec::new());
+        let mut a = Session::new(2).with_probe(&mut trace_a);
+        for spec in specs() {
+            a.admit(spec).unwrap();
+        }
+        a.run_until(Time::MAX, &mut Greedy).unwrap();
+        let (ra, ia) = a.finish();
+
+        let mut trace_b = JsonlTrace::new(Vec::new());
+        let mut b = Session::new(2).with_probe(&mut trace_b);
+        b.admit_batch(specs()).unwrap();
+        b.run_until(Time::MAX, &mut Greedy).unwrap();
+        let (rb, ib) = b.finish();
+
+        assert_eq!(ia, ib);
+        assert_eq!(ra, rb);
+        assert_eq!(
+            String::from_utf8(trace_a.finish().unwrap()).unwrap(),
+            String::from_utf8(trace_b.finish().unwrap()).unwrap()
+        );
+    }
+
+    #[test]
+    fn admit_batch_is_all_or_nothing() {
+        let mut s = Session::new(2);
+        s.admit(JobSpec { graph: chain(2), release: 5 }).unwrap();
+        // Out of order inside the batch: release 3 after 7.
+        let err = s
+            .admit_batch(vec![
+                JobSpec { graph: chain(2), release: 7 },
+                JobSpec { graph: chain(2), release: 3 },
+            ])
+            .unwrap_err();
+        assert_eq!(err, SessionError::ReleaseOutOfOrder { release: 3, last: 7 });
+        assert_eq!(s.num_admitted(), 1, "failed batch must admit nothing");
+        // Before the earlier admission's release: also rejected whole.
+        let err = s.admit_batch(vec![JobSpec { graph: chain(2), release: 4 }]).unwrap_err();
+        assert_eq!(err, SessionError::ReleaseOutOfOrder { release: 4, last: 5 });
+        // An empty batch is a no-op; a valid batch still lands afterwards.
+        s.admit_batch(Vec::new()).unwrap();
+        s.admit_batch(vec![JobSpec { graph: chain(2), release: 6 }]).unwrap();
+        assert_eq!(s.num_admitted(), 2);
+        s.run_until(Time::MAX, &mut Greedy).unwrap();
+        let (report, inst) = s.finish();
+        report.verify(&inst).unwrap();
     }
 
     #[test]

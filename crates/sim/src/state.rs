@@ -11,25 +11,53 @@ use flowtree_dag::{JobId, NodeId, Time};
 
 const NOT_READY: u32 = u32::MAX;
 
+/// Per-node runtime bookkeeping, kept together so the completion hot path
+/// (indeg decrement → ready insert → stamp) touches one cache line per node
+/// and a streaming admit costs one allocation, not four.
+#[derive(Debug, Clone, Copy)]
+struct NodeSlot {
+    /// Remaining unfinished predecessors.
+    indeg: u32,
+    /// Position in the job's `ready` list (NOT_READY if absent).
+    pos: u32,
+    /// Global became-ready stamp (monotone across the whole simulation;
+    /// 0 = never ready yet).
+    seq: u64,
+    /// Completion time (0 = not complete; valid times are >= 1).
+    completion: Time,
+}
+
 /// Per-job runtime bookkeeping.
 #[derive(Debug, Clone)]
 struct JobState {
-    /// Remaining unfinished predecessors per node.
-    indeg: Vec<u32>,
-    /// Ready nodes (arbitrary order — removal swaps; use `seq` for true
-    /// became-ready order).
+    /// Per-node slots, indexed by node id.
+    nodes: Vec<NodeSlot>,
+    /// Ready nodes (arbitrary order — removal swaps; use the slot `seq` for
+    /// true became-ready order).
     ready: Vec<u32>,
-    /// Position of each node in `ready` (NOT_READY if absent).
-    pos: Vec<u32>,
-    /// Global became-ready stamp per node (monotone across the whole
-    /// simulation; 0 = never ready yet).
-    seq: Vec<u64>,
-    /// Completion time per node (0 = not complete; valid times are >= 1).
-    completion: Vec<Time>,
     /// Number of unfinished nodes.
     unfinished: u32,
     /// Has the job been released to the scheduler yet?
     released: bool,
+}
+
+impl JobState {
+    fn of(g: &flowtree_dag::JobGraph) -> Self {
+        JobState {
+            nodes: g
+                .nodes()
+                .map(|v| NodeSlot {
+                    indeg: g.in_degree(v) as u32,
+                    pos: NOT_READY,
+                    seq: 0,
+                    completion: 0,
+                })
+                .collect(),
+            ready: Vec::new(),
+            unfinished: g.n() as u32,
+            released: false,
+        }
+    }
 }
 
 /// Mutable simulation state over an [`Instance`].
@@ -51,23 +79,7 @@ pub struct SimState {
 impl SimState {
     /// Initial state: nothing released, nothing complete.
     pub fn new(instance: &Instance) -> Self {
-        let jobs = instance
-            .jobs()
-            .iter()
-            .map(|spec| {
-                let g = &spec.graph;
-                let indeg: Vec<u32> = g.nodes().map(|v| g.in_degree(v) as u32).collect();
-                JobState {
-                    ready: Vec::new(),
-                    pos: vec![NOT_READY; g.n()],
-                    seq: vec![0; g.n()],
-                    completion: vec![0; g.n()],
-                    unfinished: g.n() as u32,
-                    released: false,
-                    indeg,
-                }
-            })
-            .collect();
+        let jobs = instance.jobs().iter().map(|spec| JobState::of(&spec.graph)).collect();
         SimState {
             jobs,
             alive: Vec::new(),
@@ -86,16 +98,7 @@ impl SimState {
     /// instance.
     pub fn push_job(&mut self, instance: &Instance) {
         let spec = &instance.jobs()[self.jobs.len()];
-        let g = &spec.graph;
-        self.jobs.push(JobState {
-            indeg: g.nodes().map(|v| g.in_degree(v) as u32).collect(),
-            ready: Vec::new(),
-            pos: vec![NOT_READY; g.n()],
-            seq: vec![0; g.n()],
-            completion: vec![0; g.n()],
-            unfinished: g.n() as u32,
-            released: false,
-        });
+        self.jobs.push(JobState::of(&spec.graph));
     }
 
     /// Release the next job by arrival order if its release time is `<= t`.
@@ -112,8 +115,9 @@ impl SimState {
         let js = &mut self.jobs[self.next_release];
         js.released = true;
         for v in instance.graph(id).sources() {
-            js.pos[v.index()] = js.ready.len() as u32;
-            js.seq[v.index()] = self.next_seq;
+            let slot = &mut js.nodes[v.index()];
+            slot.pos = js.ready.len() as u32;
+            slot.seq = self.next_seq;
             self.next_seq += 1;
             js.ready.push(v.0);
             self.total_ready += 1;
@@ -148,29 +152,29 @@ impl SimState {
         let g = instance.graph(job);
         let js = &mut self.jobs[job.index()];
         let vi = node.index();
-        debug_assert!(js.pos[vi] != NOT_READY, "{job}/{node} was not ready");
-        debug_assert_eq!(js.completion[vi], 0, "{job}/{node} completed twice");
+        debug_assert!(js.nodes[vi].pos != NOT_READY, "{job}/{node} was not ready");
+        debug_assert_eq!(js.nodes[vi].completion, 0, "{job}/{node} completed twice");
 
         // Swap-remove from ready, fixing the moved element's position.
-        let p = js.pos[vi] as usize;
+        let p = js.nodes[vi].pos as usize;
         js.ready.swap_remove(p);
         if p < js.ready.len() {
-            js.pos[js.ready[p] as usize] = p as u32;
+            js.nodes[js.ready[p] as usize].pos = p as u32;
         }
-        js.pos[vi] = NOT_READY;
+        js.nodes[vi].pos = NOT_READY;
         self.total_ready -= 1;
 
-        js.completion[vi] = t;
+        js.nodes[vi].completion = t;
         js.unfinished -= 1;
         if js.unfinished == 0 {
             self.finished_jobs += 1;
         }
         for &c in g.children(node) {
-            let ci = c as usize;
-            js.indeg[ci] -= 1;
-            if js.indeg[ci] == 0 {
-                js.pos[ci] = js.ready.len() as u32;
-                js.seq[ci] = self.next_seq;
+            let slot = &mut js.nodes[c as usize];
+            slot.indeg -= 1;
+            if slot.indeg == 0 {
+                slot.pos = js.ready.len() as u32;
+                slot.seq = self.next_seq;
                 self.next_seq += 1;
                 js.ready.push(c);
                 self.total_ready += 1;
@@ -199,17 +203,17 @@ impl SimState {
     /// The global became-ready stamp of a node: smaller = became ready
     /// earlier (unique across the whole simulation; 0 = never ready).
     pub fn ready_seq(&self, job: JobId, node: NodeId) -> u64 {
-        self.jobs[job.index()].seq[node.index()]
+        self.jobs[job.index()].nodes[node.index()].seq
     }
 
     /// Is a specific node ready?
     pub fn is_ready(&self, job: JobId, node: NodeId) -> bool {
-        self.jobs[job.index()].pos[node.index()] != NOT_READY
+        self.jobs[job.index()].nodes[node.index()].pos != NOT_READY
     }
 
     /// Completion time of a node (`None` if not complete).
     pub fn completion(&self, job: JobId, node: NodeId) -> Option<Time> {
-        match self.jobs[job.index()].completion[node.index()] {
+        match self.jobs[job.index()].nodes[node.index()].completion {
             0 => None,
             t => Some(t),
         }

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Engine-throughput benchmark trajectory: builds the release CLI and writes
-# BENCH_engine.json at the repo root (diff it across PRs). Extra flags are
-# passed through to `flowtree-repro bench` (e.g. --quick, --reps N).
+# Benchmark trajectory: builds the release CLI and writes the committed
+# baselines at the repo root (diff them across PRs):
+#   BENCH_engine.json  engine matrix (workload x scheduler single-run cells)
+#   BENCH_serve.json   serve matrix  (fixed-seed replay through real ShardPools)
+# Extra flags are passed through to `flowtree-repro bench` (e.g. --quick,
+# --reps N).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,3 +13,6 @@ cargo build --release -p flowtree-cli
 
 echo "==> flowtree-repro bench $* -o BENCH_engine.json"
 target/release/flowtree-repro bench "$@" -o BENCH_engine.json
+
+echo "==> flowtree-repro bench --serve $* -o BENCH_serve.json"
+target/release/flowtree-repro bench --serve "$@" -o BENCH_serve.json

@@ -23,6 +23,11 @@ cargo run --release -p flowtree-cli -- bench --quick --check BENCH_engine.json \
     -o /tmp/flowtree_bench_smoke.json >/dev/null
 rm -f /tmp/flowtree_bench_smoke.json
 
+echo "==> serve bench regression gate (--serve --quick --check vs committed baseline)"
+cargo run --release -p flowtree-cli -- bench --serve --quick --check BENCH_serve.json \
+    -o /tmp/flowtree_serve_bench_smoke.json >/dev/null
+rm -f /tmp/flowtree_serve_bench_smoke.json
+
 echo "==> serve smoke (2 shards, fixed seed, bounded horizon, clean drain)"
 SMOKE_STORE=$(mktemp -d)
 cargo run --release -q -p flowtree-cli -- serve service --shards 2 --rate 1.0 \
