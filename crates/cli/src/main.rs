@@ -13,7 +13,10 @@
 //! flowtree-repro stats service --scheduler lpf -m 8
 //! flowtree-repro report sort-farm --scheduler lpf --jobs 1 --format json
 //! flowtree-repro report --trend results/store/
+//! flowtree-repro report --flight results/store/flight-run.jsonl
 //! flowtree-repro serve service --shards 2 --rate 0.5 --store results/store
+//! flowtree-repro serve service --shards 2 --metrics-addr 127.0.0.1:9187
+//! flowtree-repro metrics 127.0.0.1:9187 --check
 //! flowtree-repro bench --quick --check BENCH_engine.json -o /tmp/b.json
 //! ```
 
@@ -22,6 +25,7 @@ use std::process::ExitCode;
 
 mod bench;
 mod gen;
+mod metrics;
 mod report;
 mod scenario;
 mod serve;
@@ -36,7 +40,10 @@ fn usage() -> &'static str {
      \u{20}      flowtree-repro stats <scenario> [--scheduler S] [-m M]\n\
      \u{20}      flowtree-repro report <scenario> [--scheduler S] [-m M] [--format json|md]\n\
      \u{20}      flowtree-repro report --trend <store-dir-or-file>\n\
+     \u{20}      flowtree-repro report --flight <flight.jsonl-or-dir>\n\
      \u{20}      flowtree-repro serve <scenario> [--shards N] [--rate R] [--policy P] [--store DIR]\n\
+     \u{20}                           [--metrics-addr HOST:PORT] [--flight FILE]\n\
+     \u{20}      flowtree-repro metrics ADDR [--raw] [--check]\n\
      \u{20}      flowtree-repro bench [--quick] [--reps N] [--check BASELINE] [-o FILE]\n\
      Runs the reproduction experiments for 'Scheduling Out-Trees Online to\n\
      Optimize Maximum Flow' (SPAA 2024) and prints markdown reports."
@@ -84,6 +91,15 @@ fn main() -> ExitCode {
         }
         Some("report") => {
             return match report::run(&raw[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("metrics") => {
+            return match metrics::run(&raw[1..]) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("{e}");

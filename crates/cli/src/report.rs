@@ -9,14 +9,18 @@
 //! flowtree-repro report adversary --instance inst.json --store results/store
 //! flowtree-repro report --trend results/store/
 //! flowtree-repro report --trend results/store/ --plot
+//! flowtree-repro report --flight results/store/flight-run.jsonl
 //! ```
 
 use crate::scenario::ScenarioOpts;
 use flowtree_core::SchedulerSpec;
-use flowtree_serve::{git_describe, load_records, run_id, ResultsStore, StoreRecord};
+use flowtree_serve::{
+    git_describe, load_flight_jsonl, load_records, run_id, FlightEvent, ResultsStore, StoreRecord,
+};
 use std::io::Write;
 
-/// Run `report <scenario> [--format json|md]` or `report --trend STORE`.
+/// Run `report <scenario> [--format json|md]`, `report --trend STORE`, or
+/// `report --flight FILE`.
 pub fn run(args: &[String]) -> Result<(), String> {
     // Trend mode has no scenario/scheduler: it reads the store and renders.
     if let Some(i) = args.iter().position(|a| a == "--trend") {
@@ -26,6 +30,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
         let plot = args.iter().any(|a| a == "--plot");
         return trend(path, plot);
+    }
+    // Flight mode renders a recorder dump (or every dump in a directory).
+    if let Some(i) = args.iter().position(|a| a == "--flight") {
+        let path = args.get(i + 1).ok_or("--flight needs a flight.jsonl file or directory")?;
+        if path.starts_with("--") {
+            return Err("--flight needs a flight.jsonl file or directory".to_string());
+        }
+        return flight(path);
     }
 
     let mut format = "md".to_string();
@@ -92,6 +104,65 @@ fn trend(path: &str, plot: bool) -> Result<(), String> {
         print!("{}", flowtree_serve::render_trend_plots(&records));
     }
     Ok(())
+}
+
+/// Load one flight JSONL dump (or every `flight-*.jsonl` in a directory)
+/// and render the merged control-plane event trail.
+fn flight(path: &str) -> Result<(), String> {
+    let p = std::path::Path::new(path);
+    let mut events = if p.is_dir() {
+        let mut all = Vec::new();
+        let entries = std::fs::read_dir(p).map_err(|e| format!("read {path}: {e}"))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read {path}: {e}"))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("flight") && name.ends_with(".jsonl") {
+                all.extend(
+                    load_flight_jsonl(&entry.path())
+                        .map_err(|e| format!("load {}: {e}", entry.path().display()))?,
+                );
+            }
+        }
+        all
+    } else {
+        load_flight_jsonl(p).map_err(|e| format!("load {path}: {e}"))?
+    };
+    if events.is_empty() {
+        return Err(format!("no flight events under {path}"));
+    }
+    events.sort_by_key(|ev| ev.us);
+    print!("{}", render_flight(&events));
+    Ok(())
+}
+
+/// Render a flight-event trail as a markdown table plus a per-kind tally.
+fn render_flight(events: &[FlightEvent]) -> String {
+    let mut table = flowtree_analysis::Table::new(
+        format!("flight recorder — {} control-plane event(s)", events.len()),
+        &["t_wall (µs)", "shard", "kind", "t_sim", "detail"],
+    );
+    for ev in events {
+        table.row(vec![
+            ev.us.to_string(),
+            ev.shard.to_string(),
+            ev.kind.to_string(),
+            ev.t.to_string(),
+            if ev.detail.is_empty() {
+                "-".to_string()
+            } else {
+                ev.detail.clone()
+            },
+        ]);
+    }
+    let mut out = table.to_markdown();
+    let mut tally: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for ev in events {
+        *tally.entry(ev.kind.name()).or_default() += 1;
+    }
+    let line = tally.iter().map(|(k, n)| format!("{k}={n}")).collect::<Vec<_>>().join(" ");
+    out.push_str(&format!("by kind: {line}\n"));
+    out
 }
 
 /// Build the monitored summary for `o`, from a serialized instance file if
@@ -223,6 +294,50 @@ mod tests {
         assert!(trend(dir.to_str().unwrap(), false).is_ok());
         assert!(trend(dir.to_str().unwrap(), true).is_ok());
         assert!(trend("/nonexistent/store/path", false).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flight_mode_renders_dumps_from_files_and_directories() {
+        use flowtree_serve::FlightKind;
+        let dir = std::env::temp_dir().join(format!("flowtree-flight-rep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = vec![
+            FlightEvent {
+                us: 10,
+                shard: 0,
+                kind: FlightKind::Swap,
+                t: 4,
+                detail: "fifo→lpf".into(),
+            },
+            FlightEvent {
+                us: 3,
+                shard: 1,
+                kind: FlightKind::Drain,
+                t: 9,
+                detail: String::new(),
+            },
+        ];
+        let path = dir.join("flight-run.jsonl");
+        flowtree_serve::write_flight_jsonl(&path, &events).unwrap();
+
+        let back = flowtree_serve::load_flight_jsonl(&path).unwrap();
+        assert_eq!(back, events, "flight dump round-trips");
+        let mut sorted = back;
+        sorted.sort_by_key(|ev| ev.us);
+        let md = render_flight(&sorted);
+        assert!(md.contains("fifo→lpf"), "{md}");
+        assert!(md.contains("swap"), "{md}");
+        assert!(md.contains("by kind: drain=1 swap=1"), "{md}");
+
+        assert!(flight(path.to_str().unwrap()).is_ok());
+        assert!(flight(dir.to_str().unwrap()).is_ok());
+        assert!(flight("/nonexistent/flight.jsonl").is_err());
+        let empty = std::env::temp_dir().join(format!("flowtree-flight-mt-{}", std::process::id()));
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(flight(empty.to_str().unwrap()).unwrap_err().contains("no flight events"));
+        std::fs::remove_dir_all(&empty).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -23,9 +23,9 @@ use flowtree_analysis::Table;
 use flowtree_core::SchedulerSpec;
 use flowtree_dag::Time;
 use flowtree_serve::{
-    git_describe, run_id, ArrivalSource, GeneratorSource, IngestStats, OverloadPolicy,
-    ReplaySource, ResultsStore, Routing, ServeConfig, ShardPool, ShardResult, StealConfig,
-    StoreRecord,
+    git_describe, run_id, serve_metrics, write_flight_jsonl, ArrivalSource, GeneratorSource,
+    IngestStats, OverloadPolicy, PoolHandle, ReplaySource, ResultsStore, Routing, ServeConfig,
+    ShardMetrics, ShardPool, ShardResult, StealConfig, StoreRecord,
 };
 use flowtree_workloads::mix::Scenario;
 
@@ -46,6 +46,8 @@ struct ServeOpts {
     steal_watermarks: Option<String>,
     ingest_batch: usize,
     watermark_stride: Time,
+    metrics_addr: Option<String>,
+    flight: Option<String>,
 }
 
 impl Default for ServeOpts {
@@ -66,6 +68,8 @@ impl Default for ServeOpts {
             steal_watermarks: None,
             ingest_batch: 32,
             watermark_stride: 0,
+            metrics_addr: None,
+            flight: None,
         }
     }
 }
@@ -81,7 +85,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
          \u{20}        [--routing hash|least-loaded] [--replay FILE] [--stats-every N]\n\
          \u{20}        [--store DIR] [--run-id ID] [--horizon H] [--swap-at T:SPEC]\n\
          \u{20}        [--steal] [--steal-watermarks LOW:HIGH] [--ingest-batch N]\n\
-         \u{20}        [--watermark-stride T]",
+         \u{20}        [--watermark-stride T] [--metrics-addr HOST:PORT] [--flight FILE]",
         &mut |flag, it| {
             match flag {
                 "--shards" => s.shards = parse_num(it, "--shards")?,
@@ -103,19 +107,47 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 }
                 "--ingest-batch" => s.ingest_batch = parse_num(it, "--ingest-batch")?,
                 "--watermark-stride" => s.watermark_stride = parse_num(it, "--watermark-stride")?,
+                "--metrics-addr" => {
+                    s.metrics_addr =
+                        Some(it.next().ok_or("--metrics-addr needs HOST:PORT")?.clone())
+                }
+                "--flight" => s.flight = Some(it.next().ok_or("--flight needs a path")?.clone()),
                 _ => return Ok(false),
             }
             Ok(true)
         },
     )?;
-    let (results, ingest) = serve(&o, &s, &mut |line| println!("{line}"))?;
-    print!("{}", summary_table(&o, &s, &results));
+    let (results, ingest, handle) = serve(&o, &s, &mut |line| println!("{line}"))?;
+    print!("{}", summary_table(&o, &s, &results, &handle.metrics().telemetry));
     println!("{}", accounting_line(&ingest));
     if let Some(dir) = &s.store {
         let path = persist(&o, &s, &results, dir)?;
         eprintln!("appended {} record(s) to {path}", results.len());
     }
+    if let Some(path) = flight_path(&o, &s) {
+        let n = dump_flight(&path, &handle)?;
+        eprintln!("recorded {n} flight event(s) to {}", path.display());
+    }
     Ok(())
+}
+
+/// Where the flight-recorder JSONL lands: `--flight FILE` wins; otherwise
+/// a run-scoped file beside the store records; nowhere if neither is set.
+fn flight_path(o: &ScenarioOpts, s: &ServeOpts) -> Option<std::path::PathBuf> {
+    if let Some(path) = &s.flight {
+        return Some(path.into());
+    }
+    s.store.as_ref().map(|dir| {
+        let id = s.run.clone().unwrap_or_else(|| run_id(&o.scenario, &o.scheduler, o.m, o.seed));
+        std::path::Path::new(dir).join(format!("flight-{id}.jsonl"))
+    })
+}
+
+/// Dump the pool's merged flight ring to `path`; returns the event count.
+fn dump_flight(path: &std::path::Path, handle: &PoolHandle) -> Result<usize, String> {
+    let events = handle.flight();
+    write_flight_jsonl(path, &events).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(events.len())
 }
 
 /// Parse one `--swap-at T:SPEC` directive against the run's `--half`.
@@ -168,12 +200,15 @@ fn accounting_line(ingest: &IngestStats) -> String {
 
 /// Launch the pool, queue any hot-swaps, pump the source dry (emitting a
 /// stats line through `heartbeat` every `--stats-every` arrivals), and
-/// drain.
+/// drain. Heartbeats carry the live p99 arrival→completion latency and the
+/// worst per-shard max_flow/LB ratio from the telemetry registry. If a
+/// shard worker panics during drain, the flight recorder is dumped anyway
+/// (the rings outlive the workers) before the error propagates.
 fn serve(
     o: &ScenarioOpts,
     s: &ServeOpts,
     heartbeat: &mut dyn FnMut(&str),
-) -> Result<(Vec<ShardResult>, IngestStats), String> {
+) -> Result<(Vec<ShardResult>, IngestStats, PoolHandle), String> {
     if s.shards == 0 {
         return Err("--shards must be at least 1".into());
     }
@@ -220,12 +255,26 @@ fn serve(
 
     let pool = ShardPool::launch(cfg)?;
     let handle = pool.handle();
+    let server = match &s.metrics_addr {
+        Some(addr) => {
+            let srv = serve_metrics(addr, handle.clone())
+                .map_err(|e| format!("metrics endpoint {addr}: {e}"))?;
+            heartbeat(&format!("metrics endpoint listening on http://{}/metrics", srv.addr()));
+            Some(srv)
+        }
+        None => None,
+    };
     // Queue swaps before any arrival: per-shard FIFO ordering makes a
     // `--swap-at 0:SPEC` take effect before the first admission.
     for &(at, swap_spec) in &swaps {
         handle.swap(None, at, swap_spec)?;
     }
-    pool.run_source_with(source.as_mut(), s.stats_every, &mut |snap| heartbeat(&snap.line()))?;
+    {
+        let beat_handle = handle.clone();
+        pool.run_source_with(source.as_mut(), s.stats_every, &mut |snap| {
+            heartbeat(&format!("{} {}", snap.line(), latency_suffix(&beat_handle)))
+        })?;
+    }
     let ingest = pool.ingest();
     heartbeat(&format!(
         "stream ended: offered={} delivered={} dropped={} redirected={} staged={} — \
@@ -237,12 +286,48 @@ fn serve(
         pool.snapshot().in_flight(),
         s.shards
     ));
-    let results = pool.drain()?;
-    Ok((results, handle.ingest()))
+    let drained = pool.drain();
+    if let Some(srv) = server {
+        srv.shutdown();
+    }
+    let results = match drained {
+        Ok(r) => r,
+        Err(e) => {
+            // Crashed workers can't report results, but the flight rings
+            // survive — persist the post-mortem trail before bailing out.
+            if let Some(path) = flight_path(o, s) {
+                if let Ok(n) = dump_flight(&path, &handle) {
+                    heartbeat(&format!(
+                        "recorded {n} flight event(s) to {} before aborting",
+                        path.display()
+                    ));
+                }
+            }
+            return Err(e.to_string());
+        }
+    };
+    Ok((results, handle.ingest(), handle))
 }
 
-/// Render the final per-shard summary table.
-fn summary_table(o: &ScenarioOpts, s: &ServeOpts, results: &[ShardResult]) -> String {
+/// The telemetry tail of a heartbeat line: merged p99 arrival→completion
+/// latency and the worst per-shard live max_flow/LB ratio.
+fn latency_suffix(handle: &PoolHandle) -> String {
+    let m = handle.metrics();
+    let ratio = match m.ratio() {
+        Some(r) => format!("{r:.3}"),
+        None => "-".to_string(),
+    };
+    format!("lat_p99={}µs ratio≤{ratio}", m.arrival_to_complete().p99())
+}
+
+/// Render the final per-shard summary table, including the telemetry
+/// registry's wall-clock p99 arrival→completion latency and live ratio.
+fn summary_table(
+    o: &ScenarioOpts,
+    s: &ServeOpts,
+    results: &[ShardResult],
+    telemetry: &[ShardMetrics],
+) -> String {
     let mut table = Table::new(
         format!(
             "serve '{}' — {} on {} shard(s) × m = {}, policy {}{}",
@@ -261,12 +346,15 @@ fn summary_table(o: &ScenarioOpts, s: &ServeOpts, results: &[ShardResult]) -> St
             "max flow",
             "ratio ≤",
             "flow p99",
+            "lat p99 µs",
+            "live ratio",
             "swaps",
             "invariants",
         ],
     );
     for r in results {
         let sm = &r.summary;
+        let tel = telemetry.iter().find(|t| t.shard == r.shard);
         table.row(vec![
             r.shard.to_string(),
             sm.jobs.to_string(),
@@ -275,6 +363,14 @@ fn summary_table(o: &ScenarioOpts, s: &ServeOpts, results: &[ShardResult]) -> St
             sm.max_flow.to_string(),
             f3(sm.ratio),
             sm.flow.p99.to_string(),
+            match tel {
+                Some(t) => t.arrival_to_complete.p99().to_string(),
+                None => "-".to_string(),
+            },
+            match tel.and_then(|t| t.ratio()) {
+                Some(ratio) => f3(ratio),
+                None => "-".to_string(),
+            },
             if r.swaps.is_empty() {
                 "-".to_string()
             } else {
@@ -334,15 +430,18 @@ mod tests {
         let mut s = ServeOpts { shards: 2, stats_every: 4, ..ServeOpts::default() };
         s.rate = 1.0;
         let mut lines = Vec::new();
-        let (results, ingest) =
+        let (results, ingest, handle) =
             serve(&opts("service"), &s, &mut |l| lines.push(l.to_string())).unwrap();
         assert_eq!(results.len(), 2);
         assert_eq!(results.iter().map(|r| r.summary.jobs).sum::<usize>(), 10);
         assert!(lines.iter().any(|l| l.contains("admitted=")), "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("lat_p99=")), "{lines:?}");
         assert!(lines.last().unwrap().contains("draining"));
-        let table = summary_table(&opts("service"), &s, &results);
+        let table = summary_table(&opts("service"), &s, &results, &handle.metrics().telemetry);
         assert!(table.contains("| shard |"), "{table}");
         assert!(table.contains("| swaps |"), "{table}");
+        assert!(table.contains("lat p99 µs"), "{table}");
+        assert!(table.contains("live ratio"), "{table}");
         let ledger = accounting_line(&ingest);
         assert!(ledger.ends_with("(balanced)"), "{ledger}");
     }
@@ -353,7 +452,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let s = ServeOpts { shards: 2, rate: 1.0, ..ServeOpts::default() };
         let o = opts("service");
-        let (results, _) = serve(&o, &s, &mut |_| {}).unwrap();
+        let (results, _, _) = serve(&o, &s, &mut |_| {}).unwrap();
         persist(&o, &s, &results, dir.to_str().unwrap()).unwrap();
         let records = flowtree_serve::load_records(&dir).unwrap();
         assert_eq!(records.len(), 2, "one record per shard");
@@ -372,7 +471,7 @@ mod tests {
             ..ServeOpts::default()
         };
         let o = opts("service");
-        let (results, ingest) = serve(&o, &s, &mut |_| {}).unwrap();
+        let (results, ingest, _) = serve(&o, &s, &mut |_| {}).unwrap();
         for r in &results {
             assert_eq!(r.summary.scheduler, "lpf");
             assert_eq!(r.swaps.len(), 1);
@@ -399,10 +498,76 @@ mod tests {
             ..ServeOpts::default()
         };
         let o = ScenarioOpts { jobs: 40, ..opts("service") };
-        let (results, ingest) = serve(&o, &s, &mut |_| {}).unwrap();
+        let (results, ingest, _) = serve(&o, &s, &mut |_| {}).unwrap();
         assert_eq!(results.iter().map(|r| r.summary.jobs).sum::<usize>() as u64, ingest.offered);
         assert_eq!(ingest.stolen_in, ingest.stolen_out);
         assert!(accounting_line(&ingest).ends_with("(balanced)"), "{ingest:?}");
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_and_flight_dump_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("flowtree-flight-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let flight_file = dir.join("flight.jsonl");
+        let s = ServeOpts {
+            shards: 2,
+            rate: 1.0,
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            flight: Some(flight_file.to_str().unwrap().to_string()),
+            swap_at: vec!["0:lpf".to_string()],
+            ..ServeOpts::default()
+        };
+        let o = opts("service");
+        let mut lines: Vec<String> = Vec::new();
+        let mut body: Option<String> = None;
+        // Scrape from inside a heartbeat: the endpoint lives exactly as
+        // long as the pool, so mid-run is the only window.
+        let (results, _, handle) = serve(&o, &s, &mut |l| {
+            if body.is_none() {
+                if let Some(announce) =
+                    lines.iter().find(|l| l.contains("metrics endpoint listening"))
+                {
+                    let addr = announce
+                        .rsplit("http://")
+                        .next()
+                        .unwrap()
+                        .trim_end_matches("/metrics")
+                        .to_string();
+                    body = Some(flowtree_serve::scrape_metrics(&addr).expect("scrape mid-run"));
+                }
+            }
+            lines.push(l.to_string());
+        })
+        .unwrap();
+        let body = body.expect("a heartbeat fired after the endpoint came up");
+        assert!(body.contains("flowtree_ingest_offered_total"), "{body}");
+        assert!(body.contains("flowtree_latency_us"), "{body}");
+
+        let path = flight_path(&o, &s).expect("--flight set");
+        let n = dump_flight(&path, &handle).unwrap();
+        let events = flowtree_serve::load_flight_jsonl(&path).unwrap();
+        assert_eq!(events.len(), n);
+        let swaps = events.iter().filter(|e| e.kind == flowtree_serve::FlightKind::Swap).count();
+        assert_eq!(swaps, results.iter().map(|r| r.swaps.len()).sum::<usize>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flight_path_defaults_beside_the_store() {
+        let o = opts("service");
+        let none = ServeOpts::default();
+        assert!(flight_path(&o, &none).is_none());
+        let stored = ServeOpts { store: Some("results/store".into()), ..ServeOpts::default() };
+        let p = flight_path(&o, &stored).expect("store implies a flight file");
+        assert!(p.starts_with("results/store"), "{p:?}");
+        assert!(p.file_name().unwrap().to_str().unwrap().starts_with("flight-"), "{p:?}");
+        let explicit = ServeOpts {
+            store: Some("results/store".into()),
+            flight: Some("/tmp/f.jsonl".into()),
+            ..ServeOpts::default()
+        };
+        assert_eq!(flight_path(&o, &explicit).unwrap(), std::path::PathBuf::from("/tmp/f.jsonl"));
     }
 
     #[test]

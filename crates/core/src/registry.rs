@@ -9,7 +9,7 @@
 use crate::baselines::{LeastRemainingWorkFirst, RandomWorkConserving, RoundRobin};
 use crate::{AlgoA, Fifo, GuessDoubleA, Lpf, TieBreak};
 use flowtree_dag::Time;
-use flowtree_sim::{InvariantChecks, OnlineScheduler};
+use flowtree_sim::{HeadTailChecks, InvariantChecks, OnlineScheduler};
 
 /// Default `algo-a` half-batch length used when a spec is parsed without an
 /// explicit parameter (the `FromStr` impl); matches the CLI `--half` default.
@@ -148,18 +148,36 @@ impl SchedulerSpec {
     /// Lemma 5.5); LPF moreover produces the Lemma 5.2 rectangle tail on
     /// single-job runs (at augmentation α = 1, since the registry runs it
     /// unaugmented). Algorithm 𝒜 and its guess-and-double wrapper
-    /// deliberately idle processors for their worst-case guarantees, so no
-    /// structural check applies.
+    /// deliberately idle processors for their worst-case guarantees, so
+    /// work conservation does *not* apply — instead they carry the
+    /// Theorem 5.6 head/tail group check: no release group ever exceeds
+    /// its `m/α` slice in one step, and (for 𝒜 run with its own fixed
+    /// estimate) a tail group whose Lemma 5.2 rectangle ran short never
+    /// schedules again. Guess-and-double restarts its inner 𝒜 with fresh
+    /// groupings, so only the width cap is sound there (`half = 1` groups
+    /// exactly the same-release jobs, which restarts keep together; the
+    /// wrapper's inner α is the paper's 4).
     pub fn invariants(&self) -> InvariantChecks {
         match self {
             SchedulerSpec::Fifo(_)
             | SchedulerSpec::RoundRobin
             | SchedulerSpec::RandomWc { .. }
             | SchedulerSpec::Lrwf => InvariantChecks::WORK_CONSERVING,
-            SchedulerSpec::Lpf => {
-                InvariantChecks { work_conserving: true, rectangle_tail_alpha: Some(1) }
-            }
-            SchedulerSpec::AlgoA { .. } | SchedulerSpec::GuessDouble => InvariantChecks::NONE,
+            SchedulerSpec::Lpf => InvariantChecks {
+                work_conserving: true,
+                rectangle_tail_alpha: Some(1),
+                head_tail: None,
+            },
+            SchedulerSpec::AlgoA { alpha, half } => InvariantChecks {
+                work_conserving: false,
+                rectangle_tail_alpha: None,
+                head_tail: Some(HeadTailChecks { alpha: *alpha, half: *half, strict: true }),
+            },
+            SchedulerSpec::GuessDouble => InvariantChecks {
+                work_conserving: false,
+                rectangle_tail_alpha: None,
+                head_tail: Some(HeadTailChecks { alpha: 4, half: 1, strict: false }),
+            },
         }
     }
 }
@@ -264,12 +282,75 @@ mod tests {
             let inv = spec.invariants();
             match spec.name() {
                 "algo-a" | "guess-double" => {
-                    assert!(!inv.work_conserving, "{} reserves capacity", spec.name())
+                    assert!(!inv.work_conserving, "{} reserves capacity", spec.name());
+                    let ht = inv.head_tail.unwrap_or_else(|| {
+                        panic!("{} must carry the head/tail group check", spec.name())
+                    });
+                    // 𝒜 is checked against its own parameters, strictly;
+                    // the guess-double wrapper regroups on every restart,
+                    // so only the width cap (non-strict) is sound for it.
+                    if spec.name() == "algo-a" {
+                        assert_eq!((ht.alpha, ht.half, ht.strict), (4, 8, true));
+                    } else {
+                        assert_eq!((ht.alpha, ht.half, ht.strict), (4, 1, false));
+                    }
                 }
-                _ => assert!(inv.work_conserving, "{} is work-conserving", spec.name()),
+                _ => {
+                    assert!(inv.work_conserving, "{} is work-conserving", spec.name());
+                    assert!(inv.head_tail.is_none(), "{} has no group structure", spec.name());
+                }
             }
             assert_eq!(inv.rectangle_tail_alpha.is_some(), spec.name() == "lpf");
         }
+    }
+
+    #[test]
+    fn algo_a_and_guess_double_stay_clean_under_their_head_tail_checks() {
+        use flowtree_sim::monitor::InvariantMonitor;
+        use flowtree_sim::JobSpec;
+        // A semi-batched stream with a comfortably valid estimate: the
+        // strict Thm 5.6 structure must hold step for step.
+        let half: flowtree_dag::Time = 8;
+        let m = 8;
+        let mut jobs = Vec::new();
+        for i in 0..5u64 {
+            jobs.push(JobSpec { graph: flowtree_dag::builder::star(7), release: i * half });
+            jobs.push(JobSpec { graph: flowtree_dag::builder::chain(4), release: i * half });
+        }
+        let inst = Instance::new(jobs);
+        for spec in [SchedulerSpec::AlgoA { alpha: 4, half }, SchedulerSpec::GuessDouble] {
+            let mut mon = InvariantMonitor::new(&inst, spec.invariants());
+            let mut s = spec.build();
+            Engine::new(m)
+                .with_max_horizon(1_000_000)
+                .with_probe(&mut mon)
+                .run(&inst, s.as_mut())
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+            assert!(
+                mon.is_clean(),
+                "{} breached its own structure: {:?}",
+                spec.name(),
+                mon.violations()
+            );
+        }
+    }
+
+    #[test]
+    fn head_tail_monitor_flags_a_greedy_impostor() {
+        use flowtree_sim::monitor::InvariantMonitor;
+        // FIFO schedules far more than one m/alpha slice per group per
+        // step, so running it under algo-a's checks must light up the
+        // group-width rule — proving the monitor actually bites.
+        let inst = Instance::single(flowtree_dag::builder::star(40));
+        let spec = SchedulerSpec::AlgoA { alpha: 4, half: 8 };
+        let mut mon = InvariantMonitor::new(&inst, spec.invariants());
+        let mut s = SchedulerSpec::Fifo(TieBreak::BecameReady).build();
+        Engine::new(8).with_probe(&mut mon).run(&inst, s.as_mut()).expect("fifo runs");
+        assert!(!mon.is_clean());
+        assert!(mon
+            .violations()
+            .iter()
+            .any(|v| v.rule == flowtree_sim::InvariantRule::GroupWidth));
     }
 
     #[test]

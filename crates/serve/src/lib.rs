@@ -30,6 +30,16 @@
 //!   optional work stealing ([`StealConfig`]) migrates not-yet-admitted jobs
 //!   from an overloaded shard's staged ingress to an idle one with exact
 //!   accounting ([`IngestStats`]).
+//! * [`telemetry`] — always-on observability for the pool: a lock-light
+//!   metrics registry (per-shard atomic latency histograms for
+//!   arrival→admit, admit→first-dispatch, and arrival→completion, plus
+//!   live `max_flow`/lower-bound gauges), a Prometheus-style text
+//!   exposition endpoint ([`serve_metrics`]) served over std TCP, and a
+//!   bounded per-shard **flight recorder** of control-plane events
+//!   (swap, steal, donate, watermark skip/retry, drop, redirect,
+//!   quiesce, drain, panic) dumped as JSONL next to the results store.
+//!   The shard probe stack is a 4-tuple: `LowerBound` +
+//!   `InvariantMonitor` + `RunHistograms` + [`LatencyProbe`].
 //! * [`store`] — append-only JSONL store of [`StoreRecord`]s (run id, git
 //!   describe, shard, summary) under a directory like `results/store/`.
 //! * [`trend`] — cross-run trend tables over store records (ratio,
@@ -42,13 +52,19 @@ pub mod pool;
 pub mod shard;
 pub mod source;
 pub mod store;
+pub mod telemetry;
 pub mod trend;
 
 pub use pool::{
     IngestStats, OverloadPolicy, PoolHandle, PoolSnapshot, Routing, ServeConfig,
     ServeConfigBuilder, ServeError, ShardPool, StealConfig,
 };
-pub use shard::{ShardResult, ShardSnapshot, SwapEvent};
+pub use shard::{Arrival, ShardResult, ShardSnapshot, SwapEvent};
 pub use source::{channel_source, ArrivalSource, ChannelSource, GeneratorSource, ReplaySource};
 pub use store::{git_describe, load_records, run_id, ResultsStore, StoreRecord};
+pub use telemetry::{
+    load_flight_jsonl, scrape_metrics, serve_metrics, write_flight_jsonl, AtomicHisto, FlightEvent,
+    FlightKind, FlightRecorder, LatencyProbe, MetricsServer, MetricsSnapshot, ShardMetrics,
+    ShardTelemetry, Telemetry,
+};
 pub use trend::{render_trend, render_trend_plots, trend_tables};

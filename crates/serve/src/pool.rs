@@ -54,8 +54,11 @@ use flowtree_core::SchedulerSpec;
 use flowtree_dag::Time;
 use flowtree_sim::JobSpec;
 
-use crate::shard::{run_shard, ShardCmd, ShardResult, ShardSnapshot, ShardStats, SwapDirective};
+use crate::shard::{
+    run_shard, Arrival, ShardCmd, ShardCtx, ShardResult, ShardSnapshot, ShardStats, SwapDirective,
+};
 use crate::source::ArrivalSource;
+use crate::telemetry::{FlightEvent, FlightKind, MetricsSnapshot, Telemetry};
 
 /// Everything that can go wrong launching or driving a pool.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +70,11 @@ pub enum ServeError {
     /// The pool's workers are gone (already drained or panicked); the
     /// handle can no longer deliver commands.
     PoolClosed,
+    /// These shard workers panicked during drain; surviving shards'
+    /// results are lost but the pool's telemetry (including each shard's
+    /// flight ring, which records the panic) remains readable through any
+    /// [`PoolHandle`].
+    ShardPanicked(Vec<usize>),
 }
 
 impl std::fmt::Display for ServeError {
@@ -75,6 +83,9 @@ impl std::fmt::Display for ServeError {
             ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
             ServeError::Spawn(msg) => write!(f, "failed to spawn shard worker: {msg}"),
             ServeError::PoolClosed => f.write_str("pool is closed (shards already drained)"),
+            ServeError::ShardPanicked(shards) => {
+                write!(f, "shard worker(s) panicked during drain: {shards:?}")
+            }
         }
     }
 }
@@ -244,6 +255,10 @@ pub struct ServeConfig {
     /// regardless, and watermarks never affect final results — only how
     /// eagerly shards may simulate ahead.
     pub watermark_stride: Time,
+    /// Capacity of each shard's control-plane flight ring (structured
+    /// swap/steal/overload events kept for diagnosis; oldest evicted when
+    /// full).
+    pub flight_capacity: usize,
 }
 
 impl ServeConfig {
@@ -262,6 +277,7 @@ impl ServeConfig {
             steal: None,
             ingest_batch: 32,
             watermark_stride: 0,
+            flight_capacity: 256,
         }
     }
 
@@ -283,6 +299,11 @@ impl ServeConfig {
         if self.ingest_batch < 1 {
             return Err(ServeError::InvalidConfig(
                 "ingest batches must carry at least one arrival".into(),
+            ));
+        }
+        if self.flight_capacity < 1 {
+            return Err(ServeError::InvalidConfig(
+                "flight rings must hold at least one event".into(),
             ));
         }
         if self.max_horizon < 1 || self.max_horizon >= Time::MAX / 2 {
@@ -370,6 +391,12 @@ impl ServeConfigBuilder {
     /// Watermark granularity (see [`ServeConfig::watermark_stride`]).
     pub fn watermark_stride(mut self, stride: Time) -> Self {
         self.cfg.watermark_stride = stride;
+        self
+    }
+
+    /// Per-shard flight-ring capacity (see [`ServeConfig::flight_capacity`]).
+    pub fn flight_capacity(mut self, cap: usize) -> Self {
+        self.cfg.flight_capacity = cap;
         self
     }
 
@@ -469,11 +496,15 @@ struct Router {
     last_release: Time,
     ingest: IngestStats,
     /// Per-shard arrivals accepted but not yet delivered (steal mode only).
-    staged: Vec<VecDeque<JobSpec>>,
+    staged: Vec<VecDeque<Arrival>>,
     /// Highest watermark each shard is known to have seen (via an admit or
     /// an accepted broadcast). A broadcast that cannot advance a shard past
     /// this value is skipped — it would be a no-op channel op.
     wm_known: Vec<Time>,
+    /// Whether the last watermark broadcast to each shard was skipped on a
+    /// full queue — the next successful send is recorded as a flight
+    /// `wm-retry` event.
+    wm_skip: Vec<bool>,
     /// Jobs placed on each shard by the router so far — the deterministic
     /// load ledger behind [`Routing::LeastLoaded`]. Counts actual
     /// placements: redirects credit the shard that took the job, stolen
@@ -488,6 +519,7 @@ struct PoolCore {
     cfg: ServeConfig,
     txs: Vec<Sender<ShardCmd>>,
     stats: Vec<Arc<ShardStats>>,
+    tel: Arc<Telemetry>,
     router: Mutex<Router>,
 }
 
@@ -531,11 +563,11 @@ impl PoolHandle {
 
     /// Flush shard `i`'s staged queue into its channel while there is room.
     fn pump_shard(&self, r: &mut Router, i: usize) -> Result<(), ServeError> {
-        while let Some(job) = r.staged[i].pop_front() {
-            match self.core.txs[i].try_send(ShardCmd::Admit(job)) {
+        while let Some(arrival) = r.staged[i].pop_front() {
+            match self.core.txs[i].try_send(ShardCmd::Admit(arrival)) {
                 Ok(()) => r.ingest.delivered += 1,
-                Err(TrySendError::Full(ShardCmd::Admit(job))) => {
-                    r.staged[i].push_front(job);
+                Err(TrySendError::Full(ShardCmd::Admit(arrival))) => {
+                    r.staged[i].push_front(arrival);
                     break;
                 }
                 Err(TrySendError::Full(_)) => unreachable!("pumped a non-admit command"),
@@ -575,7 +607,7 @@ impl PoolHandle {
             return Ok(());
         }
         let keep = r.staged[victim].len() - r.staged[victim].len().div_ceil(2);
-        let moved: Vec<JobSpec> = r.staged[victim].split_off(keep).into();
+        let moved: Vec<Arrival> = r.staged[victim].split_off(keep).into();
         let count = moved.len() as u64;
         match self.core.txs[thief].try_send(ShardCmd::Donate(moved)) {
             Ok(()) => {
@@ -584,6 +616,13 @@ impl PoolHandle {
                 r.ingest.delivered += count;
                 r.assigned[victim] -= count;
                 r.assigned[thief] += count;
+                self.core.tel.shard(victim).flight.record(FlightEvent {
+                    us: self.core.tel.now_us(),
+                    shard: victim,
+                    kind: FlightKind::Steal,
+                    t: r.last_release,
+                    detail: format!("{victim}→{thief} x{count}"),
+                });
             }
             Err(TrySendError::Full(ShardCmd::Donate(jobs))) => {
                 // Thief filled up in the meantime: put the jobs back.
@@ -599,14 +638,14 @@ impl PoolHandle {
     /// watermark ledgers. Returns the shard the job was delivered to
     /// (`None` if it was staged or dropped). Callers broadcast the frontier
     /// afterwards, so the router lock is held across a whole batch.
-    fn route_one(&self, r: &mut Router, mut spec: JobSpec) -> Result<Option<usize>, ServeError> {
+    fn route_one(&self, r: &mut Router, mut arrival: Arrival) -> Result<Option<usize>, ServeError> {
         r.ingest.offered += 1;
-        if spec.release < r.last_release {
-            spec.release = r.last_release;
+        if arrival.spec.release < r.last_release {
+            arrival.spec.release = r.last_release;
             r.ingest.reordered += 1;
         }
-        r.last_release = spec.release;
-        let release = spec.release;
+        r.last_release = arrival.spec.release;
+        let release = arrival.spec.release;
         let target = self.pick_shard(r);
         r.seq = r.seq.wrapping_add(1);
 
@@ -619,39 +658,48 @@ impl PoolHandle {
             r.assigned[target] += 1;
             self.pump_shard(r, target)?;
             if r.staged[target].is_empty() {
-                match self.core.txs[target].try_send(ShardCmd::Admit(spec)) {
+                match self.core.txs[target].try_send(ShardCmd::Admit(arrival)) {
                     Ok(()) => {
                         delivered_to = Some(target);
                         r.ingest.delivered += 1;
                     }
-                    Err(TrySendError::Full(ShardCmd::Admit(job))) => {
-                        r.staged[target].push_back(job);
+                    Err(TrySendError::Full(ShardCmd::Admit(arrival))) => {
+                        r.staged[target].push_back(arrival);
                     }
                     Err(TrySendError::Full(_)) => unreachable!("offered a non-admit command"),
                     Err(TrySendError::Disconnected(_)) => return Err(ServeError::PoolClosed),
                 }
             } else {
-                r.staged[target].push_back(spec);
+                r.staged[target].push_back(arrival);
             }
         } else {
             match self.core.cfg.policy {
                 OverloadPolicy::Block => {
                     self.core.txs[target]
-                        .send(ShardCmd::Admit(spec))
+                        .send(ShardCmd::Admit(arrival))
                         .map_err(|_| ServeError::PoolClosed)?;
                     delivered_to = Some(target);
                 }
                 OverloadPolicy::DropNewest => {
-                    match self.core.txs[target].try_send(ShardCmd::Admit(spec)) {
+                    match self.core.txs[target].try_send(ShardCmd::Admit(arrival)) {
                         Ok(()) => delivered_to = Some(target),
-                        Err(TrySendError::Full(_)) => r.ingest.dropped += 1,
+                        Err(TrySendError::Full(_)) => {
+                            r.ingest.dropped += 1;
+                            self.core.tel.shard(target).flight.record(FlightEvent {
+                                us: self.core.tel.now_us(),
+                                shard: target,
+                                kind: FlightKind::Drop,
+                                t: release,
+                                detail: String::new(),
+                            });
+                        }
                         Err(TrySendError::Disconnected(_)) => return Err(ServeError::PoolClosed),
                     }
                 }
                 OverloadPolicy::Redirect => {
                     let mut order: Vec<usize> = (0..self.core.txs.len()).collect();
                     order.sort_by_key(|&i| (i != target, self.core.txs[i].len()));
-                    let mut cmd = Some(ShardCmd::Admit(spec));
+                    let mut cmd = Some(ShardCmd::Admit(arrival));
                     for &i in &order {
                         match self.core.txs[i].try_send(cmd.take().expect("command pending")) {
                             Ok(()) => {
@@ -671,6 +719,16 @@ impl PoolHandle {
                     }
                     if delivered_to != Some(target) {
                         r.ingest.redirected += 1;
+                        self.core.tel.shard(target).flight.record(FlightEvent {
+                            us: self.core.tel.now_us(),
+                            shard: target,
+                            kind: FlightKind::Redirect,
+                            t: release,
+                            detail: format!(
+                                "{target}→{}",
+                                delivered_to.expect("redirect delivered somewhere")
+                            ),
+                        });
                     }
                 }
             }
@@ -701,7 +759,7 @@ impl PoolHandle {
             // A shard with staged jobs must not outrun its own backlog, so
             // its watermark is capped at the staged front's release.
             let w = match r.staged[i].front() {
-                Some(job) => frontier.min(job.release),
+                Some(a) => frontier.min(a.spec.release),
                 None => frontier,
             };
             if w <= r.wm_known[i] {
@@ -711,11 +769,35 @@ impl PoolHandle {
                 continue;
             }
             match tx.try_send(ShardCmd::Watermark(w)) {
-                Ok(()) => r.wm_known[i] = w,
+                Ok(()) => {
+                    r.wm_known[i] = w;
+                    if r.wm_skip[i] {
+                        r.wm_skip[i] = false;
+                        self.core.tel.shard(i).flight.record(FlightEvent {
+                            us: self.core.tel.now_us(),
+                            shard: i,
+                            kind: FlightKind::WmRetry,
+                            t: w,
+                            detail: String::new(),
+                        });
+                    }
+                }
                 // A full queue already holds commands that advance this
                 // shard at least as far; the dedup ledger retries the value
                 // on the next broadcast.
-                Err(TrySendError::Full(_)) => r.ingest.wm_skipped += 1,
+                Err(TrySendError::Full(_)) => {
+                    r.ingest.wm_skipped += 1;
+                    if !r.wm_skip[i] {
+                        r.wm_skip[i] = true;
+                        self.core.tel.shard(i).flight.record(FlightEvent {
+                            us: self.core.tel.now_us(),
+                            shard: i,
+                            kind: FlightKind::WmSkip,
+                            t: w,
+                            detail: String::new(),
+                        });
+                    }
+                }
                 // Workers gone: drain already started; nothing left to pace.
                 Err(TrySendError::Disconnected(_)) => {}
             }
@@ -726,8 +808,9 @@ impl PoolHandle {
     /// clamped forward (counted in [`IngestStats::reordered`]) so shard
     /// sessions always see admissible order.
     pub fn offer(&self, spec: JobSpec) -> Result<(), ServeError> {
+        let offered_us = self.core.tel.now_us();
         let r = &mut *self.router();
-        self.route_one(r, spec)?;
+        self.route_one(r, Arrival { spec, offered_us })?;
         if self.core.cfg.steal.is_some() {
             self.rebalance(r)?;
         }
@@ -745,13 +828,14 @@ impl PoolHandle {
         if specs.is_empty() {
             return Ok(());
         }
+        let offered_us = self.core.tel.now_us();
         let r = &mut *self.router();
         let stealing = self.core.cfg.steal.is_some();
         if stealing || self.core.cfg.policy == OverloadPolicy::Block {
             // Coalescing path: place every arrival first, then deliver one
             // command per shard.
             let n = self.core.txs.len();
-            let mut buckets: Vec<Vec<JobSpec>> = (0..n).map(|_| Vec::new()).collect();
+            let mut buckets: Vec<Vec<Arrival>> = (0..n).map(|_| Vec::new()).collect();
             for mut spec in specs.drain(..) {
                 r.ingest.offered += 1;
                 if spec.release < r.last_release {
@@ -762,14 +846,14 @@ impl PoolHandle {
                 let target = self.pick_shard(r);
                 r.seq = r.seq.wrapping_add(1);
                 r.assigned[target] += 1;
-                buckets[target].push(spec);
+                buckets[target].push(Arrival { spec, offered_us });
             }
             for (i, bucket) in buckets.into_iter().enumerate() {
                 if bucket.is_empty() {
                     continue;
                 }
                 let count = bucket.len() as u64;
-                let last = bucket.last().expect("nonempty bucket").release;
+                let last = bucket.last().expect("nonempty bucket").spec.release;
                 if stealing {
                     // Same non-blocking discipline as route_one, batch-wide:
                     // FIFO order demands the whole bucket stages if anything
@@ -812,7 +896,7 @@ impl PoolHandle {
             // shed or moved. They keep per-job channel ops but still share
             // one lock acquisition and one frontier flush per batch.
             for spec in specs.drain(..) {
-                self.route_one(r, spec)?;
+                self.route_one(r, Arrival { spec, offered_us })?;
             }
         }
         if stealing {
@@ -915,7 +999,7 @@ impl PoolHandle {
             let frontier = r.last_release;
             for (i, tx) in self.core.txs.iter().enumerate() {
                 let w = match r.staged[i].front() {
-                    Some(job) => frontier.min(job.release),
+                    Some(a) => frontier.min(a.spec.release),
                     None => frontier,
                 };
                 if w > r.wm_known[i] {
@@ -942,9 +1026,9 @@ impl PoolHandle {
     pub fn request_drain(&self) -> Result<(), ServeError> {
         let r = &mut *self.router();
         for i in 0..self.core.txs.len() {
-            while let Some(job) = r.staged[i].pop_front() {
+            while let Some(arrival) = r.staged[i].pop_front() {
                 self.core.txs[i]
-                    .send(ShardCmd::Admit(job))
+                    .send(ShardCmd::Admit(arrival))
                     .map_err(|_| ServeError::PoolClosed)?;
                 r.ingest.delivered += 1;
             }
@@ -953,6 +1037,33 @@ impl PoolHandle {
             tx.send(ShardCmd::Drain).map_err(|_| ServeError::PoolClosed)?;
         }
         Ok(())
+    }
+
+    /// A full telemetry snapshot: ingest counters, per-shard engine
+    /// snapshots, and per-shard latency histograms plus theory gauges.
+    /// Lock-light — safe to call from a scrape thread mid-run.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let snap = self.snapshot();
+        MetricsSnapshot {
+            uptime_us: self.core.tel.now_us(),
+            ingest: snap.ingest,
+            shards: snap.shards,
+            telemetry: self
+                .core
+                .tel
+                .shards()
+                .iter()
+                .enumerate()
+                .map(|(i, t)| t.metrics(i))
+                .collect(),
+        }
+    }
+
+    /// Every control-plane flight-recorder event captured so far, merged
+    /// across shards and ordered by wall-clock timestamp. Readable even
+    /// after a worker panic — the rings outlive the workers.
+    pub fn flight(&self) -> Vec<FlightEvent> {
+        self.core.tel.flight_events()
     }
 }
 
@@ -974,18 +1085,25 @@ impl ShardPool {
     /// for arrivals.
     pub fn launch(cfg: ServeConfig) -> Result<Self, ServeError> {
         cfg.validate()?;
+        let tel = Arc::new(Telemetry::new(cfg.shards, cfg.flight_capacity));
         let mut txs = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
         let mut stats = Vec::with_capacity(cfg.shards);
         for shard in 0..cfg.shards {
             let (tx, rx) = channel::bounded(cfg.queue_cap);
             let stat = Arc::new(ShardStats::default());
-            let (m, spec, scenario, horizon) =
-                (cfg.m, cfg.spec, cfg.scenario.clone(), cfg.max_horizon);
-            let worker_stats = Arc::clone(&stat);
+            let ctx = ShardCtx {
+                shard,
+                m: cfg.m,
+                spec: cfg.spec,
+                scenario: cfg.scenario.clone(),
+                max_horizon: cfg.max_horizon,
+                stats: Arc::clone(&stat),
+                tel: Arc::clone(tel.shard(shard)),
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("flowtree-shard-{shard}"))
-                .spawn(move || run_shard(shard, m, spec, scenario, horizon, rx, worker_stats))
+                .spawn(move || run_shard(ctx, rx))
                 .map_err(|e| ServeError::Spawn(e.to_string()))?;
             txs.push(tx);
             handles.push(handle);
@@ -996,12 +1114,14 @@ impl ShardPool {
             cfg,
             txs,
             stats,
+            tel,
             router: Mutex::new(Router {
                 seq: 0,
                 last_release: 0,
                 ingest: IngestStats::default(),
                 staged: (0..shards).map(|_| VecDeque::new()).collect(),
                 wm_known: vec![0; shards],
+                wm_skip: vec![false; shards],
                 assigned: vec![0; shards],
             }),
         };
@@ -1066,14 +1186,33 @@ impl ShardPool {
 
     /// Graceful shutdown: flush staged work, tell every shard to run dry,
     /// wait for all of them, and return their results ordered by shard
-    /// index.
+    /// index. If any worker panicked, the surviving results are discarded
+    /// and [`ServeError::ShardPanicked`] lists the dead shards; their
+    /// flight rings stay readable through a [`PoolHandle`] cloned before
+    /// the drain, so the post-mortem trail survives the crash.
     pub fn drain(self) -> Result<Vec<ShardResult>, ServeError> {
         self.handle.request_drain()?;
-        let mut results: Vec<ShardResult> = self
-            .handles
-            .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect();
+        let tel = Arc::clone(&self.handle.core.tel);
+        let mut results = Vec::with_capacity(self.handles.len());
+        let mut panicked = Vec::new();
+        for (shard, h) in self.handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(res) => results.push(res),
+                Err(_) => {
+                    tel.shard(shard).flight.record(FlightEvent {
+                        us: tel.now_us(),
+                        shard,
+                        kind: FlightKind::Panic,
+                        t: 0,
+                        detail: "joined dead worker".to_string(),
+                    });
+                    panicked.push(shard);
+                }
+            }
+        }
+        if !panicked.is_empty() {
+            return Err(ServeError::ShardPanicked(panicked));
+        }
         results.sort_by_key(|r| r.shard);
         Ok(results)
     }
@@ -1226,8 +1365,10 @@ mod tests {
         // shard must clamp them forward instead of panicking.
         let pool = ShardPool::launch(ServeConfig::new(fifo(), 1)).expect("launch");
         pool.offer(JobSpec { graph: chain(2), release: 9 }).expect("offer");
-        let donated =
-            vec![JobSpec { graph: chain(2), release: 3 }, JobSpec { graph: star(2), release: 1 }];
+        let donated: Vec<Arrival> = vec![
+            JobSpec { graph: chain(2), release: 3 }.into(),
+            JobSpec { graph: star(2), release: 1 }.into(),
+        ];
         pool.handle.core.txs[0].send(ShardCmd::Donate(donated)).expect("donate");
         let results = pool.drain().expect("drain");
         assert_eq!(results[0].summary.jobs, 3);

@@ -49,24 +49,46 @@ use std::sync::Arc;
 use crossbeam::channel::{Receiver, Sender};
 use flowtree_analysis::{summary_from_parts, RunSummary};
 use flowtree_core::SchedulerSpec;
-use flowtree_dag::Time;
+use flowtree_dag::{JobId, Time};
 use flowtree_sim::monitor::{InvariantMonitor, LowerBound};
 use flowtree_sim::{Instance, JobSpec, OnlineScheduler, RunHistograms, RunReport, Session};
+
+use crate::telemetry::{FlightEvent, FlightKind, LatencyProbe, ShardTelemetry};
+
+/// One arrival in flight through the pool: the job plus the wall-clock
+/// stamp (µs since the pool's epoch) of when the router first saw it. The
+/// stamp rides along through staging, batching, and donation so end-to-end
+/// latency is measured from the *offer*, not from whichever queue the job
+/// last sat in.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// The job being delivered.
+    pub spec: JobSpec,
+    /// Microseconds since the pool's epoch when the router accepted it.
+    pub offered_us: u64,
+}
+
+impl From<JobSpec> for Arrival {
+    /// Wrap a bare spec with a zero stamp (tests and direct injection).
+    fn from(spec: JobSpec) -> Self {
+        Arrival { spec, offered_us: 0 }
+    }
+}
 
 /// A control-plane command from the router to one shard worker.
 #[derive(Debug)]
 pub enum ShardCmd {
     /// Admit this arrival (its release implies a watermark).
-    Admit(JobSpec),
+    Admit(Arrival),
     /// Admit a coalesced batch of arrivals (releases nondecreasing within
     /// the batch; the last one implies the watermark). One queue slot, one
     /// [`Session::admit_batch`] call.
-    AdmitBatch(Vec<JobSpec>),
+    AdmitBatch(Vec<Arrival>),
     /// No job for you, but event time has advanced this far.
     Watermark(Time),
     /// Admit jobs stolen from another shard's ingress backlog; releases are
     /// clamped forward to this shard's event time.
-    Donate(Vec<JobSpec>),
+    Donate(Vec<Arrival>),
     /// Hot-swap the scheduler once simulation reaches the directive's time.
     Swap(SwapDirective),
     /// Finish in-flight work up to the current watermark, then reply with a
@@ -199,7 +221,12 @@ pub struct ShardResult {
 }
 
 /// The concrete probe stack every shard session carries.
-type ShardProbe<'a> = (&'a mut LowerBound, &'a mut InvariantMonitor, &'a mut RunHistograms);
+type ShardProbe<'a> = (
+    &'a mut LowerBound,
+    &'a mut InvariantMonitor,
+    &'a mut RunHistograms,
+    &'a mut LatencyProbe,
+);
 
 fn snapshot_of(session: &Session<ShardProbe<'_>>, swaps: u64, donated: u64) -> ShardSnapshot {
     let counters = session.counters();
@@ -216,25 +243,32 @@ fn snapshot_of(session: &Session<ShardProbe<'_>>, swaps: u64, donated: u64) -> S
     }
 }
 
+/// Everything a shard worker needs beyond its command channel: identity,
+/// engine parameters, and the shared observability cells.
+pub(crate) struct ShardCtx {
+    pub shard: usize,
+    pub m: usize,
+    pub spec: SchedulerSpec,
+    pub scenario: String,
+    pub max_horizon: Time,
+    pub stats: Arc<ShardStats>,
+    pub tel: Arc<ShardTelemetry>,
+}
+
 /// Worker body: consume commands until drained, then summarize.
-pub(crate) fn run_shard(
-    shard: usize,
-    m: usize,
-    spec: SchedulerSpec,
-    scenario: String,
-    max_horizon: Time,
-    rx: Receiver<ShardCmd>,
-    stats: Arc<ShardStats>,
-) -> ShardResult {
-    let mut spec = spec;
+pub(crate) fn run_shard(ctx: ShardCtx, rx: Receiver<ShardCmd>) -> ShardResult {
+    let ShardCtx { shard, m, mut spec, scenario, max_horizon, stats, tel } = ctx;
     let mut sched: Box<dyn OnlineScheduler + Send> = spec.build();
     let mut lb = LowerBound::streaming();
     let mut inv = InvariantMonitor::streaming(spec.invariants());
     let mut histos = RunHistograms::new();
-    let mut session =
-        Session::new(m)
-            .with_max_horizon(max_horizon)
-            .with_probe((&mut lb, &mut inv, &mut histos));
+    let mut lat = LatencyProbe::new(Arc::clone(&tel));
+    let mut session = Session::new(m).with_max_horizon(max_horizon).with_probe((
+        &mut lb,
+        &mut inv,
+        &mut histos,
+        &mut lat,
+    ));
 
     let mut safe: Time = 0;
     let mut draining = false;
@@ -257,34 +291,53 @@ pub(crate) fn run_shard(
         }
         for cmd in batch.drain(..) {
             match cmd {
-                ShardCmd::Admit(job) => {
-                    safe = safe.max(job.release);
-                    session
-                        .admit(job)
+                ShardCmd::Admit(a) => {
+                    safe = safe.max(a.spec.release);
+                    let id = session
+                        .admit(a.spec)
                         .expect("router delivers jobs in nondecreasing release order");
+                    let now_us = tel.now_us();
+                    session.probe_mut().3.stamp(id, a.offered_us, now_us);
                 }
-                ShardCmd::AdmitBatch(jobs) => {
-                    if let Some(last) = jobs.last() {
-                        safe = safe.max(last.release);
+                ShardCmd::AdmitBatch(arrivals) => {
+                    if let Some(last) = arrivals.last() {
+                        safe = safe.max(last.spec.release);
                     }
+                    let base = session.num_admitted();
+                    let stamps: Vec<u64> = arrivals.iter().map(|a| a.offered_us).collect();
                     session
-                        .admit_batch(jobs)
+                        .admit_batch(arrivals.into_iter().map(|a| a.spec).collect())
                         .expect("router delivers batches in nondecreasing release order");
+                    let now_us = tel.now_us();
+                    for (k, &offered_us) in stamps.iter().enumerate() {
+                        session.probe_mut().3.stamp(JobId((base + k) as u32), offered_us, now_us);
+                    }
                 }
                 ShardCmd::Watermark(w) => safe = safe.max(w),
-                ShardCmd::Donate(jobs) => {
-                    for mut job in jobs {
+                ShardCmd::Donate(arrivals) => {
+                    let count = arrivals.len();
+                    for mut a in arrivals {
                         // Migration re-releases the job at this shard's
                         // event time: never earlier than the clock or the
                         // latest admission, so the session contract holds.
-                        job.release = job.release.max(session.now());
+                        a.spec.release = a.spec.release.max(session.now());
                         if session.num_admitted() > 0 {
-                            job.release = job.release.max(session.instance().last_release());
+                            a.spec.release = a.spec.release.max(session.instance().last_release());
                         }
-                        safe = safe.max(job.release);
-                        session.admit(job).expect("donated releases are clamped admissible");
+                        safe = safe.max(a.spec.release);
+                        let id =
+                            session.admit(a.spec).expect("donated releases are clamped admissible");
+                        let now_us = tel.now_us();
+                        session.probe_mut().3.stamp(id, a.offered_us, now_us);
                         donated += 1;
                     }
+                    tel.flight.record(FlightEvent {
+                        us: tel.now_us(),
+                        shard,
+                        kind: FlightKind::Donate,
+                        t: session.now(),
+                        detail: format!("x{count}"),
+                    });
                 }
                 ShardCmd::Swap(d) => {
                     pending_swaps.push(d);
@@ -294,7 +347,16 @@ pub(crate) fn run_shard(
                 ShardCmd::Snapshot(reply) => {
                     let _ = reply.send(snapshot_of(&session, swaps.len() as u64, donated));
                 }
-                ShardCmd::Drain => draining = true,
+                ShardCmd::Drain => {
+                    draining = true;
+                    tel.flight.record(FlightEvent {
+                        us: tel.now_us(),
+                        shard,
+                        kind: FlightKind::Drain,
+                        t: session.now(),
+                        detail: String::new(),
+                    });
+                }
             }
         }
         let target = if draining { Time::MAX } else { safe };
@@ -307,9 +369,10 @@ pub(crate) fn run_shard(
                 break;
             }
             pending_swaps.remove(0);
-            session
-                .run_until(d.at, sched.as_mut())
-                .unwrap_or_else(|e| panic!("shard {shard}: {e}"));
+            session.run_until(d.at, sched.as_mut()).unwrap_or_else(|e| {
+                record_panic(&tel, shard, session.now(), &e);
+                panic!("shard {shard}: {e}")
+            });
             let t_swap = d.at.max(session.now());
             let from = spec;
             spec = d.spec;
@@ -317,13 +380,33 @@ pub(crate) fn run_shard(
             session.probe_mut().1.set_checks(spec.invariants());
             session.prime_scheduler(sched.as_mut());
             swaps.push(SwapEvent { t: t_swap, from: from.to_string(), to: spec.to_string() });
+            tel.flight.record(FlightEvent {
+                us: tel.now_us(),
+                shard,
+                kind: FlightKind::Swap,
+                t: t_swap,
+                detail: format!("{from}→{spec}"),
+            });
         }
-        session
-            .run_until(target, sched.as_mut())
-            .unwrap_or_else(|e| panic!("shard {shard}: {e}"));
+        session.run_until(target, sched.as_mut()).unwrap_or_else(|e| {
+            record_panic(&tel, shard, session.now(), &e);
+            panic!("shard {shard}: {e}")
+        });
         {
             let fresh = snapshot_of(&session, swaps.len() as u64, donated);
             stats.publish(&fresh);
+            // Live theory gauges ride the same publication cadence.
+            let p = session.probe();
+            tel.set_gauges(p.1.total_violations(), p.0.max_flow().unwrap_or(0), p.0.lower_bound());
+            if !quiesce_replies.is_empty() {
+                tel.flight.record(FlightEvent {
+                    us: tel.now_us(),
+                    shard,
+                    kind: FlightKind::Quiesce,
+                    t: session.now(),
+                    detail: format!("x{}", quiesce_replies.len()),
+                });
+            }
             for reply in quiesce_replies.drain(..) {
                 let _ = reply.send(fresh.clone());
             }
@@ -344,4 +427,16 @@ pub(crate) fn run_shard(
     let summary =
         summary_from_parts(&scenario, spec.name(), &instance, m, &report, &lb, &inv, &histos);
     ShardResult { shard, summary, report, instance, swaps }
+}
+
+/// Leave a trace of an imminent worker panic in the flight ring (the ring
+/// outlives the worker thread behind its `Arc`).
+fn record_panic(tel: &ShardTelemetry, shard: usize, t: Time, err: &dyn std::fmt::Display) {
+    tel.flight.record(FlightEvent {
+        us: tel.now_us(),
+        shard,
+        kind: FlightKind::Panic,
+        t,
+        detail: err.to_string(),
+    });
 }

@@ -107,7 +107,8 @@ impl ResultsStore {
 }
 
 /// Load records from a JSONL file, or from every `*.jsonl` file (sorted by
-/// name) when `path` is a directory.
+/// name) when `path` is a directory — except `flight*.jsonl` flight-recorder
+/// dumps, which share the store directory but not the record schema.
 pub fn load_records(path: &Path) -> io::Result<Vec<StoreRecord>> {
     let mut records = Vec::new();
     if path.is_dir() {
@@ -115,6 +116,9 @@ pub fn load_records(path: &Path) -> io::Result<Vec<StoreRecord>> {
             .filter_map(|e| e.ok())
             .map(|e| e.path())
             .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+            .filter(|p| {
+                !p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with("flight"))
+            })
             .collect();
         files.sort();
         for file in files {
@@ -212,6 +216,29 @@ mod tests {
         let old: StoreRecord = serde_json::from_str(&legacy).expect("legacy line loads");
         assert!(old.swaps.is_empty());
         assert_eq!(old.summary, record.summary);
+    }
+
+    #[test]
+    fn directory_scan_skips_flight_recorder_dumps() {
+        let dir = std::env::temp_dir().join(format!("flowtree-store-scan-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("mkdir");
+        let record = StoreRecord {
+            run_id: "r1".to_string(),
+            git: "abc1234".to_string(),
+            shard: 0,
+            shards: 1,
+            summary: sample_summary(),
+            swaps: Vec::new(),
+        };
+        let store = ResultsStore::open(&dir).expect("open");
+        store.append(&record).expect("append");
+        // A flight-recorder dump shares the directory but not the schema; a
+        // drained serve run writes one beside the records by default.
+        fs::write(dir.join("flight-r1.jsonl"), "{\"t_us\":1,\"shard\":0,\"kind\":\"drain\"}\n")
+            .expect("write flight dump");
+        let loaded = load_records(&dir).expect("flight dump must not break the scan");
+        assert_eq!(loaded, vec![record]);
+        fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

@@ -46,11 +46,49 @@ impl LogHistogram {
 
     #[inline]
     fn bucket(v: u64) -> usize {
+        Self::bucket_of(v)
+    }
+
+    /// Index of the bucket holding `v` (0 for zero, else `65 - clz(v)`).
+    /// Public so external recorders (e.g. an atomic sharded histogram) can
+    /// bucket identically and rebuild via [`from_parts`](Self::from_parts).
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
         if v == 0 {
             0
         } else {
             64 - v.leading_zeros() as usize
         }
+    }
+
+    /// Number of buckets a [`from_parts`](Self::from_parts) counts slice
+    /// must have.
+    pub const NUM_BUCKETS: usize = BUCKETS;
+
+    /// Rebuild a histogram from externally accumulated state: per-bucket
+    /// counts (indexed by [`bucket_of`](Self::bucket_of)), the value sum,
+    /// and the observed maximum. Panics if `counts` is not
+    /// [`NUM_BUCKETS`](Self::NUM_BUCKETS) long.
+    pub fn from_parts(counts: &[u64], sum: u128, max: u64) -> Self {
+        assert_eq!(counts.len(), BUCKETS, "need {BUCKETS} bucket counts");
+        let mut h = LogHistogram::new();
+        h.counts.copy_from_slice(counts);
+        h.count = counts.iter().sum();
+        h.sum = sum;
+        h.max = max;
+        h
+    }
+
+    /// Fold `other` into `self`: bucket-wise count sums, value-sum sums, max
+    /// of maxes. Merging per-shard histograms of disjoint streams yields
+    /// exactly the histogram of the concatenated stream.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 
     /// Record one observation.
@@ -336,6 +374,32 @@ mod tests {
         }
         // Quantiles never exceed the observed max.
         assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_matches_single_stream_and_from_parts_roundtrips() {
+        let mut single = LogHistogram::new();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for v in 0..500u64 {
+            single.record(v * 3);
+            if v % 2 == 0 {
+                a.record(v * 3);
+            } else {
+                b.record(v * 3);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.counts, single.counts);
+        assert_eq!(a.count(), single.count());
+        assert_eq!(a.max(), single.max());
+        assert_eq!(a.p50(), single.p50());
+        assert_eq!(a.p99(), single.p99());
+        // from_parts on the raw pieces rebuilds the same histogram.
+        let rebuilt = LogHistogram::from_parts(&single.counts, single.sum, single.max);
+        assert_eq!(rebuilt.counts, single.counts);
+        assert_eq!(rebuilt.count(), single.count());
+        assert!((rebuilt.mean() - single.mean()).abs() < 1e-12);
     }
 
     #[test]

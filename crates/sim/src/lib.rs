@@ -54,7 +54,9 @@ pub use engine::{Engine, EngineError, RunReport};
 pub use histo::{LogHistogram, RunHistograms, TimeSeries};
 pub use instance::{Instance, JobSpec};
 pub use metrics::FlowStats;
-pub use monitor::{InvariantChecks, InvariantMonitor, InvariantRule, LowerBound, Violation};
+pub use monitor::{
+    HeadTailChecks, InvariantChecks, InvariantMonitor, InvariantRule, LowerBound, Violation,
+};
 pub use probe::{Counters, JsonlTrace, NullProbe, Probe, StepStat};
 pub use replay::Replay;
 pub use schedule::{FeasibilityError, Schedule};

@@ -20,7 +20,8 @@
 
 use crate::instance::Instance;
 use crate::probe::{Probe, StepStat};
-use flowtree_dag::{DepthProfile, DepthScratch, JobGraph, JobId, Time};
+use flowtree_dag::{DepthProfile, DepthScratch, JobGraph, JobId, NodeId, Time};
+use std::collections::BTreeMap;
 
 /// Live Lemma 5.1 lower-bound tracker.
 ///
@@ -149,6 +150,40 @@ impl Probe for LowerBound {
     }
 }
 
+/// Parameters of the Algorithm 𝒜 head/tail accounting check (Thm 5.6
+/// batch structure).
+///
+/// 𝒜 partitions releases into *groups* at block boundaries (multiples of
+/// `half`, the working estimate OPT/2) and never grants a group more than
+/// one slice `p = m/alpha` of processors per step — head levels are
+/// `LPF(union, p)` levels (width ≤ p by construction), tail grants are
+/// `min(remaining, p)` (Section 5.3). The monitor rebuilds the grouping
+/// from observed release times (`boundary = ⌈release / half⌉ · half`; the
+/// simulator fires releases before the same-step selection, so this matches
+/// 𝒜's own group formation exactly) and enforces the width cap per group
+/// per step.
+///
+/// With `strict`, the Lemma 5.2 rectangle shape of the tail is also
+/// checked: once a tail-phase group (age ≥ 2·half) is granted processors
+/// and returns *short* — it schedules fewer than `p` subjobs in a step
+/// whose total selection is under `m`, so its grant provably exceeded its
+/// picks — its MC rectangle is exhausted and the group must never schedule
+/// again. Strict mode is sound when the grouping is exact (a scheduler
+/// constructed at run start); a mid-run hot-swap regroups alive jobs at the
+/// swap boundary, so [`InvariantMonitor::set_checks`] demotes `strict`
+/// (the width cap stays sound: a release-derived group is then a *subset*
+/// of one rebuilt group, and a subset's picks never exceed the group's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeadTailChecks {
+    /// Processor-augmentation parameter α: the per-group slice is `m/α`.
+    pub alpha: usize,
+    /// Block length (the algorithm's OPT/2 estimate); boundaries are its
+    /// multiples.
+    pub half: Time,
+    /// Also enforce the Lemma 5.2 exhausted-rectangle rule (see above).
+    pub strict: bool,
+}
+
 /// Which structural invariants a scheduler is expected to uphold.
 ///
 /// This is declarative metadata, not behavior: the scheduler registry in
@@ -167,16 +202,25 @@ pub struct InvariantChecks {
     /// `Some(alpha)` enables the check (LPF runs use `alpha = 1`); ignored
     /// on multi-job instances, where the lemma does not apply.
     pub rectangle_tail_alpha: Option<usize>,
+    /// Algorithm 𝒜 group-structure check (see [`HeadTailChecks`]); applies
+    /// to batch and streaming runs alike.
+    pub head_tail: Option<HeadTailChecks>,
 }
 
 impl InvariantChecks {
     /// No checks (schedulers with no proven structural invariants).
-    pub const NONE: InvariantChecks =
-        InvariantChecks { work_conserving: false, rectangle_tail_alpha: None };
+    pub const NONE: InvariantChecks = InvariantChecks {
+        work_conserving: false,
+        rectangle_tail_alpha: None,
+        head_tail: None,
+    };
 
     /// Work conservation only.
-    pub const WORK_CONSERVING: InvariantChecks =
-        InvariantChecks { work_conserving: true, rectangle_tail_alpha: None };
+    pub const WORK_CONSERVING: InvariantChecks = InvariantChecks {
+        work_conserving: true,
+        rectangle_tail_alpha: None,
+        head_tail: None,
+    };
 }
 
 /// Which invariant a [`Violation`] breached.
@@ -187,6 +231,12 @@ pub enum InvariantRule {
     /// A non-final tail step (at or after `release + OPT`) was not full
     /// width (Lemma 5.2).
     RectangleTail,
+    /// An Algorithm 𝒜 release group exceeded its `m/α` slice in one step
+    /// (Section 5.3 layout).
+    GroupWidth,
+    /// A tail-phase group scheduled again after a short step proved its MC
+    /// rectangle exhausted (Lemma 5.2 under a valid estimate).
+    TailRectangle,
 }
 
 impl std::fmt::Display for InvariantRule {
@@ -194,6 +244,8 @@ impl std::fmt::Display for InvariantRule {
         match self {
             InvariantRule::WorkConserving => write!(f, "work-conserving"),
             InvariantRule::RectangleTail => write!(f, "rectangle-tail"),
+            InvariantRule::GroupWidth => write!(f, "group-width"),
+            InvariantRule::TailRectangle => write!(f, "tail-rectangle"),
         }
     }
 }
@@ -215,9 +267,27 @@ impl std::fmt::Display for Violation {
     }
 }
 
-/// Checks the enabled [`InvariantChecks`] online, in O(1) state and O(1)
-/// work per step, recording [`Violation`]s instead of panicking (at most
-/// [`MAX_RECORDED`](Self::MAX_RECORDED) are kept; the total is counted).
+/// One live Algorithm 𝒜 release group the head/tail check is tracking.
+/// Retired (removed from the map) when every member job has completed.
+#[derive(Debug, Clone, Default)]
+struct GroupTrack {
+    /// Jobs whose release maps to this boundary.
+    members: usize,
+    /// Members that have completed.
+    completed: usize,
+    /// Picks attributed to the group in the step being judged (reset as
+    /// each step's selection is processed).
+    picks: usize,
+    /// Time of the short tail step that proved the group's MC rectangle
+    /// exhausted (strict mode); any later pick is a violation.
+    exhausted_at: Option<Time>,
+}
+
+/// Checks the enabled [`InvariantChecks`] online, recording [`Violation`]s
+/// instead of panicking (at most [`MAX_RECORDED`](Self::MAX_RECORDED) are
+/// kept; the total is counted). Work-conservation and the single-job
+/// rectangle tail are O(1) state; the head/tail group check is O(alive
+/// groups) state and O(picks) work per step.
 ///
 /// The rectangle-tail check is stateful but bounded: it remembers only the
 /// most recent narrow tail step, which becomes a violation the moment any
@@ -235,8 +305,26 @@ pub struct InvariantMonitor {
     /// Most recent narrow tail step, not yet known to be non-final.
     pending_narrow: Option<(Time, usize)>,
     done: bool,
+    /// Per-job release times (grown on release). Always maintained — cheap,
+    /// and it lets [`set_checks`](Self::set_checks) arm the head/tail group
+    /// check mid-run by rebuilding the grouping from history.
+    releases: Vec<Option<Time>>,
+    /// Per-job completion flags (same lifecycle as `releases`).
+    completed: Vec<bool>,
+    /// Live release groups keyed by block boundary (head/tail check only).
+    groups: BTreeMap<Time, GroupTrack>,
+    /// Scratch: boundaries touched by the current step's selection.
+    touched: Vec<Time>,
     violations: Vec<Violation>,
     total: u64,
+}
+
+/// The block boundary a job released at `r` is grouped to: the next
+/// multiple of `half` at or after `r` (𝒜 forms groups at boundaries, and
+/// releases fire before the same-step selection).
+fn group_boundary(release: Time, half: Time) -> Time {
+    let half = half.max(1);
+    release.div_ceil(half) * half
 }
 
 impl InvariantMonitor {
@@ -257,6 +345,10 @@ impl InvariantMonitor {
             release: 0,
             pending_narrow: None,
             done: false,
+            releases: Vec::new(),
+            completed: Vec::new(),
+            groups: BTreeMap::new(),
+            touched: Vec::new(),
             violations: Vec::new(),
             total: 0,
         }
@@ -278,6 +370,10 @@ impl InvariantMonitor {
             },
             pending_narrow: None,
             done: false,
+            releases: Vec::new(),
+            completed: Vec::new(),
+            groups: BTreeMap::new(),
+            touched: Vec::new(),
             violations: Vec::new(),
             total: 0,
         }
@@ -290,11 +386,31 @@ impl InvariantMonitor {
     /// enabling it mid-run arms only if a single-job depth profile was built
     /// at construction (streaming monitors never have one, matching
     /// [`streaming`](Self::streaming)'s multi-job semantics).
+    ///
+    /// A head/tail group check is re-armed from the recorded release
+    /// history, with `strict` demoted: a hot-swapped Algorithm 𝒜 regroups
+    /// every alive job at the swap boundary, so release-derived rectangles
+    /// no longer apply, while the `m/α` width cap stays sound (each
+    /// release-derived group is a subset of one rebuilt group).
     pub fn set_checks(&mut self, checks: InvariantChecks) {
+        let mut checks = checks;
+        if let Some(ht) = &mut checks.head_tail {
+            ht.strict = false;
+        }
         self.checks = checks;
         if checks.rectangle_tail_alpha.is_none() {
             self.tail_start = None;
             self.pending_narrow = None;
+        }
+        self.groups.clear();
+        if let Some(ht) = checks.head_tail {
+            for (i, r) in self.releases.iter().enumerate() {
+                if let Some(r) = r {
+                    if !self.completed[i] {
+                        self.groups.entry(group_boundary(*r, ht.half)).or_default().members += 1;
+                    }
+                }
+            }
         }
     }
 
@@ -321,6 +437,51 @@ impl InvariantMonitor {
     }
 }
 
+impl InvariantMonitor {
+    /// Judge the current step's selection against the head/tail group
+    /// structure (width cap always; exhausted-rectangle rule in strict
+    /// mode). `total` is the step's whole selection size.
+    fn check_head_tail(&mut self, ht: HeadTailChecks, t: Time, total: usize) {
+        let p = (self.m / ht.alpha.max(1)).max(1);
+        let opt = 2 * ht.half.max(1);
+        for i in 0..self.touched.len() {
+            let b = self.touched[i];
+            let Some(g) = self.groups.get_mut(&b) else {
+                continue;
+            };
+            let picks = std::mem::take(&mut g.picks);
+            let exhausted_at = g.exhausted_at;
+            let in_tail = ht.strict && t >= b.saturating_add(opt);
+            if in_tail {
+                // A short tail step (the group got < p while the selection
+                // stayed under m, so its grant provably exceeded its picks)
+                // means its MC rectangle is exhausted under a valid
+                // estimate; re-evaluated every tail step the group runs.
+                g.exhausted_at = (picks < p && total < self.m).then_some(t);
+            }
+            if picks > p {
+                self.record(
+                    t,
+                    InvariantRule::GroupWidth,
+                    format!("group@{b} ran {picks} > slice {p} (m={}, alpha={})", self.m, ht.alpha),
+                );
+            }
+            if in_tail {
+                if let Some(t0) = exhausted_at {
+                    if t > t0 {
+                        self.record(
+                            t,
+                            InvariantRule::TailRectangle,
+                            format!("group@{b} scheduled after its rectangle ran short at t={t0}"),
+                        );
+                    }
+                }
+            }
+        }
+        self.touched.clear();
+    }
+}
+
 impl Probe for InvariantMonitor {
     fn on_start(&mut self, m: usize, _num_jobs: usize) {
         self.m = m;
@@ -330,8 +491,44 @@ impl Probe for InvariantMonitor {
         });
         self.pending_narrow = None;
         self.done = false;
+        self.releases.clear();
+        self.completed.clear();
+        self.groups.clear();
+        self.touched.clear();
         self.violations.clear();
         self.total = 0;
+    }
+
+    fn on_release(&mut self, t: Time, job: JobId) {
+        if job.index() >= self.releases.len() {
+            self.releases.resize(job.index() + 1, None);
+            self.completed.resize(job.index() + 1, false);
+        }
+        self.releases[job.index()] = Some(t);
+        if let Some(ht) = self.checks.head_tail {
+            self.groups.entry(group_boundary(t, ht.half)).or_default().members += 1;
+        }
+    }
+
+    fn on_select(&mut self, t: Time, picks: &[(JobId, NodeId)]) {
+        let Some(ht) = self.checks.head_tail else {
+            return;
+        };
+        if picks.is_empty() {
+            return;
+        }
+        for &(job, _) in picks {
+            let Some(Some(r)) = self.releases.get(job.index()).copied() else {
+                continue;
+            };
+            let b = group_boundary(r, ht.half);
+            let g = self.groups.entry(b).or_default();
+            if g.picks == 0 {
+                self.touched.push(b);
+            }
+            g.picks += 1;
+        }
+        self.check_head_tail(ht, t, picks.len());
     }
 
     fn on_step(&mut self, t: Time, stat: StepStat) {
@@ -369,11 +566,28 @@ impl Probe for InvariantMonitor {
         }
     }
 
-    fn on_complete(&mut self, _t: Time, _job: JobId) {
+    fn on_complete(&mut self, _t: Time, job: JobId) {
         // Single-job instance: the run's last productive step has happened;
         // a pending narrow step was the final one, which Lemma 5.2 exempts.
         self.done = true;
         self.pending_narrow = None;
+        if job.index() < self.completed.len() {
+            self.completed[job.index()] = true;
+            if let (Some(ht), Some(Some(r))) =
+                (self.checks.head_tail, self.releases.get(job.index()))
+            {
+                let b = group_boundary(*r, ht.half);
+                if let Some(g) = self.groups.get_mut(&b) {
+                    g.completed += 1;
+                    if g.completed >= g.members {
+                        // Every member done: the group retires, and with it
+                        // any exhausted-rectangle state (a short final step
+                        // is the expected rectangle shape, not a breach).
+                        self.groups.remove(&b);
+                    }
+                }
+            }
+        }
     }
 
     fn on_idle_gap(&mut self, _t0: Time, _steps: Time, _m: usize) {
@@ -470,7 +684,11 @@ mod tests {
 
     #[test]
     fn rectangle_tail_flags_non_final_narrow_steps_only() {
-        let checks = InvariantChecks { work_conserving: false, rectangle_tail_alpha: Some(1) };
+        let checks = InvariantChecks {
+            work_conserving: false,
+            rectangle_tail_alpha: Some(1),
+            head_tail: None,
+        };
         let inst = Instance::single(star(8));
         let mut mon = InvariantMonitor::new(&inst, checks);
         // Drive the probe by hand: star(8) on m=4 has OPT = 3, so the tail
@@ -487,6 +705,79 @@ mod tests {
         assert_eq!(mon.total_violations(), 1);
         assert_eq!(mon.violations()[0].t, 4);
         assert_eq!(mon.violations()[0].rule, InvariantRule::RectangleTail);
+    }
+
+    #[test]
+    fn head_tail_width_cap_and_strict_rectangle_rule() {
+        let checks = InvariantChecks {
+            work_conserving: false,
+            rectangle_tail_alpha: None,
+            head_tail: Some(HeadTailChecks { alpha: 4, half: 2, strict: true }),
+        };
+        let mut mon = InvariantMonitor::streaming(checks);
+        mon.on_start(8, 0); // slice p = 2, head length opt = 4
+        mon.on_release(0, JobId(0));
+        mon.on_release(0, JobId(1)); // group@0 with jobs 0, 1
+        mon.on_release(3, JobId(2)); // group@4
+                                     // Head step within the cap: clean.
+        mon.on_select(0, &[(JobId(0), NodeId(0)), (JobId(1), NodeId(0))]);
+        assert!(mon.is_clean());
+        // Width breach: 3 picks for group@0 against slice 2.
+        mon.on_select(1, &[(JobId(0), NodeId(1)), (JobId(0), NodeId(2)), (JobId(1), NodeId(1))]);
+        assert_eq!(mon.total_violations(), 1);
+        assert_eq!(mon.violations()[0].rule, InvariantRule::GroupWidth);
+        // Tail (t >= 4): a short step (1 < 2 picks, total under m) marks the
+        // rectangle exhausted but is not itself a breach...
+        mon.on_select(4, &[(JobId(0), NodeId(3))]);
+        assert_eq!(mon.total_violations(), 1);
+        // ...scheduling the group again afterwards is.
+        mon.on_select(5, &[(JobId(1), NodeId(2))]);
+        assert_eq!(mon.total_violations(), 2);
+        assert_eq!(mon.violations()[1].rule, InvariantRule::TailRectangle);
+    }
+
+    #[test]
+    fn head_tail_group_retires_when_all_members_complete() {
+        let checks = InvariantChecks {
+            work_conserving: false,
+            rectangle_tail_alpha: None,
+            head_tail: Some(HeadTailChecks { alpha: 4, half: 2, strict: true }),
+        };
+        let mut mon = InvariantMonitor::streaming(checks);
+        mon.on_start(8, 0);
+        mon.on_release(0, JobId(0));
+        mon.on_release(0, JobId(1));
+        // Short tail step, then both members complete: the short step was
+        // the group's (exempt) rectangle end, not a violation.
+        mon.on_select(4, &[(JobId(0), NodeId(0)), (JobId(1), NodeId(0))]);
+        mon.on_select(5, &[(JobId(0), NodeId(1))]);
+        mon.on_complete(5, JobId(0));
+        mon.on_complete(5, JobId(1));
+        mon.on_finish(5);
+        assert!(mon.is_clean(), "{:?}", mon.violations());
+    }
+
+    #[test]
+    fn set_checks_rearms_head_tail_from_history_without_strict() {
+        let mut mon = InvariantMonitor::streaming(InvariantChecks::NONE);
+        mon.on_start(8, 0);
+        mon.on_release(0, JobId(0));
+        mon.on_release(1, JobId(1));
+        mon.on_complete(2, JobId(0)); // done before the swap: not regrouped
+        mon.set_checks(InvariantChecks {
+            work_conserving: false,
+            rectangle_tail_alpha: None,
+            head_tail: Some(HeadTailChecks { alpha: 4, half: 2, strict: true }),
+        });
+        // Strict demoted: a short tail step followed by more scheduling of
+        // the same group is tolerated after a hot-swap regrouping...
+        mon.on_select(6, &[(JobId(1), NodeId(0))]);
+        mon.on_select(7, &[(JobId(1), NodeId(1))]);
+        assert!(mon.is_clean(), "{:?}", mon.violations());
+        // ...but the m/alpha width cap still applies (slice = 2).
+        mon.on_select(8, &[(JobId(1), NodeId(2)), (JobId(1), NodeId(3)), (JobId(1), NodeId(4))]);
+        assert_eq!(mon.total_violations(), 1);
+        assert_eq!(mon.violations()[0].rule, InvariantRule::GroupWidth);
     }
 
     #[test]

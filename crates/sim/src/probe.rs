@@ -243,6 +243,7 @@ macro_rules! impl_probe_tuple {
 impl_probe_tuple! {
     (A.0, B.1);
     (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
 }
 
 /// Aggregate run counters: O(1) integer updates per event.

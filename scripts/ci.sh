@@ -55,6 +55,39 @@ cargo run --release -q -p flowtree-cli -- report --trend "$SWAP_STORE" --plot \
     || { echo "serve smoke: trend plot missing"; exit 1; }
 rm -rf "$SWAP_STORE"
 
+echo "==> telemetry smoke (mid-run scrape --check + flight recorder round-trip)"
+TEL_STORE=$(mktemp -d)
+TEL_ADDR=127.0.0.1:19187
+cargo run --release -q -p flowtree-cli -- serve service --shards 2 --rate 2.0 \
+    --scheduler fifo -m 4 --jobs 100000 --seed 7 --horizon 1000000000 \
+    --swap-at 5:lpf --metrics-addr "$TEL_ADDR" --store "$TEL_STORE" \
+    >/dev/null 2>&1 &
+TEL_PID=$!
+# Poll the live endpoint until one *consistent* scrape lands mid-run:
+# `metrics --check` asserts the ingest ledger balances
+# (delivered + dropped + staged == offered, stolen_in == stolen_out) and
+# that latency summaries are populated. Early refused connections and
+# not-yet-populated summaries simply retry.
+SCRAPED=0
+for _ in $(seq 1 100); do
+    if cargo run --release -q -p flowtree-cli -- metrics "$TEL_ADDR" --check \
+        >/dev/null 2>&1; then
+        SCRAPED=1
+        break
+    fi
+    kill -0 "$TEL_PID" 2>/dev/null || break
+    sleep 0.05
+done
+wait "$TEL_PID" || { echo "telemetry smoke: serve run failed"; exit 1; }
+[ "$SCRAPED" = 1 ] \
+    || { echo "telemetry smoke: no consistent mid-run scrape"; exit 1; }
+# The drain dumped the flight recorder beside the store; it must render
+# back through the report pipeline with a by-kind tally.
+cargo run --release -q -p flowtree-cli -- report --flight "$TEL_STORE" \
+    | grep -q 'by kind' \
+    || { echo "telemetry smoke: flight recorder did not round-trip"; exit 1; }
+rm -rf "$TEL_STORE"
+
 echo "==> report --trend over the committed store corpus"
 cargo run --release -q -p flowtree-cli -- report --trend results/store --plot >/dev/null
 
