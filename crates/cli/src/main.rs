@@ -24,12 +24,14 @@ use flowtree_analysis::{experiments, Effort};
 use std::process::ExitCode;
 
 mod bench;
+mod gateway;
 mod gen;
 mod metrics;
 mod report;
 mod scenario;
 mod serve;
 mod simulate;
+mod store;
 mod trace;
 
 fn usage() -> &'static str {
@@ -43,7 +45,10 @@ fn usage() -> &'static str {
      \u{20}      flowtree-repro report --flight <flight.jsonl-or-dir>\n\
      \u{20}      flowtree-repro serve <scenario> [--shards N] [--rate R] [--policy P] [--store DIR]\n\
      \u{20}                           [--metrics-addr HOST:PORT] [--flight FILE]\n\
-     \u{20}      flowtree-repro metrics ADDR [--raw] [--check]\n\
+     \u{20}      flowtree-repro gateway <scenario> --addr HOST:PORT [serve flags]\n\
+     \u{20}      flowtree-repro submit <scenario> --addr HOST:PORT [--replay FILE] [--drain]\n\
+     \u{20}      flowtree-repro store gc DIR [--dry-run]\n\
+     \u{20}      flowtree-repro metrics ADDR [--raw] [--check] [--retry N]\n\
      \u{20}      flowtree-repro bench [--quick] [--reps N] [--check BASELINE] [-o FILE]\n\
      Runs the reproduction experiments for 'Scheduling Out-Trees Online to\n\
      Optimize Maximum Flow' (SPAA 2024) and prints markdown reports."
@@ -109,6 +114,33 @@ fn main() -> ExitCode {
         }
         Some("serve") => {
             return match serve::run(&raw[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("gateway") => {
+            return match gateway::run_gateway(&raw[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("submit") => {
+            return match gateway::run_submit(&raw[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("store") => {
+            return match store::run(&raw[1..]) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("{e}");

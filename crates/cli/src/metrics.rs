@@ -34,21 +34,27 @@ impl Sample {
     }
 }
 
-/// Run `metrics ADDR [--raw] [--check]`.
+/// Run `metrics ADDR [--raw] [--check] [--retry N]`.
 pub fn run(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "usage: flowtree-repro metrics ADDR [--raw] [--check] [--retry N]";
     let mut addr: Option<&str> = None;
     let mut raw = false;
     let mut check = false;
-    for a in args {
+    let mut retries: u32 = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--raw" => raw = true,
             "--check" => check = true,
+            "--retry" => retries = crate::scenario::parse_num(&mut it, "--retry")?,
             "-h" | "--help" => {
-                println!("usage: flowtree-repro metrics ADDR [--raw] [--check]");
+                println!("{USAGE}");
                 return Ok(());
             }
             other if other.starts_with('-') => {
-                return Err(format!("unknown flag '{other}' (expected --raw or --check)"))
+                return Err(format!(
+                    "unknown flag '{other}' (expected --raw, --check, or --retry N)"
+                ))
             }
             other => {
                 if addr.replace(other).is_some() {
@@ -57,8 +63,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    let addr = addr.ok_or("usage: flowtree-repro metrics ADDR [--raw] [--check]")?;
-    let body = scrape_metrics(addr).map_err(|e| format!("scrape {addr}: {e}"))?;
+    let addr = addr.ok_or(USAGE)?;
+    let body = scrape_with_retry(addr, retries)?;
     if raw {
         print!("{body}");
     } else {
@@ -69,6 +75,31 @@ pub fn run(args: &[String]) -> Result<(), String> {
         println!("metrics consistent");
     }
     Ok(())
+}
+
+/// Scrape `addr`, retrying retryable failures (connection refused, I/O)
+/// up to `retries` extra attempts ~100 ms apart — enough for CI to race a
+/// serve/gateway endpoint that is still binding. Malformed responses fail
+/// immediately: re-asking a broken endpoint does not unbreak it.
+fn scrape_with_retry(addr: &str, retries: u32) -> Result<String, String> {
+    let mut attempt = 0;
+    loop {
+        match scrape_metrics(addr) {
+            Ok(body) => return Ok(body),
+            Err(e) if e.is_retryable() && attempt < retries => {
+                attempt += 1;
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            Err(e) => {
+                let tries = if attempt > 0 {
+                    format!(" after {} attempt(s)", attempt + 1)
+                } else {
+                    String::new()
+                };
+                return Err(format!("{e}{tries}"));
+            }
+        }
+    }
 }
 
 /// Parse Prometheus text exposition into samples, skipping comments.
@@ -321,5 +352,22 @@ mod tests {
         assert!(run(&[]).unwrap_err().contains("usage"));
         let two = vec!["a:1".to_string(), "b:2".to_string()];
         assert!(run(&two).unwrap_err().contains("exactly one"));
+        let no_n = vec!["127.0.0.1:1".to_string(), "--retry".to_string()];
+        assert!(run(&no_n).unwrap_err().contains("--retry"));
+    }
+
+    #[test]
+    fn refused_scrapes_name_the_address_and_count_retries() {
+        // Bind-then-drop reserves a port nothing listens on.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let err = scrape_with_retry(&addr, 0).unwrap_err();
+        assert!(err.contains(&addr), "{err}");
+        assert!(err.contains("refused"), "{err}");
+        assert!(!err.contains("attempt"), "no retry note on a single try: {err}");
+        let err = scrape_with_retry(&addr, 2).unwrap_err();
+        assert!(err.contains("after 3 attempt(s)"), "{err}");
     }
 }

@@ -29,25 +29,26 @@ use flowtree_serve::{
 };
 use flowtree_workloads::mix::Scenario;
 
-/// Subcommand-specific options on top of [`ScenarioOpts`].
-struct ServeOpts {
-    shards: usize,
-    rate: f64,
-    queue_cap: usize,
-    policy: String,
-    routing: String,
-    replay: Option<String>,
-    stats_every: u64,
-    store: Option<String>,
-    run: Option<String>,
-    horizon: u64,
-    swap_at: Vec<String>,
-    steal: bool,
-    steal_watermarks: Option<String>,
-    ingest_batch: usize,
-    watermark_stride: Time,
-    metrics_addr: Option<String>,
-    flight: Option<String>,
+/// Subcommand-specific options on top of [`ScenarioOpts`]. Shared with the
+/// `gateway` verb, which serves the same pool over a socket.
+pub(crate) struct ServeOpts {
+    pub(crate) shards: usize,
+    pub(crate) rate: f64,
+    pub(crate) queue_cap: usize,
+    pub(crate) policy: String,
+    pub(crate) routing: String,
+    pub(crate) replay: Option<String>,
+    pub(crate) stats_every: u64,
+    pub(crate) store: Option<String>,
+    pub(crate) run: Option<String>,
+    pub(crate) horizon: u64,
+    pub(crate) swap_at: Vec<String>,
+    pub(crate) steal: bool,
+    pub(crate) steal_watermarks: Option<String>,
+    pub(crate) ingest_batch: usize,
+    pub(crate) watermark_stride: Time,
+    pub(crate) metrics_addr: Option<String>,
+    pub(crate) flight: Option<String>,
 }
 
 impl Default for ServeOpts {
@@ -74,58 +75,77 @@ impl Default for ServeOpts {
     }
 }
 
+/// Usage text for the flag set [`serve_flag`] understands (shared by the
+/// `serve` and `gateway` verbs).
+pub(crate) const SERVE_FLAG_USAGE: &str =
+    " [--shards N] [--rate R] [--queue-cap N] [--policy block|drop|redirect]\n\
+     \u{20}        [--routing hash|least-loaded] [--replay FILE] [--stats-every N]\n\
+     \u{20}        [--store DIR] [--run-id ID] [--horizon H] [--swap-at T:SPEC]\n\
+     \u{20}        [--steal] [--steal-watermarks LOW:HIGH] [--ingest-batch N]\n\
+     \u{20}        [--watermark-stride T] [--metrics-addr HOST:PORT] [--flight FILE]";
+
+/// Parse one serve-family flag into `s`; returns whether it was consumed.
+pub(crate) fn serve_flag(
+    s: &mut ServeOpts,
+    flag: &str,
+    it: &mut std::slice::Iter<'_, String>,
+) -> Result<bool, String> {
+    match flag {
+        "--shards" => s.shards = parse_num(it, "--shards")?,
+        "--rate" => s.rate = parse_num(it, "--rate")?,
+        "--queue-cap" => s.queue_cap = parse_num(it, "--queue-cap")?,
+        "--stats-every" => s.stats_every = parse_num(it, "--stats-every")?,
+        "--horizon" => s.horizon = parse_num(it, "--horizon")?,
+        "--policy" => s.policy = it.next().ok_or("--policy needs a name")?.clone(),
+        "--routing" => s.routing = it.next().ok_or("--routing needs a name")?.clone(),
+        "--replay" => s.replay = Some(it.next().ok_or("--replay needs a path")?.clone()),
+        "--store" => s.store = Some(it.next().ok_or("--store needs a directory")?.clone()),
+        "--run-id" => s.run = Some(it.next().ok_or("--run-id needs an id")?.clone()),
+        "--swap-at" => s.swap_at.push(it.next().ok_or("--swap-at needs T:SPEC")?.clone()),
+        "--steal" => s.steal = true,
+        "--steal-watermarks" => {
+            s.steal = true;
+            s.steal_watermarks =
+                Some(it.next().ok_or("--steal-watermarks needs LOW:HIGH")?.clone());
+        }
+        "--ingest-batch" => s.ingest_batch = parse_num(it, "--ingest-batch")?,
+        "--watermark-stride" => s.watermark_stride = parse_num(it, "--watermark-stride")?,
+        "--metrics-addr" => {
+            s.metrics_addr = Some(it.next().ok_or("--metrics-addr needs HOST:PORT")?.clone())
+        }
+        "--flight" => s.flight = Some(it.next().ok_or("--flight needs a path")?.clone()),
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
 /// Run `serve <scenario> [flags]`.
 pub fn run(args: &[String]) -> Result<(), String> {
     let mut s = ServeOpts::default();
-    let o = ScenarioOpts::parse_with(
-        "serve",
-        args,
-        false,
-        " [--shards N] [--rate R] [--queue-cap N] [--policy block|drop|redirect]\n\
-         \u{20}        [--routing hash|least-loaded] [--replay FILE] [--stats-every N]\n\
-         \u{20}        [--store DIR] [--run-id ID] [--horizon H] [--swap-at T:SPEC]\n\
-         \u{20}        [--steal] [--steal-watermarks LOW:HIGH] [--ingest-batch N]\n\
-         \u{20}        [--watermark-stride T] [--metrics-addr HOST:PORT] [--flight FILE]",
-        &mut |flag, it| {
-            match flag {
-                "--shards" => s.shards = parse_num(it, "--shards")?,
-                "--rate" => s.rate = parse_num(it, "--rate")?,
-                "--queue-cap" => s.queue_cap = parse_num(it, "--queue-cap")?,
-                "--stats-every" => s.stats_every = parse_num(it, "--stats-every")?,
-                "--horizon" => s.horizon = parse_num(it, "--horizon")?,
-                "--policy" => s.policy = it.next().ok_or("--policy needs a name")?.clone(),
-                "--routing" => s.routing = it.next().ok_or("--routing needs a name")?.clone(),
-                "--replay" => s.replay = Some(it.next().ok_or("--replay needs a path")?.clone()),
-                "--store" => s.store = Some(it.next().ok_or("--store needs a directory")?.clone()),
-                "--run-id" => s.run = Some(it.next().ok_or("--run-id needs an id")?.clone()),
-                "--swap-at" => s.swap_at.push(it.next().ok_or("--swap-at needs T:SPEC")?.clone()),
-                "--steal" => s.steal = true,
-                "--steal-watermarks" => {
-                    s.steal = true;
-                    s.steal_watermarks =
-                        Some(it.next().ok_or("--steal-watermarks needs LOW:HIGH")?.clone());
-                }
-                "--ingest-batch" => s.ingest_batch = parse_num(it, "--ingest-batch")?,
-                "--watermark-stride" => s.watermark_stride = parse_num(it, "--watermark-stride")?,
-                "--metrics-addr" => {
-                    s.metrics_addr =
-                        Some(it.next().ok_or("--metrics-addr needs HOST:PORT")?.clone())
-                }
-                "--flight" => s.flight = Some(it.next().ok_or("--flight needs a path")?.clone()),
-                _ => return Ok(false),
-            }
-            Ok(true)
-        },
-    )?;
+    let o = ScenarioOpts::parse_with("serve", args, false, SERVE_FLAG_USAGE, &mut |flag, it| {
+        serve_flag(&mut s, flag, it)
+    })?;
     let (results, ingest, handle) = serve(&o, &s, &mut |line| println!("{line}"))?;
-    print!("{}", summary_table(&o, &s, &results, &handle.metrics().telemetry));
-    println!("{}", accounting_line(&ingest));
+    finish(&o, &s, &results, &ingest, &handle)
+}
+
+/// The epilogue every pool-owning verb shares: summary table, ledger line,
+/// store records, flight dump.
+pub(crate) fn finish(
+    o: &ScenarioOpts,
+    s: &ServeOpts,
+    results: &[ShardResult],
+    ingest: &IngestStats,
+    handle: &PoolHandle,
+) -> Result<(), String> {
+    print!("{}", summary_table(o, s, results, &handle.metrics().telemetry));
+    println!("{}", accounting_line(ingest));
     if let Some(dir) = &s.store {
-        let path = persist(&o, &s, &results, dir)?;
+        let path = persist(o, s, results, dir)?;
         eprintln!("appended {} record(s) to {path}", results.len());
     }
-    if let Some(path) = flight_path(&o, &s) {
-        let n = dump_flight(&path, &handle)?;
+    if let Some(path) = flight_path(o, s) {
+        let n = dump_flight(&path, handle)?;
         eprintln!("recorded {n} flight event(s) to {}", path.display());
     }
     Ok(())
@@ -133,7 +153,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
 /// Where the flight-recorder JSONL lands: `--flight FILE` wins; otherwise
 /// a run-scoped file beside the store records; nowhere if neither is set.
-fn flight_path(o: &ScenarioOpts, s: &ServeOpts) -> Option<std::path::PathBuf> {
+pub(crate) fn flight_path(o: &ScenarioOpts, s: &ServeOpts) -> Option<std::path::PathBuf> {
     if let Some(path) = &s.flight {
         return Some(path.into());
     }
@@ -144,7 +164,7 @@ fn flight_path(o: &ScenarioOpts, s: &ServeOpts) -> Option<std::path::PathBuf> {
 }
 
 /// Dump the pool's merged flight ring to `path`; returns the event count.
-fn dump_flight(path: &std::path::Path, handle: &PoolHandle) -> Result<usize, String> {
+pub(crate) fn dump_flight(path: &std::path::Path, handle: &PoolHandle) -> Result<usize, String> {
     let events = handle.flight();
     write_flight_jsonl(path, &events).map_err(|e| format!("write {}: {e}", path.display()))?;
     Ok(events.len())
@@ -176,7 +196,7 @@ fn parse_watermarks(arg: &str) -> Result<StealConfig, String> {
 
 /// The post-drain ingest ledger; ends in `(balanced)` exactly when every
 /// offered arrival is accounted for and stolen jobs net to zero.
-fn accounting_line(ingest: &IngestStats) -> String {
+pub(crate) fn accounting_line(ingest: &IngestStats) -> String {
     let balanced = ingest.delivered + ingest.dropped == ingest.offered
         && ingest.stolen_in == ingest.stolen_out;
     format!(
@@ -209,50 +229,8 @@ fn serve(
     s: &ServeOpts,
     heartbeat: &mut dyn FnMut(&str),
 ) -> Result<(Vec<ShardResult>, IngestStats, PoolHandle), String> {
-    if s.shards == 0 {
-        return Err("--shards must be at least 1".into());
-    }
-    let spec = SchedulerSpec::from_name_with_half(&o.scheduler, o.half)?;
-    let swaps: Vec<(Time, SchedulerSpec)> =
-        s.swap_at.iter().map(|a| parse_swap(a, o.half)).collect::<Result<_, _>>()?;
-    let mut builder = ServeConfig::builder(spec, o.m)
-        .shards(s.shards)
-        .scenario(o.scenario.clone())
-        .queue_cap(s.queue_cap)
-        .policy(s.policy.parse::<OverloadPolicy>()?)
-        .routing(s.routing.parse::<Routing>()?)
-        .max_horizon(s.horizon)
-        .ingest_batch(s.ingest_batch)
-        .watermark_stride(s.watermark_stride);
-    if s.steal {
-        let marks = match &s.steal_watermarks {
-            Some(arg) => parse_watermarks(arg)?,
-            None => StealConfig::default(),
-        };
-        builder = builder.steal(marks);
-    }
-    let cfg = builder.build()?;
-
-    let mut source: Box<dyn ArrivalSource> = match &s.replay {
-        Some(path) => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-            Box::new(ReplaySource::from_json(&text).map_err(|e| format!("{path}: {e}"))?)
-        }
-        None => {
-            let scenario = Scenario::presets(o.jobs)
-                .into_iter()
-                .find(|sc| sc.name == o.scenario)
-                .ok_or_else(|| {
-                format!(
-                    "unknown scenario '{}'; known: {} (or use --replay FILE)",
-                    o.scenario,
-                    crate::scenario::scenario_names().join(", ")
-                )
-            })?;
-            Box::new(GeneratorSource::new(&scenario, s.rate, o.jobs, o.seed))
-        }
-    };
-
+    let (cfg, swaps) = build_config(o, s)?;
+    let mut source = build_source(o, &s.replay, s.rate)?;
     let pool = ShardPool::launch(cfg)?;
     let handle = pool.handle();
     let server = match &s.metrics_addr {
@@ -309,6 +287,65 @@ fn serve(
     Ok((results, handle.ingest(), handle))
 }
 
+/// Turn the parsed CLI options into a validated [`ServeConfig`] plus the
+/// `--swap-at` directives (to queue before any arrival).
+pub(crate) fn build_config(
+    o: &ScenarioOpts,
+    s: &ServeOpts,
+) -> Result<(ServeConfig, Vec<(Time, SchedulerSpec)>), String> {
+    if s.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let spec = SchedulerSpec::from_name_with_half(&o.scheduler, o.half)?;
+    let swaps: Vec<(Time, SchedulerSpec)> =
+        s.swap_at.iter().map(|a| parse_swap(a, o.half)).collect::<Result<_, _>>()?;
+    let mut builder = ServeConfig::builder(spec, o.m)
+        .shards(s.shards)
+        .scenario(o.scenario.clone())
+        .queue_cap(s.queue_cap)
+        .policy(s.policy.parse::<OverloadPolicy>()?)
+        .routing(s.routing.parse::<Routing>()?)
+        .max_horizon(s.horizon)
+        .ingest_batch(s.ingest_batch)
+        .watermark_stride(s.watermark_stride);
+    if s.steal {
+        let marks = match &s.steal_watermarks {
+            Some(arg) => parse_watermarks(arg)?,
+            None => StealConfig::default(),
+        };
+        builder = builder.steal(marks);
+    }
+    Ok((builder.build()?, swaps))
+}
+
+/// The arrival stream: a replayed trace when `replay` is set, otherwise
+/// the named scenario sampled at `rate` expected jobs per step.
+pub(crate) fn build_source(
+    o: &ScenarioOpts,
+    replay: &Option<String>,
+    rate: f64,
+) -> Result<Box<dyn ArrivalSource>, String> {
+    Ok(match replay {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            Box::new(ReplaySource::from_json(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => {
+            let scenario = Scenario::presets(o.jobs)
+                .into_iter()
+                .find(|sc| sc.name == o.scenario)
+                .ok_or_else(|| {
+                format!(
+                    "unknown scenario '{}'; known: {} (or use --replay FILE)",
+                    o.scenario,
+                    crate::scenario::scenario_names().join(", ")
+                )
+            })?;
+            Box::new(GeneratorSource::new(&scenario, rate, o.jobs, o.seed))
+        }
+    })
+}
+
 /// The telemetry tail of a heartbeat line: merged p99 arrival→completion
 /// latency and the worst per-shard live max_flow/LB ratio.
 fn latency_suffix(handle: &PoolHandle) -> String {
@@ -322,7 +359,7 @@ fn latency_suffix(handle: &PoolHandle) -> String {
 
 /// Render the final per-shard summary table, including the telemetry
 /// registry's wall-clock p99 arrival→completion latency and live ratio.
-fn summary_table(
+pub(crate) fn summary_table(
     o: &ScenarioOpts,
     s: &ServeOpts,
     results: &[ShardResult],
@@ -387,7 +424,7 @@ fn summary_table(
 }
 
 /// Append one store record per shard; returns the store directory.
-fn persist(
+pub(crate) fn persist(
     o: &ScenarioOpts,
     s: &ServeOpts,
     results: &[ShardResult],

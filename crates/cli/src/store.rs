@@ -1,0 +1,123 @@
+//! `flowtree-repro store` — maintenance verbs over the results store.
+//!
+//! `store gc DIR` compacts the store: records superseded by a newer run of
+//! the same `run_id` (an older `git` describe) are folded verbatim into
+//! `history.jsonl` next to the live files, so `report --trend` sees one
+//! generation per run while nothing is ever deleted. `--dry-run` prints the
+//! plan without touching a byte.
+
+use flowtree_serve::{gc_store, GcReport, HISTORY_FILE};
+use std::path::Path;
+
+/// Run `store <verb> [args]`.
+pub fn run(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "usage: flowtree-repro store gc DIR [--dry-run]";
+    let Some(verb) = args.first() else {
+        return Err(USAGE.into());
+    };
+    match verb.as_str() {
+        "gc" => {
+            let mut dir: Option<&str> = None;
+            let mut dry_run = false;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--dry-run" => dry_run = true,
+                    other if other.starts_with('-') => {
+                        return Err(format!("unknown flag '{other}'\n{USAGE}"));
+                    }
+                    path if dir.is_none() => dir = Some(path),
+                    extra => return Err(format!("unexpected argument '{extra}'\n{USAGE}")),
+                }
+            }
+            let dir = dir.ok_or_else(|| format!("store gc needs a directory\n{USAGE}"))?;
+            let report =
+                gc_store(Path::new(dir), dry_run).map_err(|e| format!("store gc {dir}: {e}"))?;
+            print!("{}", render_gc(dir, &report));
+            Ok(())
+        }
+        other => Err(format!("unknown store verb '{other}'\n{USAGE}")),
+    }
+}
+
+/// Render a [`GcReport`] as the command's output.
+fn render_gc(dir: &str, report: &GcReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for f in &report.files {
+        let _ = writeln!(
+            out,
+            "{}: {} kept, {} superseded{}",
+            f.file,
+            f.kept,
+            f.folded,
+            if report.dry_run {
+                " (would fold)"
+            } else {
+                " (folded)"
+            }
+        );
+    }
+    let verb = if report.dry_run {
+        "would fold"
+    } else {
+        "folded"
+    };
+    let _ = writeln!(
+        out,
+        "{dir}: {verb} {} superseded record(s) into {HISTORY_FILE}, {} live record(s) kept{}",
+        report.total_folded(),
+        report.total_kept(),
+        if report.dry_run {
+            " — dry run, nothing written"
+        } else {
+            ""
+        }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtree_serve::GcFileReport;
+
+    #[test]
+    fn argument_errors_are_clean() {
+        assert!(run(&[]).unwrap_err().contains("usage"));
+        assert!(run(&["shrink".into()]).unwrap_err().contains("unknown store verb"));
+        assert!(run(&["gc".into()]).unwrap_err().contains("needs a directory"));
+        assert!(run(&["gc".into(), "dir".into(), "--nope".into()])
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(run(&["gc".into(), "a".into(), "b".into()])
+            .unwrap_err()
+            .contains("unexpected argument"));
+    }
+
+    #[test]
+    fn gc_renders_per_file_and_total_lines() {
+        let report = GcReport {
+            files: vec![GcFileReport { file: "r1.jsonl".into(), kept: 2, folded: 1 }],
+            dry_run: true,
+        };
+        let text = render_gc("results/store", &report);
+        assert!(text.contains("r1.jsonl: 2 kept, 1 superseded (would fold)"), "{text}");
+        assert!(text.contains("dry run"), "{text}");
+        let applied = GcReport { dry_run: false, ..report };
+        let text = render_gc("results/store", &applied);
+        assert!(text.contains("(folded)"), "{text}");
+        assert!(!text.contains("dry run"), "{text}");
+    }
+
+    #[test]
+    fn gc_over_a_real_store_matches_the_library_report() {
+        let dir = std::env::temp_dir().join(format!("flowtree-store-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("empty.jsonl"), "").unwrap();
+        run(&["gc".into(), dir.to_str().unwrap().into(), "--dry-run".into()]).unwrap();
+        run(&["gc".into(), dir.to_str().unwrap().into()]).unwrap();
+        assert!(!dir.join(HISTORY_FILE).exists(), "nothing to fold, no history file");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

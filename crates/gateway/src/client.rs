@@ -1,0 +1,296 @@
+//! A blocking client for the gateway wire protocol.
+//!
+//! [`GatewayClient`] keeps one TCP connection, dialed lazily: the first
+//! call (and the first call after a connection dies) connects and performs
+//! the `Hello`/`Welcome` handshake. An I/O failure marks the connection
+//! dead; the *next* call dials fresh, so a replay driver survives a
+//! gateway restart mid-stream by just retrying the failed batch —
+//! reconnect-and-resume, counted in [`GatewayClient::reconnects`].
+
+use crate::wire::{
+    decode, encode, read_frame, write_frame, FrameError, Reply, Request, MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+use flowtree_dag::Time;
+use flowtree_serve::IngestStats;
+use flowtree_sim::JobSpec;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How many times one batch may fail on I/O (each retry on a fresh
+/// connection) before [`GatewayClient::submit_all`] gives up.
+const MAX_IO_RETRIES: u64 = 3;
+
+/// A client-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Socket-level failure; the connection has been marked dead and the
+    /// next call will redial.
+    Io(String),
+    /// Byte-stream framing failure from the gateway.
+    Frame(FrameError),
+    /// The gateway answered [`Reply::Reject`].
+    Rejected(String),
+    /// The gateway closed the connection instead of replying.
+    Closed,
+    /// The gateway sent a reply the request does not expect.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "gateway i/o: {e}"),
+            ClientError::Frame(e) => write!(f, "gateway framing: {e}"),
+            ClientError::Rejected(r) => write!(f, "gateway rejected the request: {r}"),
+            ClientError::Closed => write!(f, "gateway closed the connection"),
+            ClientError::Protocol(m) => write!(f, "protocol confusion: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// What the gateway said to a submit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitOutcome {
+    /// The batch was offered; `delta` is its exact ledger contribution.
+    Accepted {
+        /// The gateway's per-connection acknowledgement counter.
+        seq: u64,
+        /// Ledger delta for this batch alone.
+        delta: IngestStats,
+    },
+    /// The pool had no room; nothing was offered. Retry after the hint.
+    Busy {
+        /// Gateway-suggested back-off.
+        retry_after_ms: u64,
+    },
+}
+
+/// Aggregate outcome of a [`GatewayClient::submit_all`] replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientRunStats {
+    /// Jobs accepted by the gateway.
+    pub submitted: u64,
+    /// Accepted batches.
+    pub batches: u64,
+    /// Busy replies absorbed (each one slept and retried).
+    pub busy_retries: u64,
+    /// Fresh connections dialed after the first.
+    pub reconnects: u64,
+}
+
+/// A pool snapshot as seen over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteSnapshot {
+    /// The pool's one-line heartbeat.
+    pub line: String,
+    /// Ledger: arrivals offered.
+    pub offered: u64,
+    /// Ledger: arrivals delivered.
+    pub delivered: u64,
+    /// Ledger: arrivals shed.
+    pub dropped: u64,
+    /// Ledger: arrivals staged router-side.
+    pub staged: u64,
+    /// Whether the ledger balanced at snapshot time.
+    pub balanced: bool,
+}
+
+/// A blocking gateway connection with lazy dial and redial.
+#[derive(Debug)]
+pub struct GatewayClient {
+    addr: String,
+    name: String,
+    conn: Option<TcpStream>,
+    dials: u64,
+}
+
+impl GatewayClient {
+    /// Connect to `addr` (host:port), performing the hello handshake
+    /// eagerly so a bad address or version mismatch fails here.
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        Self::with_name(addr, "flowtree-client")
+    }
+
+    /// [`connect`](Self::connect) with an explicit client name (shows up
+    /// in the gateway's flight-recorder drain event).
+    pub fn with_name(addr: &str, name: &str) -> Result<Self, ClientError> {
+        let mut c = GatewayClient {
+            addr: addr.to_string(),
+            name: name.to_string(),
+            conn: None,
+            dials: 0,
+        };
+        c.ensure_connected()?;
+        Ok(c)
+    }
+
+    /// Fresh connections dialed after the first (0 = never reconnected).
+    pub fn reconnects(&self) -> u64 {
+        self.dials.saturating_sub(1)
+    }
+
+    /// Drop the current connection (if any). The next call redials.
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), ClientError> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let stream = TcpStream::connect(&self.addr)
+            .map_err(|e| ClientError::Io(format!("connect {}: {e}", self.addr)))?;
+        let _ = stream.set_nodelay(true);
+        self.dials += 1;
+        self.conn = Some(stream);
+        let hello = Request::Hello { proto: PROTOCOL_VERSION, client: self.name.clone() };
+        match self.roundtrip(&hello) {
+            Ok(Reply::Welcome { .. }) => Ok(()),
+            Ok(Reply::Reject { reason }) => {
+                self.conn = None;
+                Err(ClientError::Rejected(reason))
+            }
+            Ok(other) => {
+                self.conn = None;
+                Err(ClientError::Protocol(format!("expected welcome, got {other:?}")))
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// One request/reply exchange on the live connection. Any failure
+    /// marks the connection dead so the next call redials.
+    fn roundtrip(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        let stream = self.conn.as_ref().expect("roundtrip needs a connection");
+        let outcome = (|| {
+            write_frame(&mut &*stream, &encode(req)).map_err(|e| ClientError::Io(e.to_string()))?;
+            match read_frame(&mut &*stream, MAX_FRAME) {
+                Ok(Some(payload)) => decode::<Reply>(&payload).map_err(ClientError::Protocol),
+                Ok(None) => Err(ClientError::Closed),
+                Err(e) => Err(ClientError::Frame(e)),
+            }
+        })();
+        if outcome.is_err() {
+            self.conn = None;
+        }
+        outcome
+    }
+
+    /// Connect if needed, then exchange one request/reply.
+    fn call(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        self.ensure_connected()?;
+        self.roundtrip(req)
+    }
+
+    fn call_expect_ack(&mut self, req: &Request) -> Result<IngestStats, ClientError> {
+        match self.call(req)? {
+            Reply::Ack { delta, .. } => Ok(delta),
+            Reply::Reject { reason } => Err(ClientError::Rejected(reason)),
+            other => Err(ClientError::Protocol(format!("expected ack, got {other:?}"))),
+        }
+    }
+
+    /// Offer one job.
+    pub fn submit(&mut self, job: JobSpec) -> Result<SubmitOutcome, ClientError> {
+        self.submit_reply(Request::Submit { job })
+    }
+
+    /// Offer a batch (all-or-nothing: `Busy` means none were offered).
+    pub fn submit_batch(&mut self, jobs: Vec<JobSpec>) -> Result<SubmitOutcome, ClientError> {
+        self.submit_reply(Request::SubmitBatch { jobs })
+    }
+
+    fn submit_reply(&mut self, req: Request) -> Result<SubmitOutcome, ClientError> {
+        match self.call(&req)? {
+            Reply::Ack { seq, delta } => Ok(SubmitOutcome::Accepted { seq, delta }),
+            Reply::Busy { retry_after_ms } => Ok(SubmitOutcome::Busy { retry_after_ms }),
+            Reply::Reject { reason } => Err(ClientError::Rejected(reason)),
+            other => Err(ClientError::Protocol(format!("expected ack/busy, got {other:?}"))),
+        }
+    }
+
+    /// Drive a whole job list through the gateway in batches of `batch`,
+    /// sleeping through `Busy` replies and redialing through connection
+    /// failures (each failed batch is retried whole on the fresh
+    /// connection — the gateway never saw it, or saw it and the ledger
+    /// keeps it; either way the pool's books stay balanced).
+    pub fn submit_all(
+        &mut self,
+        jobs: &[JobSpec],
+        batch: usize,
+    ) -> Result<ClientRunStats, ClientError> {
+        let batch = batch.max(1);
+        let mut stats = ClientRunStats::default();
+        for chunk in jobs.chunks(batch) {
+            let mut io_failures = 0u64;
+            loop {
+                match self.submit_batch(chunk.to_vec()) {
+                    Ok(SubmitOutcome::Accepted { .. }) => {
+                        stats.submitted += chunk.len() as u64;
+                        stats.batches += 1;
+                        break;
+                    }
+                    Ok(SubmitOutcome::Busy { retry_after_ms }) => {
+                        stats.busy_retries += 1;
+                        std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 1000)));
+                    }
+                    Err(e @ (ClientError::Io(_) | ClientError::Closed | ClientError::Frame(_)))
+                        if io_failures < MAX_IO_RETRIES =>
+                    {
+                        let _ = e;
+                        io_failures += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        stats.reconnects = self.reconnects();
+        Ok(stats)
+    }
+
+    /// Advance the pool's event-time frontier.
+    pub fn watermark(&mut self, t: Time) -> Result<IngestStats, ClientError> {
+        self.call_expect_ack(&Request::Watermark { t })
+    }
+
+    /// Hot-swap the scheduler on `shard` (`None` = every shard) at event
+    /// time `at`.
+    pub fn swap(&mut self, shard: Option<usize>, at: Time, spec: &str) -> Result<(), ClientError> {
+        let shard = shard.map(|s| s as i64).unwrap_or(-1);
+        self.call_expect_ack(&Request::Swap { shard, at, spec: spec.to_string() })
+            .map(|_| ())
+    }
+
+    /// A point-in-time pool snapshot over the wire.
+    pub fn snapshot(&mut self) -> Result<RemoteSnapshot, ClientError> {
+        match self.call(&Request::Snapshot)? {
+            Reply::State { line, offered, delivered, dropped, staged, balanced } => {
+                Ok(RemoteSnapshot { line, offered, delivered, dropped, staged, balanced })
+            }
+            Reply::Reject { reason } => Err(ClientError::Rejected(reason)),
+            other => Err(ClientError::Protocol(format!("expected state, got {other:?}"))),
+        }
+    }
+
+    /// The gateway's Prometheus text exposition (pool + gateway series).
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Reply::MetricsText { text } => Ok(text),
+            Reply::Reject { reason } => Err(ClientError::Rejected(reason)),
+            other => Err(ClientError::Protocol(format!("expected metrics, got {other:?}"))),
+        }
+    }
+
+    /// Ask the gateway to drain its pool, then hang up.
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        let out = self.call_expect_ack(&Request::Drain).map(|_| ());
+        self.disconnect();
+        out
+    }
+}

@@ -1,0 +1,374 @@
+//! The gateway server: one accept loop multiplexing any number of client
+//! connections into a single [`PoolHandle`].
+//!
+//! Each connection gets a handler thread speaking the [`wire`](crate::wire)
+//! protocol. Handlers never block inside the pool on a client's behalf:
+//! when the pool's policy is `block` (and stealing is off), a batch that
+//! would block is answered with [`Reply::Busy`] *before* being offered, so
+//! backpressure becomes a wire-level retry loop instead of a stalled
+//! handler, and the ledger invariant `delivered + dropped + staged ==
+//! offered` stays exact across all clients combined.
+//!
+//! Connection lifecycle (`conn-open` / `conn-close`) and every `Busy`
+//! shed land in shard 0's flight-recorder ring — the router's shard — so
+//! `report --flight` shows the network edge next to steals and swaps.
+
+use crate::wire::{
+    decode, encode, read_frame_patient, write_frame, FrameError, Reply, Request, MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+use flowtree_core::SchedulerSpec;
+use flowtree_serve::{FlightKind, OverloadPolicy, PoolHandle};
+use flowtree_sim::JobSpec;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// How often an idle handler re-checks the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Gateway tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Per-frame payload ceiling (bytes).
+    pub max_frame: usize,
+    /// Back-off suggested in [`Reply::Busy`].
+    pub retry_after_ms: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig { max_frame: MAX_FRAME, retry_after_ms: 50 }
+    }
+}
+
+/// Live gateway counters, exposed on the metrics endpoint.
+#[derive(Debug, Default)]
+pub struct GatewayStats {
+    /// Connections currently open.
+    pub connections_open: AtomicU64,
+    /// Connections accepted since launch.
+    pub connections_total: AtomicU64,
+    /// Jobs offered to the pool on behalf of remote clients.
+    pub remote_jobs: AtomicU64,
+    /// Batches answered with [`Reply::Busy`].
+    pub busy_replies: AtomicU64,
+    /// Frames that failed to frame or parse.
+    pub wire_errors: AtomicU64,
+}
+
+impl GatewayStats {
+    /// Render the counters in the Prometheus text exposition format, for
+    /// appending to the pool's exposition via
+    /// [`serve_metrics_with`](flowtree_serve::serve_metrics_with).
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let rows: [(&str, &str, u64, &str); 5] = [
+            (
+                "connections_open",
+                "gauge",
+                self.connections_open.load(Ordering::Relaxed),
+                "Client connections currently open.",
+            ),
+            (
+                "connections_total",
+                "counter",
+                self.connections_total.load(Ordering::Relaxed),
+                "Client connections accepted since launch.",
+            ),
+            (
+                "remote_jobs_total",
+                "counter",
+                self.remote_jobs.load(Ordering::Relaxed),
+                "Jobs offered to the pool by remote clients.",
+            ),
+            (
+                "busy_replies_total",
+                "counter",
+                self.busy_replies.load(Ordering::Relaxed),
+                "Batches refused with a busy reply.",
+            ),
+            (
+                "wire_errors_total",
+                "counter",
+                self.wire_errors.load(Ordering::Relaxed),
+                "Frames that failed to frame or parse.",
+            ),
+        ];
+        let mut out = String::with_capacity(512);
+        for (name, kind, v, help) in rows {
+            let _ = writeln!(out, "# HELP flowtree_gateway_{name} {help}");
+            let _ = writeln!(out, "# TYPE flowtree_gateway_{name} {kind}");
+            let _ = writeln!(out, "flowtree_gateway_{name} {v}");
+        }
+        out
+    }
+}
+
+/// A running gateway: accept loop plus one handler thread per connection.
+#[derive(Debug)]
+pub struct Gateway {
+    addr: SocketAddr,
+    stats: Arc<GatewayStats>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    drain_rx: mpsc::Receiver<String>,
+}
+
+impl Gateway {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// accepting clients against `handle`'s pool.
+    pub fn launch(addr: &str, handle: PoolHandle, cfg: GatewayConfig) -> io::Result<Gateway> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(GatewayStats::default());
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let (drain_tx, drain_rx) = mpsc::channel();
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let handlers = Arc::clone(&handlers);
+            thread::Builder::new().name("gateway-accept".into()).spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match conn {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    stats.connections_total.fetch_add(1, Ordering::SeqCst);
+                    stats.connections_open.fetch_add(1, Ordering::SeqCst);
+                    let conn_id = stats.connections_total.load(Ordering::SeqCst);
+                    let handle = handle.clone();
+                    let cfg = cfg.clone();
+                    let conn_stats = Arc::clone(&stats);
+                    let stop = Arc::clone(&stop);
+                    let drain_tx = drain_tx.clone();
+                    let spawned = thread::Builder::new()
+                        .name(format!("gateway-conn-{conn_id}"))
+                        .spawn(move || {
+                            serve_conn(stream, handle, &cfg, &conn_stats, &stop, &drain_tx);
+                            conn_stats.connections_open.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    match spawned {
+                        Ok(h) => handlers.lock().expect("gateway handler list").push(h),
+                        Err(_) => {
+                            stats.connections_open.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+            })?
+        };
+
+        Ok(Gateway {
+            addr: local,
+            stats,
+            stop,
+            accept: Some(accept),
+            handlers,
+            drain_rx,
+        })
+    }
+
+    /// The bound address (with the real port when launched on `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The gateway's live counters.
+    pub fn stats(&self) -> Arc<GatewayStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Block until some client sends [`Request::Drain`]; returns the
+    /// client's name. `None` means the gateway shut down without one.
+    pub fn wait_drain(&self) -> Option<String> {
+        self.drain_rx.recv().ok()
+    }
+
+    /// Stop accepting, wake idle handlers, and join every thread. Safe to
+    /// call with connections still open — handlers notice within
+    /// [`IDLE_POLL`] and close.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the blocking accept loop awake with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().expect("gateway handler list"));
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+fn send(stream: &TcpStream, reply: &Reply) -> io::Result<()> {
+    write_frame(&mut &*stream, &encode(reply))
+}
+
+/// One connection's protocol loop. Runs on its own thread; exits on client
+/// EOF, an unrecoverable framing error, a drain request, or shutdown.
+fn serve_conn(
+    stream: TcpStream,
+    handle: PoolHandle,
+    cfg: &GatewayConfig,
+    stats: &GatewayStats,
+    stop: &AtomicBool,
+    drain_tx: &mpsc::Sender<String>,
+) {
+    let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".to_string());
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return;
+    }
+    let _ = handle.record_flight(0, FlightKind::ConnOpen, 0, peer.clone());
+    let mut client = String::new();
+    let mut seq: u64 = 0;
+
+    loop {
+        let payload = match read_frame_patient(&mut &stream, cfg.max_frame, &mut || {
+            !stop.load(Ordering::SeqCst)
+        }) {
+            Ok(Some(p)) => p,
+            Ok(None) => break,
+            Err(FrameError::Oversized { len, max }) => {
+                // The announced length is a lie we refuse to read through,
+                // so frame sync is unrecoverable: reject, then close.
+                stats.wire_errors.fetch_add(1, Ordering::SeqCst);
+                let _ = send(
+                    &stream,
+                    &Reply::Reject {
+                        reason: format!("frame of {len} bytes exceeds the {max}-byte limit"),
+                    },
+                );
+                break;
+            }
+            Err(_) => {
+                stats.wire_errors.fetch_add(1, Ordering::SeqCst);
+                break;
+            }
+        };
+        let req = match decode::<Request>(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // Framing held, so the stream is still in sync: reject the
+                // message and keep serving the connection.
+                stats.wire_errors.fetch_add(1, Ordering::SeqCst);
+                if send(&stream, &Reply::Reject { reason: format!("bad request: {e}") }).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+
+        let reply = match req {
+            Request::Hello { proto, client: name } => {
+                if proto != PROTOCOL_VERSION {
+                    let reason =
+                        format!("protocol {proto} unsupported (gateway speaks {PROTOCOL_VERSION})");
+                    let _ = send(&stream, &Reply::Reject { reason });
+                    break;
+                }
+                client = name;
+                let pool = handle.config();
+                Reply::Welcome {
+                    proto: PROTOCOL_VERSION,
+                    shards: pool.shards,
+                    scheduler: pool.spec.name().to_string(),
+                    policy: pool.policy.name().to_string(),
+                }
+            }
+            _ if client.is_empty() => Reply::Reject { reason: "say hello first".to_string() },
+            Request::Submit { job } => submit(&handle, cfg, stats, &peer, &mut seq, vec![job]),
+            Request::SubmitBatch { jobs } => submit(&handle, cfg, stats, &peer, &mut seq, jobs),
+            Request::Watermark { t } => match handle.advance_frontier(t) {
+                Ok(delta) => {
+                    seq += 1;
+                    Reply::Ack { seq, delta }
+                }
+                Err(e) => Reply::Reject { reason: String::from(e) },
+            },
+            Request::Swap { shard, at, spec } => {
+                let target = usize::try_from(shard).ok();
+                match spec.parse::<SchedulerSpec>() {
+                    Ok(s) => match handle.swap(target, at, s) {
+                        Ok(()) => {
+                            seq += 1;
+                            Reply::Ack { seq, delta: Default::default() }
+                        }
+                        Err(e) => Reply::Reject { reason: String::from(e) },
+                    },
+                    Err(e) => Reply::Reject { reason: e },
+                }
+            }
+            Request::Snapshot => {
+                let snap = handle.snapshot();
+                Reply::State {
+                    line: snap.line(),
+                    offered: snap.ingest.offered,
+                    delivered: snap.ingest.delivered,
+                    dropped: snap.ingest.dropped,
+                    staged: snap.in_flight(),
+                    balanced: snap.accounting_balanced(),
+                }
+            }
+            Request::Metrics => {
+                let mut text = handle.metrics().render_prometheus();
+                text.push_str(&stats.render_prometheus());
+                Reply::MetricsText { text }
+            }
+            Request::Drain => {
+                seq += 1;
+                let _ = send(&stream, &Reply::Ack { seq, delta: Default::default() });
+                let _ = drain_tx.send(client.clone());
+                break;
+            }
+        };
+        if send(&stream, &reply).is_err() {
+            break;
+        }
+    }
+
+    let _ = handle.record_flight(0, FlightKind::ConnClose, 0, peer);
+}
+
+/// The submit path shared by `Submit` and `SubmitBatch`. Whole-batch
+/// semantics: either every job is offered or none is (a [`Reply::Busy`])
+/// — partial ingest would make the per-reply ledger delta ambiguous.
+fn submit(
+    handle: &PoolHandle,
+    cfg: &GatewayConfig,
+    stats: &GatewayStats,
+    peer: &str,
+    seq: &mut u64,
+    mut jobs: Vec<JobSpec>,
+) -> Reply {
+    let n = jobs.len();
+    let pool = handle.config();
+    // Only the blocking policy (without stealing's staged escape hatch)
+    // can stall the router; map that stall onto the wire as Busy *before*
+    // offering, so a refused batch touches no ledger counter.
+    let would_block =
+        pool.policy == OverloadPolicy::Block && pool.steal.is_none() && handle.ingress_room() < n;
+    if would_block {
+        stats.busy_replies.fetch_add(1, Ordering::SeqCst);
+        let t = jobs.first().map(|j| j.release).unwrap_or(0);
+        let _ = handle.record_flight(0, FlightKind::Busy, t, format!("{peer} batch of {n}"));
+        return Reply::Busy { retry_after_ms: cfg.retry_after_ms };
+    }
+    match handle.offer_batch_stamped(&mut jobs, handle.now_us()) {
+        Ok(delta) => {
+            stats.remote_jobs.fetch_add(n as u64, Ordering::SeqCst);
+            *seq += 1;
+            Reply::Ack { seq: *seq, delta }
+        }
+        Err(e) => Reply::Reject { reason: String::from(e) },
+    }
+}

@@ -1,0 +1,452 @@
+//! The wire protocol: length-framed JSON messages.
+//!
+//! Every frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON — one message per frame, the framing layer playing
+//! the role JSONL's newline plays on disk. Messages are `"type"`-tagged
+//! objects ([`Request`] client→gateway, [`Reply`] gateway→client) so either
+//! side can reject an unknown tag without losing frame sync.
+//!
+//! Error surfaces are deliberately split: [`FrameError`] is about the byte
+//! stream (truncation, an oversized length prefix, socket errors) and
+//! usually ends the connection, while a payload that frames correctly but
+//! parses badly is answered with [`Reply::Reject`] and the connection
+//! lives on.
+
+use flowtree_dag::Time;
+use flowtree_serve::IngestStats;
+use flowtree_sim::JobSpec;
+use serde::Value;
+use std::io::{self, Read, Write};
+
+/// Wire protocol version carried in [`Request::Hello`]; the gateway refuses
+/// clients that speak a different one.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default ceiling on one frame's payload (4 MiB). A length prefix above
+/// the limit is a protocol error, not an allocation request — the reader
+/// refuses it before reserving memory.
+pub const MAX_FRAME: usize = 4 << 20;
+
+/// A byte-stream-level framing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeded the reader's limit.
+    Oversized {
+        /// Payload length the prefix announced.
+        len: usize,
+        /// The reader's configured ceiling.
+        max: usize,
+    },
+    /// The stream ended (EOF or reader gave up) mid-frame.
+    Truncated,
+    /// An underlying socket error.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Write one frame: 4-byte big-endian length, then the payload, flushed.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "payload exceeds u32 framing"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame, blocking until it arrives. `Ok(None)` means the peer
+/// closed cleanly between frames; EOF *inside* a frame is
+/// [`FrameError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    read_frame_patient(r, max, &mut || true)
+}
+
+/// [`read_frame`] for sockets with a read timeout: every time the read
+/// times out (`WouldBlock`/`TimedOut`), `keep_waiting` is consulted. While
+/// it returns `true` the read retries; once it returns `false` the call
+/// resolves — `Ok(None)` if no byte of the frame had arrived yet,
+/// [`FrameError::Truncated`] if one had. This is how a gateway handler
+/// blocks on an idle client yet still notices a shutdown flag.
+pub fn read_frame_patient<R: Read>(
+    r: &mut R,
+    max: usize,
+    keep_waiting: &mut dyn FnMut() -> bool,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    if !read_exact_patient(r, &mut header, true, keep_waiting)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max {
+        return Err(FrameError::Oversized { len, max });
+    }
+    let mut payload = vec![0u8; len];
+    if !read_exact_patient(r, &mut payload, false, keep_waiting)? {
+        return Err(FrameError::Truncated);
+    }
+    Ok(Some(payload))
+}
+
+/// Fill `buf` from `r`. Returns `Ok(false)` when the stream ends (EOF or
+/// `keep_waiting` says stop) before the *first* byte and `at_boundary` is
+/// set; any later shortfall is [`FrameError::Truncated`].
+fn read_exact_patient<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    at_boundary: bool,
+    keep_waiting: &mut dyn FnMut() -> bool,
+) -> Result<bool, FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 && at_boundary {
+                    Ok(false)
+                } else {
+                    Err(FrameError::Truncated)
+                }
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if keep_waiting() {
+                    continue;
+                }
+                return if got == 0 && at_boundary {
+                    Ok(false)
+                } else {
+                    Err(FrameError::Truncated)
+                };
+            }
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    Ok(true)
+}
+
+/// Serialize a wire message to its frame payload.
+pub fn encode<T: serde::Serialize>(msg: &T) -> Vec<u8> {
+    serde_json::to_string(msg).expect("wire messages serialize").into_bytes()
+}
+
+/// Parse a frame payload into a wire message. The error string is safe to
+/// echo back in a [`Reply::Reject`].
+pub fn decode<T: serde::Deserialize>(payload: &[u8]) -> Result<T, String> {
+    let text =
+        std::str::from_utf8(payload).map_err(|_| "frame payload is not UTF-8".to_string())?;
+    serde_json::from_str(text).map_err(|e| e.to_string())
+}
+
+/// A client→gateway message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Mandatory first message on every connection.
+    Hello {
+        /// Must equal [`PROTOCOL_VERSION`].
+        proto: u32,
+        /// Free-form client name, echoed into flight-recorder events.
+        client: String,
+    },
+    /// Offer one job.
+    Submit {
+        /// The job to ingest.
+        job: JobSpec,
+    },
+    /// Offer a batch of jobs atomically (all accepted or all [`Reply::Busy`]).
+    SubmitBatch {
+        /// The jobs to ingest, releases nondecreasing preferred.
+        jobs: Vec<JobSpec>,
+    },
+    /// Advance the pool's event-time frontier without offering work.
+    Watermark {
+        /// New frontier; ignored if the pool is already past it.
+        t: Time,
+    },
+    /// Hot-swap the scheduler on one shard (or all with `shard = -1`).
+    Swap {
+        /// Target shard index, or `-1` for every shard.
+        shard: i64,
+        /// Event time at which the swap applies.
+        at: Time,
+        /// Scheduler name as the CLI spells it (e.g. `"lpf"`).
+        spec: String,
+    },
+    /// Ask for a point-in-time pool snapshot.
+    Snapshot,
+    /// Ask for the Prometheus text exposition (pool + gateway series).
+    Metrics,
+    /// Ask the gateway to stop accepting work and drain the pool.
+    Drain,
+}
+
+/// A gateway→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Successful [`Request::Hello`].
+    Welcome {
+        /// The gateway's protocol version.
+        proto: u32,
+        /// Shards in the pool behind the gateway.
+        shards: usize,
+        /// Scheduler the pool launched with.
+        scheduler: String,
+        /// Overload policy name (`block` / `drop-newest` / `redirect`).
+        policy: String,
+    },
+    /// The request was applied; `delta` is exactly what it did to the
+    /// pool-wide ingest ledger.
+    Ack {
+        /// Per-connection acknowledgement counter.
+        seq: u64,
+        /// Ledger delta attributable to this request alone.
+        delta: IngestStats,
+    },
+    /// The pool would have blocked on this batch; retry later. The batch
+    /// was *not* offered — it appears in no ledger counter.
+    Busy {
+        /// Suggested client back-off.
+        retry_after_ms: u64,
+    },
+    /// The request was understood as a frame but refused.
+    Reject {
+        /// Human-readable refusal.
+        reason: String,
+    },
+    /// Answer to [`Request::Snapshot`].
+    State {
+        /// The pool's one-line heartbeat.
+        line: String,
+        /// Ledger: arrivals offered.
+        offered: u64,
+        /// Ledger: arrivals delivered to shards.
+        delivered: u64,
+        /// Ledger: arrivals shed.
+        dropped: u64,
+        /// Ledger: arrivals staged router-side.
+        staged: u64,
+        /// Whether `delivered + dropped + staged == offered` held.
+        balanced: bool,
+    },
+    /// Answer to [`Request::Metrics`].
+    MetricsText {
+        /// Prometheus text exposition.
+        text: String,
+    },
+}
+
+fn tagged(tag: &str, fields: Vec<(&str, Value)>) -> Value {
+    let mut all = Vec::with_capacity(fields.len() + 1);
+    all.push(("type".to_string(), Value::Str(tag.to_string())));
+    all.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Value::Object(all)
+}
+
+fn field<T: serde::Deserialize>(v: &Value, name: &str) -> Result<T, serde::Error> {
+    T::from_value(v.get(name).ok_or_else(|| serde::Error::missing_field(name))?)
+}
+
+impl serde::Serialize for Request {
+    fn to_value(&self) -> Value {
+        match self {
+            Request::Hello { proto, client } => {
+                tagged("hello", vec![("proto", proto.to_value()), ("client", client.to_value())])
+            }
+            Request::Submit { job } => tagged("submit", vec![("job", job.to_value())]),
+            Request::SubmitBatch { jobs } => {
+                tagged("submit-batch", vec![("jobs", jobs.to_value())])
+            }
+            Request::Watermark { t } => tagged("watermark", vec![("t", t.to_value())]),
+            Request::Swap { shard, at, spec } => tagged(
+                "swap",
+                vec![("shard", shard.to_value()), ("at", at.to_value()), ("spec", spec.to_value())],
+            ),
+            Request::Snapshot => tagged("snapshot", vec![]),
+            Request::Metrics => tagged("metrics", vec![]),
+            Request::Drain => tagged("drain", vec![]),
+        }
+    }
+}
+
+impl serde::Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let tag: String = field(v, "type")?;
+        Ok(match tag.as_str() {
+            "hello" => Request::Hello { proto: field(v, "proto")?, client: field(v, "client")? },
+            "submit" => Request::Submit { job: field(v, "job")? },
+            "submit-batch" => Request::SubmitBatch { jobs: field(v, "jobs")? },
+            "watermark" => Request::Watermark { t: field(v, "t")? },
+            "swap" => Request::Swap {
+                shard: field(v, "shard")?,
+                at: field(v, "at")?,
+                spec: field(v, "spec")?,
+            },
+            "snapshot" => Request::Snapshot,
+            "metrics" => Request::Metrics,
+            "drain" => Request::Drain,
+            other => return Err(serde::Error::custom(format!("unknown request type '{other}'"))),
+        })
+    }
+}
+
+impl serde::Serialize for Reply {
+    fn to_value(&self) -> Value {
+        match self {
+            Reply::Welcome { proto, shards, scheduler, policy } => tagged(
+                "welcome",
+                vec![
+                    ("proto", proto.to_value()),
+                    ("shards", shards.to_value()),
+                    ("scheduler", scheduler.to_value()),
+                    ("policy", policy.to_value()),
+                ],
+            ),
+            Reply::Ack { seq, delta } => {
+                tagged("ack", vec![("seq", seq.to_value()), ("delta", delta.to_value())])
+            }
+            Reply::Busy { retry_after_ms } => {
+                tagged("busy", vec![("retry_after_ms", retry_after_ms.to_value())])
+            }
+            Reply::Reject { reason } => tagged("reject", vec![("reason", reason.to_value())]),
+            Reply::State { line, offered, delivered, dropped, staged, balanced } => tagged(
+                "state",
+                vec![
+                    ("line", line.to_value()),
+                    ("offered", offered.to_value()),
+                    ("delivered", delivered.to_value()),
+                    ("dropped", dropped.to_value()),
+                    ("staged", staged.to_value()),
+                    ("balanced", balanced.to_value()),
+                ],
+            ),
+            Reply::MetricsText { text } => tagged("metrics", vec![("text", text.to_value())]),
+        }
+    }
+}
+
+impl serde::Deserialize for Reply {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let tag: String = field(v, "type")?;
+        Ok(match tag.as_str() {
+            "welcome" => Reply::Welcome {
+                proto: field(v, "proto")?,
+                shards: field(v, "shards")?,
+                scheduler: field(v, "scheduler")?,
+                policy: field(v, "policy")?,
+            },
+            "ack" => Reply::Ack { seq: field(v, "seq")?, delta: field(v, "delta")? },
+            "busy" => Reply::Busy { retry_after_ms: field(v, "retry_after_ms")? },
+            "reject" => Reply::Reject { reason: field(v, "reason")? },
+            "state" => Reply::State {
+                line: field(v, "line")?,
+                offered: field(v, "offered")?,
+                delivered: field(v, "delivered")?,
+                dropped: field(v, "dropped")?,
+                staged: field(v, "staged")?,
+                balanced: field(v, "balanced")?,
+            },
+            "metrics" => Reply::MetricsText { text: field(v, "text")? },
+            other => return Err(serde::Error::custom(format!("unknown reply type '{other}'"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let payloads: Vec<Vec<u8>> =
+            vec![b"".to_vec(), b"{}".to_vec(), vec![0xF0, 0x9F, 0x8C, 0xB3]];
+        let mut buf = Vec::new();
+        for p in &payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let mut r = &buf[..];
+        for p in &payloads {
+            assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap().as_deref(), Some(&p[..]));
+        }
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_typed_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        for cut in 1..buf.len() {
+            let mut r = &buf[..cut];
+            assert_eq!(read_frame(&mut r, MAX_FRAME), Err(FrameError::Truncated), "cut={cut}");
+        }
+        let mut big = 100u32.to_be_bytes().to_vec();
+        big.extend_from_slice(&[0; 100]);
+        let mut r = &big[..];
+        assert_eq!(read_frame(&mut r, 10), Err(FrameError::Oversized { len: 100, max: 10 }));
+    }
+
+    #[test]
+    fn requests_and_replies_roundtrip_through_json() {
+        let reqs = vec![
+            Request::Hello { proto: PROTOCOL_VERSION, client: "t".into() },
+            Request::Watermark { t: 42 },
+            Request::Swap { shard: -1, at: 10, spec: "lpf".into() },
+            Request::Snapshot,
+            Request::Metrics,
+            Request::Drain,
+        ];
+        for req in reqs {
+            let back: Request = decode(&encode(&req)).unwrap();
+            assert_eq!(back, req);
+        }
+        let replies = vec![
+            Reply::Welcome {
+                proto: 1,
+                shards: 4,
+                scheduler: "fifo".into(),
+                policy: "block".into(),
+            },
+            Reply::Ack {
+                seq: 3,
+                delta: IngestStats { offered: 2, ..Default::default() },
+            },
+            Reply::Busy { retry_after_ms: 50 },
+            Reply::Reject { reason: "nope".into() },
+            Reply::State {
+                line: "t>=0".into(),
+                offered: 5,
+                delivered: 4,
+                dropped: 0,
+                staged: 1,
+                balanced: true,
+            },
+            Reply::MetricsText { text: "# HELP x\n".into() },
+        ];
+        for reply in replies {
+            let back: Reply = decode(&encode(&reply)).unwrap();
+            assert_eq!(back, reply);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_and_bad_payloads_decode_to_errors() {
+        assert!(decode::<Request>(b"{\"type\":\"frobnicate\"}")
+            .unwrap_err()
+            .contains("unknown request type"));
+        assert!(decode::<Request>(b"not json at all").is_err());
+        assert!(decode::<Request>(&[0xFF, 0xFE]).unwrap_err().contains("UTF-8"));
+        assert!(decode::<Request>(b"{\"type\":\"watermark\"}")
+            .unwrap_err()
+            .contains("missing field"));
+    }
+}

@@ -61,10 +61,13 @@ pub use pool::{
 };
 pub use shard::{Arrival, ShardResult, ShardSnapshot, SwapEvent};
 pub use source::{channel_source, ArrivalSource, ChannelSource, GeneratorSource, ReplaySource};
-pub use store::{git_describe, load_records, run_id, ResultsStore, StoreRecord};
+pub use store::{
+    gc_store, git_describe, load_records, run_id, GcFileReport, GcReport, ResultsStore,
+    StoreRecord, HISTORY_FILE,
+};
 pub use telemetry::{
-    load_flight_jsonl, scrape_metrics, serve_metrics, write_flight_jsonl, AtomicHisto, FlightEvent,
-    FlightKind, FlightRecorder, LatencyProbe, MetricsServer, MetricsSnapshot, ShardMetrics,
-    ShardTelemetry, Telemetry,
+    load_flight_jsonl, scrape_metrics, serve_metrics, serve_metrics_with, write_flight_jsonl,
+    AtomicHisto, FlightEvent, FlightKind, FlightRecorder, LatencyProbe, MetricsExtra,
+    MetricsServer, MetricsSnapshot, ScrapeError, ShardMetrics, ShardTelemetry, Telemetry,
 };
 pub use trend::{render_trend, render_trend_plots, trend_tables};

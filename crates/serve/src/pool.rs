@@ -438,6 +438,36 @@ pub struct IngestStats {
     pub wm_skipped: u64,
 }
 
+serde::impl_serde_struct!(IngestStats {
+    offered,
+    delivered,
+    dropped,
+    redirected,
+    reordered,
+    stolen_in,
+    stolen_out,
+    wm_skipped
+});
+
+impl IngestStats {
+    /// Field-wise difference `self - earlier`. Counters only grow, so the
+    /// saturation never fires between two snapshots of the same ledger;
+    /// it just keeps a misuse from panicking. A gateway uses this to tell
+    /// each client exactly what *its* command did to the pool-wide books.
+    pub fn delta_since(&self, earlier: &IngestStats) -> IngestStats {
+        IngestStats {
+            offered: self.offered.saturating_sub(earlier.offered),
+            delivered: self.delivered.saturating_sub(earlier.delivered),
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+            redirected: self.redirected.saturating_sub(earlier.redirected),
+            reordered: self.reordered.saturating_sub(earlier.reordered),
+            stolen_in: self.stolen_in.saturating_sub(earlier.stolen_in),
+            stolen_out: self.stolen_out.saturating_sub(earlier.stolen_out),
+            wm_skipped: self.wm_skipped.saturating_sub(earlier.wm_skipped),
+        }
+    }
+}
+
 /// A point-in-time view of the whole pool.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolSnapshot {
@@ -825,11 +855,25 @@ impl PoolHandle {
     /// buffer. Placement is identical to offering the same jobs one at a
     /// time; only the channel traffic differs.
     pub fn offer_batch(&self, specs: &mut Vec<JobSpec>) -> Result<(), ServeError> {
+        self.offer_batch_stamped(specs, self.core.tel.now_us()).map(|_| ())
+    }
+
+    /// [`offer_batch`](Self::offer_batch) with an explicit arrival stamp
+    /// (microseconds on the pool clock, see [`now_us`](Self::now_us)) and
+    /// an exact per-command ledger delta in the reply. Front doors stamp at
+    /// decode time so arrival→admit latency covers queueing behind the
+    /// router lock, and the delta — computed under that lock — is exact
+    /// even with any number of concurrent offering clients.
+    pub fn offer_batch_stamped(
+        &self,
+        specs: &mut Vec<JobSpec>,
+        offered_us: u64,
+    ) -> Result<IngestStats, ServeError> {
         if specs.is_empty() {
-            return Ok(());
+            return Ok(IngestStats::default());
         }
-        let offered_us = self.core.tel.now_us();
         let r = &mut *self.router();
+        let before = r.ingest;
         let stealing = self.core.cfg.steal.is_some();
         if stealing || self.core.cfg.policy == OverloadPolicy::Block {
             // Coalescing path: place every arrival first, then deliver one
@@ -903,6 +947,74 @@ impl PoolHandle {
             self.rebalance(r)?;
         }
         self.broadcast_frontier(r, true);
+        Ok(r.ingest.delta_since(&before))
+    }
+
+    /// Microseconds since the pool launched — the clock every telemetry
+    /// stamp and flight event is measured on. Front doors stamp remote
+    /// offers with this before handing them to
+    /// [`offer_batch_stamped`](Self::offer_batch_stamped).
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.core.tel.now_us()
+    }
+
+    /// Free admission slots across every shard queue right now. An
+    /// approximation for backpressure decisions — queues also hold
+    /// control-plane commands and other clients race for the same room —
+    /// but a conservative front door can turn "not enough room for this
+    /// batch" into a retry-later reply instead of blocking a connection
+    /// handler inside [`offer_batch`](Self::offer_batch).
+    pub fn ingress_room(&self) -> usize {
+        self.core
+            .txs
+            .iter()
+            .map(|tx| self.core.cfg.queue_cap.saturating_sub(tx.len()))
+            .sum()
+    }
+
+    /// Advance the event-time frontier to `t` without offering a job, as if
+    /// an arrival with release `t` had been observed: later offers with
+    /// earlier releases are clamped forward (and counted reordered), and
+    /// shards are told they may simulate up to `t`. A no-op if the frontier
+    /// is already at or past `t`. Returns the ledger delta (only
+    /// `wm_skipped` can move). This is the remote `Watermark` verb: a
+    /// client that knows no arrival before `t` is coming lets idle shards
+    /// simulate ahead instead of stalling at the last release.
+    pub fn advance_frontier(&self, t: Time) -> Result<IngestStats, ServeError> {
+        let r = &mut *self.router();
+        let before = r.ingest;
+        if t > r.last_release {
+            r.last_release = t;
+            self.broadcast_frontier(r, true);
+        }
+        Ok(r.ingest.delta_since(&before))
+    }
+
+    /// Record a control-plane event that originated *outside* the router —
+    /// e.g. a network front door's connection lifecycle — into shard
+    /// `shard`'s flight ring, stamped with the pool clock. Errors if the
+    /// shard index is out of range.
+    pub fn record_flight(
+        &self,
+        shard: usize,
+        kind: FlightKind,
+        t: Time,
+        detail: String,
+    ) -> Result<(), ServeError> {
+        if shard >= self.core.txs.len() {
+            return Err(ServeError::InvalidConfig(format!(
+                "shard {shard} out of range (pool has {})",
+                self.core.txs.len()
+            )));
+        }
+        self.core.tel.shard(shard).flight.record(FlightEvent {
+            us: self.core.tel.now_us(),
+            shard,
+            kind,
+            t,
+            detail,
+        });
         Ok(())
     }
 
@@ -1413,6 +1525,72 @@ mod tests {
         let admitted: usize = settled.iter().map(|s| s.admitted).sum();
         assert_eq!(admitted, 10, "quiesce replies before processing the backlog");
         pool.drain().expect("drain");
+    }
+
+    #[test]
+    fn stamped_batches_report_exact_deltas() {
+        let cfg = ServeConfig::builder(fifo(), 2).shards(2).build().expect("valid");
+        let pool = ShardPool::launch(cfg).expect("launch");
+        let handle = pool.handle();
+        let mut batch = vec![
+            JobSpec { graph: chain(2), release: 3 },
+            JobSpec { graph: star(2), release: 1 }, // goes backwards: clamped
+        ];
+        let delta = handle.offer_batch_stamped(&mut batch, handle.now_us()).expect("offer");
+        assert_eq!((delta.offered, delta.delivered, delta.reordered), (2, 2, 1));
+        let mut empty = Vec::new();
+        let delta = handle.offer_batch_stamped(&mut empty, 0).expect("empty offer");
+        assert_eq!(delta, IngestStats::default());
+        assert_eq!(handle.ingest().offered, 2, "cumulative ledger unaffected by deltas");
+        pool.drain().expect("drain");
+    }
+
+    #[test]
+    fn advance_frontier_clamps_later_offers() {
+        let pool = ShardPool::launch(ServeConfig::new(fifo(), 1)).expect("launch");
+        let handle = pool.handle();
+        handle.advance_frontier(50).expect("advance");
+        handle.advance_frontier(10).expect("monotone no-op");
+        pool.offer(JobSpec { graph: chain(2), release: 20 }).expect("offer");
+        assert_eq!(handle.ingest().reordered, 1, "pre-frontier release clamps forward");
+        let results = pool.drain().expect("drain");
+        assert_eq!(results[0].instance.last_release(), 50);
+    }
+
+    #[test]
+    fn external_flight_events_land_in_the_ring() {
+        let pool = ShardPool::launch(ServeConfig::new(fifo(), 1)).expect("launch");
+        let handle = pool.handle();
+        handle
+            .record_flight(0, FlightKind::ConnOpen, 0, "127.0.0.1:9".to_string())
+            .expect("record");
+        assert!(handle.record_flight(9, FlightKind::ConnClose, 0, String::new()).is_err());
+        let events = handle.flight();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, FlightKind::ConnOpen);
+        assert_eq!(events[0].detail, "127.0.0.1:9");
+        pool.drain().expect("drain");
+    }
+
+    #[test]
+    fn ingest_stats_serde_and_delta_roundtrip() {
+        let a = IngestStats {
+            offered: 10,
+            delivered: 8,
+            dropped: 2,
+            ..IngestStats::default()
+        };
+        let line = serde_json::to_string(&a).expect("serializes");
+        let back: IngestStats = serde_json::from_str(&line).expect("roundtrips");
+        assert_eq!(back, a);
+        let b = IngestStats {
+            offered: 14,
+            delivered: 11,
+            dropped: 3,
+            ..IngestStats::default()
+        };
+        let d = b.delta_since(&a);
+        assert_eq!((d.offered, d.delivered, d.dropped), (4, 3, 1));
     }
 
     #[test]

@@ -106,9 +106,16 @@ impl ResultsStore {
     }
 }
 
+/// Where [`gc_store`] folds superseded lines: a compacted history file in
+/// the store directory, excluded from directory scans like flight dumps
+/// (its lines are still plain [`StoreRecord`]s, loadable by passing the
+/// file path to [`load_records`] directly).
+pub const HISTORY_FILE: &str = "history.jsonl";
+
 /// Load records from a JSONL file, or from every `*.jsonl` file (sorted by
 /// name) when `path` is a directory — except `flight*.jsonl` flight-recorder
-/// dumps, which share the store directory but not the record schema.
+/// dumps (which share the store directory but not the record schema) and
+/// the [`HISTORY_FILE`] of folded superseded runs.
 pub fn load_records(path: &Path) -> io::Result<Vec<StoreRecord>> {
     let mut records = Vec::new();
     if path.is_dir() {
@@ -117,7 +124,9 @@ pub fn load_records(path: &Path) -> io::Result<Vec<StoreRecord>> {
             .map(|e| e.path())
             .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
             .filter(|p| {
-                !p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with("flight"))
+                !p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("flight") || n == HISTORY_FILE)
             })
             .collect();
         files.sort();
@@ -128,6 +137,112 @@ pub fn load_records(path: &Path) -> io::Result<Vec<StoreRecord>> {
         load_file(path, &mut records)?;
     }
     Ok(records)
+}
+
+/// One store file's outcome in a [`GcReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcFileReport {
+    /// File name within the store directory.
+    pub file: String,
+    /// Lines kept in place (current git for their run id).
+    pub kept: usize,
+    /// Superseded lines folded (or foldable, under `--dry-run`) into
+    /// [`HISTORY_FILE`].
+    pub folded: usize,
+}
+
+/// What a [`gc_store`] pass did — or would do, when planned with
+/// `dry_run`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcReport {
+    /// Per-file outcomes, sorted by file name (files with nothing to fold
+    /// included, so a dry run lists the whole corpus).
+    pub files: Vec<GcFileReport>,
+    /// Whether this was a plan only (nothing written).
+    pub dry_run: bool,
+}
+
+impl GcReport {
+    /// Superseded lines across all files.
+    pub fn total_folded(&self) -> usize {
+        self.files.iter().map(|f| f.folded).sum()
+    }
+
+    /// Kept lines across all files.
+    pub fn total_kept(&self) -> usize {
+        self.files.iter().map(|f| f.kept).sum()
+    }
+}
+
+/// Compact a store directory: within each record file, a line is
+/// *superseded* when a later line carries the same `run_id` with a
+/// different `git` — the file is append-only, so line order is re-run
+/// order, and only the newest git's records describe the current tree.
+/// Superseded lines move (verbatim, preserving legacy lines without a
+/// `swaps` field byte for byte) into [`HISTORY_FILE`]; current lines stay.
+/// With `dry_run` nothing is written and the report says what would fold.
+/// Flight dumps and the history file itself are never touched.
+pub fn gc_store(dir: &Path, dry_run: bool) -> io::Result<GcReport> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+        .filter(|p| {
+            !p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("flight") || n == HISTORY_FILE)
+        })
+        .collect();
+    files.sort();
+    let mut report = GcReport { files: Vec::new(), dry_run };
+    for file in files {
+        let name = file.file_name().and_then(|n| n.to_str()).unwrap_or("<non-utf8>").to_string();
+        let text = fs::read_to_string(&file)?;
+        // (raw line, run_id, git) for every record line, in file order.
+        let mut lines: Vec<(String, String, String)> = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let record: StoreRecord = serde_json::from_str(line).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{}: {e}", file.display(), i + 1),
+                )
+            })?;
+            lines.push((line.to_string(), record.run_id, record.git));
+        }
+        // The current git per run id is whatever the *last* line says.
+        let mut current: Vec<(String, String)> = Vec::new();
+        for (_, run_id, git) in &lines {
+            match current.iter_mut().find(|(r, _)| r == run_id) {
+                Some((_, g)) => g.clone_from(git),
+                None => current.push((run_id.clone(), git.clone())),
+            }
+        }
+        let is_current =
+            |run_id: &str, git: &str| current.iter().any(|(r, g)| r == run_id && g == git);
+        let (kept, folded): (Vec<_>, Vec<_>) =
+            lines.iter().partition(|(_, run_id, git)| is_current(run_id, git));
+        if !dry_run && !folded.is_empty() {
+            let mut history =
+                OpenOptions::new().create(true).append(true).open(dir.join(HISTORY_FILE))?;
+            for (raw, _, _) in &folded {
+                writeln!(history, "{raw}")?;
+            }
+            let mut out = String::new();
+            for (raw, _, _) in &kept {
+                out.push_str(raw);
+                out.push('\n');
+            }
+            fs::write(&file, out)?;
+        }
+        report
+            .files
+            .push(GcFileReport { file: name, kept: kept.len(), folded: folded.len() });
+    }
+    Ok(report)
 }
 
 fn load_file(path: &Path, out: &mut Vec<StoreRecord>) -> io::Result<()> {
@@ -238,6 +353,60 @@ mod tests {
             .expect("write flight dump");
         let loaded = load_records(&dir).expect("flight dump must not break the scan");
         assert_eq!(loaded, vec![record]);
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn gc_folds_superseded_runs_and_preserves_legacy_lines() {
+        let dir = std::env::temp_dir().join(format!("flowtree-store-gc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        let summary = sample_summary();
+        let record = |git: &str, shard: usize| StoreRecord {
+            run_id: "r1".to_string(),
+            git: git.to_string(),
+            shard,
+            shards: 2,
+            summary: summary.clone(),
+            swaps: Vec::new(),
+        };
+        // An old re-run under git "aaa" — one line predating the `swaps`
+        // field — then the current run under git "bbb".
+        let legacy = serde_json::to_string(&record("aaa", 0))
+            .expect("serializes")
+            .replace(",\"swaps\":[]", "");
+        assert!(!legacy.contains("swaps"), "{legacy}");
+        let current: Vec<String> = (0..2)
+            .map(|s| serde_json::to_string(&record("bbb", s)).expect("serializes"))
+            .collect();
+        let file = dir.join("r1.jsonl");
+        fs::write(&file, format!("{legacy}\n{}\n{}\n", current[0], current[1])).expect("seed");
+        // A flight dump must never be touched by gc.
+        fs::write(dir.join("flight-r1.jsonl"), "{\"not\":\"a record\"}\n").expect("flight");
+
+        let plan = gc_store(&dir, true).expect("dry run");
+        assert!(plan.dry_run);
+        assert_eq!(plan.files, vec![GcFileReport { file: "r1.jsonl".into(), kept: 2, folded: 1 }]);
+        assert!(!dir.join(HISTORY_FILE).exists(), "dry run must not write");
+
+        let done = gc_store(&dir, false).expect("gc");
+        assert_eq!((done.total_kept(), done.total_folded()), (2, 1));
+        // The superseded legacy line moved to history byte for byte.
+        let history = fs::read_to_string(dir.join(HISTORY_FILE)).expect("history");
+        assert_eq!(history, format!("{legacy}\n"));
+        let live = fs::read_to_string(&file).expect("live file");
+        assert_eq!(live, format!("{}\n{}\n", current[0], current[1]));
+        // Scans see only current records; history still loads explicitly.
+        let records = load_records(&dir).expect("scan");
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().all(|r| r.git == "bbb"));
+        let old = load_records(&dir.join(HISTORY_FILE)).expect("history loads");
+        assert_eq!(old.len(), 1);
+        assert_eq!(old[0].git, "aaa");
+        assert!(old[0].swaps.is_empty());
+        // Idempotent: a second pass folds nothing.
+        let again = gc_store(&dir, false).expect("second gc");
+        assert_eq!(again.total_folded(), 0);
         fs::remove_dir_all(&dir).expect("cleanup");
     }
 

@@ -116,6 +116,13 @@ pub enum FlightKind {
     Drain,
     /// A shard worker panicked (detail carries the error when known).
     Panic,
+    /// A gateway client connection opened (detail carries the peer).
+    ConnOpen,
+    /// A gateway client connection closed (detail carries the peer).
+    ConnClose,
+    /// A gateway turned backpressure into a `Busy` reply instead of
+    /// blocking a connection handler.
+    Busy,
 }
 
 impl FlightKind {
@@ -132,6 +139,9 @@ impl FlightKind {
             FlightKind::Quiesce => "quiesce",
             FlightKind::Drain => "drain",
             FlightKind::Panic => "panic",
+            FlightKind::ConnOpen => "conn-open",
+            FlightKind::ConnClose => "conn-close",
+            FlightKind::Busy => "busy",
         }
     }
 }
@@ -157,6 +167,9 @@ impl std::str::FromStr for FlightKind {
             "quiesce" => FlightKind::Quiesce,
             "drain" => FlightKind::Drain,
             "panic" => FlightKind::Panic,
+            "conn-open" => FlightKind::ConnOpen,
+            "conn-close" => FlightKind::ConnClose,
+            "busy" => FlightKind::Busy,
             other => return Err(format!("unknown flight event kind '{other}'")),
         })
     }
@@ -634,6 +647,13 @@ impl Drop for MetricsServer {
     }
 }
 
+/// An extra exposition provider: called per scrape, its output is appended
+/// verbatim after the pool's own exposition (it must be well-formed
+/// Prometheus text itself). This is how a front door (the gateway) gets its
+/// per-connection gauges onto the *existing* endpoint instead of a second
+/// port.
+pub type MetricsExtra = Arc<dyn Fn() -> String + Send + Sync>;
+
 /// Serve `handle`'s metrics over HTTP on `addr` (e.g. `127.0.0.1:9464`, or
 /// port 0 to pick a free one). Every request — any path — receives the
 /// current [`MetricsSnapshot`] rendered in the Prometheus text format.
@@ -644,6 +664,16 @@ impl Drop for MetricsServer {
 /// single-core host ([`MetricsServer::shutdown`] wakes it with a poke
 /// connection).
 pub fn serve_metrics(addr: &str, handle: PoolHandle) -> io::Result<MetricsServer> {
+    serve_metrics_with(addr, handle, None)
+}
+
+/// [`serve_metrics`] plus an optional [`MetricsExtra`] appended to every
+/// scrape body.
+pub fn serve_metrics_with(
+    addr: &str,
+    handle: PoolHandle,
+    extra: Option<MetricsExtra>,
+) -> io::Result<MetricsServer> {
     let listener = TcpListener::bind(addr)?;
     let bound = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -656,19 +686,26 @@ pub fn serve_metrics(addr: &str, handle: PoolHandle) -> io::Result<MetricsServer
                     if flag.load(Ordering::Relaxed) {
                         break;
                     }
-                    let _ = respond(stream, &handle);
+                    let _ = respond(stream, &handle, extra.as_ref());
                 }
             })?;
     Ok(MetricsServer { addr: bound, stop, thread: Some(thread) })
 }
 
-fn respond(mut stream: TcpStream, handle: &PoolHandle) -> io::Result<()> {
+fn respond(
+    mut stream: TcpStream,
+    handle: &PoolHandle,
+    extra: Option<&MetricsExtra>,
+) -> io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     // Consume (and ignore) the request head; every path serves metrics.
     let mut buf = [0u8; 1024];
     let _ = stream.read(&mut buf);
-    let body = handle.metrics().render_prometheus();
+    let mut body = handle.metrics().render_prometheus();
+    if let Some(extra) = extra {
+        body.push_str(&extra());
+    }
     let head = format!(
         "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n",
@@ -678,18 +715,75 @@ fn respond(mut stream: TcpStream, handle: &PoolHandle) -> io::Result<()> {
     stream.write_all(body.as_bytes())
 }
 
+/// Why a [`scrape_metrics`] call failed. Every variant's message names the
+/// scraped address, so a CI log or CLI error points straight at the
+/// endpoint that was (or wasn't) there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScrapeError {
+    /// Nothing is listening at the address (the usual CI race: the serve
+    /// process has not bound its `--metrics-addr` yet, or already exited).
+    Refused {
+        /// The address that refused the connection.
+        addr: String,
+    },
+    /// Some other socket-level failure (timeout, reset, unroutable …).
+    Io {
+        /// The address being scraped.
+        addr: String,
+        /// The underlying error, stringified.
+        err: String,
+    },
+    /// The response was not an HTTP reply with a header/body split.
+    Malformed {
+        /// The address that replied.
+        addr: String,
+    },
+}
+
+impl ScrapeError {
+    /// Whether retrying later could plausibly succeed (the endpoint may
+    /// simply not be up yet).
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, ScrapeError::Malformed { .. })
+    }
+}
+
+impl std::fmt::Display for ScrapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScrapeError::Refused { addr } => write!(
+                f,
+                "connection refused by {addr} — is a serve/gateway run with \
+                 --metrics-addr {addr} up?"
+            ),
+            ScrapeError::Io { addr, err } => write!(f, "scrape {addr}: {err}"),
+            ScrapeError::Malformed { addr } => {
+                write!(f, "scrape {addr}: response has no HTTP header/body split")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScrapeError {}
+
 /// One-shot scrape: GET `addr` and return the exposition body (headers
 /// stripped). The client half of [`serve_metrics`], used by the
 /// `flowtree-repro metrics` subcommand and the CI smoke test.
-pub fn scrape_metrics(addr: &str) -> io::Result<String> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: flowtree\r\n\r\n")?;
+pub fn scrape_metrics(addr: &str) -> Result<String, ScrapeError> {
+    let classify = |e: io::Error| match e.kind() {
+        io::ErrorKind::ConnectionRefused => ScrapeError::Refused { addr: addr.to_string() },
+        _ => ScrapeError::Io { addr: addr.to_string(), err: e.to_string() },
+    };
+    let mut stream = TcpStream::connect(addr).map_err(classify)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).map_err(classify)?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: flowtree\r\n\r\n")
+        .map_err(classify)?;
     let mut text = String::new();
-    stream.read_to_string(&mut text)?;
+    stream.read_to_string(&mut text).map_err(classify)?;
     match text.split_once("\r\n\r\n") {
         Some((_, body)) => Ok(body.to_string()),
-        None => Err(io::Error::new(io::ErrorKind::InvalidData, "no HTTP header/body split")),
+        None => Err(ScrapeError::Malformed { addr: addr.to_string() }),
     }
 }
 
@@ -801,10 +895,30 @@ mod tests {
             FlightKind::Quiesce,
             FlightKind::Drain,
             FlightKind::Panic,
+            FlightKind::ConnOpen,
+            FlightKind::ConnClose,
+            FlightKind::Busy,
         ] {
             assert_eq!(k.name().parse::<FlightKind>(), Ok(k));
         }
         assert!("warp".parse::<FlightKind>().is_err());
+    }
+
+    #[test]
+    fn refused_scrapes_report_a_typed_error_naming_the_address() {
+        // Bind then drop a listener so the port is known-free: the connect
+        // must be refused, not time out.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").to_string()
+        };
+        let err = scrape_metrics(&addr).expect_err("nothing listening");
+        assert_eq!(err, ScrapeError::Refused { addr: addr.clone() });
+        assert!(err.is_retryable());
+        let msg = err.to_string();
+        assert!(msg.contains(&addr), "{msg}");
+        assert!(msg.contains("refused"), "{msg}");
+        assert!(!ScrapeError::Malformed { addr }.is_retryable());
     }
 
     #[test]

@@ -88,6 +88,46 @@ cargo run --release -q -p flowtree-cli -- report --flight "$TEL_STORE" \
     || { echo "telemetry smoke: flight recorder did not round-trip"; exit 1; }
 rm -rf "$TEL_STORE"
 
+echo "==> gateway smoke (remote replay == in-process serve, byte for byte)"
+GW_STORE=$(mktemp -d)
+GW_ADDR=127.0.0.1:19201
+GW_TRACE=$(mktemp /tmp/flowtree_gw_trace.XXXXXX.json)
+# One fixed-seed instance replayed twice: once through in-process serve,
+# once over the wire through gateway+submit. The drained store records
+# must be byte-for-byte identical — the network edge is transparent.
+cargo run --release -q -p flowtree-cli -- gen service --jobs 24 --seed 7 \
+    -o "$GW_TRACE" >/dev/null
+cargo run --release -q -p flowtree-cli -- serve service --shards 2 --rate 1.0 \
+    --scheduler fifo -m 4 --replay "$GW_TRACE" --horizon 100000 \
+    --store "$GW_STORE/twin" --run-id smoke >/dev/null
+cargo run --release -q -p flowtree-cli -- gateway service --addr "$GW_ADDR" \
+    --shards 2 --scheduler fifo -m 4 --store "$GW_STORE/wire" --run-id smoke \
+    >/dev/null 2>&1 &
+GW_PID=$!
+SUBMITTED=0
+for _ in $(seq 1 100); do
+    if cargo run --release -q -p flowtree-cli -- submit service \
+        --addr "$GW_ADDR" --replay "$GW_TRACE" --batch 5 --drain \
+        >/dev/null 2>&1; then
+        SUBMITTED=1
+        break
+    fi
+    kill -0 "$GW_PID" 2>/dev/null || break
+    sleep 0.05
+done
+wait "$GW_PID" || { echo "gateway smoke: gateway run failed"; exit 1; }
+[ "$SUBMITTED" = 1 ] || { echo "gateway smoke: submit never connected"; exit 1; }
+cmp -s "$GW_STORE/twin/smoke.jsonl" "$GW_STORE/wire/smoke.jsonl" \
+    || { echo "gateway smoke: store records differ from in-process serve"; exit 1; }
+# The gateway's flight dump must show the network edge.
+cargo run --release -q -p flowtree-cli -- report --flight "$GW_STORE/wire" \
+    | grep -q 'conn-open' \
+    || { echo "gateway smoke: no conn-open flight event"; exit 1; }
+rm -rf "$GW_STORE" "$GW_TRACE"
+
+echo "==> store gc --dry-run over the committed store corpus"
+cargo run --release -q -p flowtree-cli -- store gc results/store --dry-run >/dev/null
+
 echo "==> report --trend over the committed store corpus"
 cargo run --release -q -p flowtree-cli -- report --trend results/store --plot >/dev/null
 
