@@ -10,13 +10,17 @@
 //!   (arrivals/sec and subjobs/sec through a real
 //!   [`ShardPool`](flowtree_serve::ShardPool), fixed-seed replay, sweeping
 //!   shards × routing × policy), produced by [`run_serve_matrix`].
+//! * **`BENCH_gateway.json`** — networked ingest throughput
+//!   (submitted-jobs/sec through a loopback
+//!   [`Gateway`](flowtree_gateway::Gateway), sweeping clients × batch ×
+//!   codec × ack window), produced by [`run_gateway_matrix`].
 //!
 //! The CLI's `bench` subcommand is a thin argument parser over this crate;
-//! `scripts/bench.sh` regenerates both baselines and `scripts/ci.sh` runs
+//! `scripts/bench.sh` regenerates the baselines and `scripts/ci.sh` runs
 //! the `--quick` subset under the [`check_regressions`] gate. The criterion
 //! benches under `benches/` reuse the same workload shapes for profiling.
 //!
-//! Both documents share the `flowtree-bench-v1` schema: a cell is
+//! All documents share the `flowtree-bench-v1` schema: a cell is
 //! identified by `(workload, scheduler, m, total_subjobs)` — serve cells
 //! encode their pool shape (`shards`/`routing`/`policy`/ingest mode) into
 //! the workload name so the same gate logic compares them.
@@ -25,9 +29,11 @@
 #![warn(missing_docs)]
 
 mod engine_bench;
+mod gateway_bench;
 mod serve_bench;
 
 pub use engine_bench::run_engine_matrix;
+pub use gateway_bench::run_gateway_matrix;
 pub use serve_bench::run_serve_matrix;
 
 use serde::Value;

@@ -1,11 +1,12 @@
 //! `flowtree-repro bench` — thin CLI over the [`flowtree_bench`] harness.
 //!
-//! Two matrices live in `flowtree-bench`; this module parses arguments,
+//! Three matrices live in `flowtree-bench`; this module parses arguments,
 //! picks one, writes the JSON trajectory, and applies the regression gate:
 //!
 //! ```text
-//! flowtree-repro bench                      # engine matrix -> BENCH_engine.json
-//! flowtree-repro bench --serve              # serve matrix  -> BENCH_serve.json
+//! flowtree-repro bench                      # engine matrix  -> BENCH_engine.json
+//! flowtree-repro bench --serve              # serve matrix   -> BENCH_serve.json
+//! flowtree-repro bench --gateway            # gateway matrix -> BENCH_gateway.json
 //! flowtree-repro bench --quick -o /tmp/b.json   # CI smoke: small + fast
 //! flowtree-repro bench --reps 9             # more repeats per cell
 //! flowtree-repro bench --serve --quick --check BENCH_serve.json -o /tmp/b.json
@@ -24,14 +25,23 @@
 
 use flowtree_bench::BenchOpts;
 use flowtree_bench::{
-    check_regressions, check_telemetry_overhead, load_baseline, run_engine_matrix, run_serve_matrix,
+    check_regressions, check_telemetry_overhead, load_baseline, run_engine_matrix,
+    run_gateway_matrix, run_serve_matrix,
 };
 use serde::Value;
 
+/// Which committed baseline a `bench` invocation produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Matrix {
+    Engine,
+    Serve,
+    Gateway,
+}
+
 struct Opts {
     bench: BenchOpts,
-    /// Run the serve matrix instead of the engine matrix.
-    serve: bool,
+    /// Which matrix to run (engine is the default).
+    matrix: Matrix,
     out: String,
     /// Baseline path to compare against; exit nonzero on regression.
     check: Option<String>,
@@ -40,7 +50,7 @@ struct Opts {
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut o = Opts {
         bench: BenchOpts { quick: false, reps: 0, warmup: 0 },
-        serve: false,
+        matrix: Matrix::Engine,
         out: String::new(),
         check: None,
     };
@@ -48,7 +58,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => o.bench.quick = true,
-            "--serve" => o.serve = true,
+            "--serve" => o.matrix = Matrix::Serve,
+            "--gateway" => o.matrix = Matrix::Gateway,
             "-o" => o.out = it.next().ok_or("-o needs a path")?.clone(),
             "--reps" => o.bench.reps = crate::scenario::parse_num(&mut it, "--reps")?,
             "--warmup" => o.bench.warmup = crate::scenario::parse_num(&mut it, "--warmup")?,
@@ -56,17 +67,17 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             other => {
                 return Err(format!(
                     "unknown bench option '{other}'\n\
-                     usage: flowtree-repro bench [--serve] [--quick] [--reps N] [--warmup N] \
-                     [--check BASELINE] [-o FILE]"
+                     usage: flowtree-repro bench [--serve | --gateway] [--quick] [--reps N] \
+                     [--warmup N] [--check BASELINE] [-o FILE]"
                 ))
             }
         }
     }
     if o.out.is_empty() {
-        o.out = if o.serve {
-            "BENCH_serve.json"
-        } else {
-            "BENCH_engine.json"
+        o.out = match o.matrix {
+            Matrix::Engine => "BENCH_engine.json",
+            Matrix::Serve => "BENCH_serve.json",
+            Matrix::Gateway => "BENCH_gateway.json",
         }
         .to_string();
     }
@@ -88,15 +99,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 }
 
 fn run_matrix(o: &Opts) -> Result<Value, String> {
-    if o.serve {
-        run_serve_matrix(&o.bench)
-    } else {
-        run_engine_matrix(&o.bench)
+    match o.matrix {
+        Matrix::Engine => run_engine_matrix(&o.bench),
+        Matrix::Serve => run_serve_matrix(&o.bench),
+        Matrix::Gateway => run_gateway_matrix(&o.bench),
     }
 }
 
-/// Run `bench [--serve] [--quick] [--reps N] [--warmup N] [--check BASELINE]
-/// [-o FILE]`.
+/// Run `bench [--serve | --gateway] [--quick] [--reps N] [--warmup N]
+/// [--check BASELINE] [-o FILE]`.
 pub fn run(args: &[String]) -> Result<(), String> {
     let o = parse_opts(args)?;
     let doc = run_matrix(&o)?;
@@ -127,7 +138,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         // cancels); the same re-measure policy applies.
         let gate = |doc: &Value| {
             check_regressions(doc, &baseline, path).and_then(|()| {
-                if o.serve {
+                if o.matrix == Matrix::Serve {
                     check_telemetry_overhead(doc)
                 } else {
                     Ok(())
@@ -161,7 +172,7 @@ mod tests {
     fn opts_parse_and_reject() {
         let o = parse_opts(&["--quick".into(), "--reps".into(), "3".into()]).unwrap();
         assert!(o.bench.quick);
-        assert!(!o.serve);
+        assert_eq!(o.matrix, Matrix::Engine);
         assert_eq!(o.bench.reps, 3);
         assert_eq!(o.out, "BENCH_engine.json");
         assert!(parse_opts(&["--frobnicate".into()]).is_err());
@@ -169,10 +180,13 @@ mod tests {
     }
 
     #[test]
-    fn serve_mode_switches_default_output() {
+    fn serve_and_gateway_modes_switch_default_output() {
         let o = parse_opts(&["--serve".into()]).unwrap();
-        assert!(o.serve);
+        assert_eq!(o.matrix, Matrix::Serve);
         assert_eq!(o.out, "BENCH_serve.json");
+        let o = parse_opts(&["--gateway".into()]).unwrap();
+        assert_eq!(o.matrix, Matrix::Gateway);
+        assert_eq!(o.out, "BENCH_gateway.json");
         // Explicit -o still wins.
         let o = parse_opts(&["--serve".into(), "-o".into(), "x.json".into()]).unwrap();
         assert_eq!(o.out, "x.json");

@@ -15,7 +15,7 @@
 use crate::scenario::{parse_num, ScenarioOpts};
 use crate::serve::{build_config, build_source, finish, serve_flag, ServeOpts, SERVE_FLAG_USAGE};
 use flowtree_dag::Time;
-use flowtree_gateway::{Gateway, GatewayClient, GatewayConfig};
+use flowtree_gateway::{ClientOptions, Gateway, GatewayClient, GatewayConfig, WireCodec};
 use flowtree_serve::{serve_metrics_with, MetricsExtra, ShardPool};
 use std::sync::Arc;
 
@@ -114,11 +114,16 @@ pub fn run_submit(args: &[String]) -> Result<(), String> {
     let mut batch = 32usize;
     let mut drain = false;
     let mut client_name = "flowtree-submit".to_string();
+    let mut codec = WireCodec::Json;
+    let mut window: u64 = 1;
+    let mut skip = 0usize;
+    let mut take = usize::MAX;
     let o = ScenarioOpts::parse_with(
         "submit",
         args,
         false,
-        " --addr HOST:PORT [--replay FILE] [--rate R] [--batch N] [--client NAME] [--drain]",
+        " --addr HOST:PORT [--replay FILE] [--rate R] [--batch N] [--client NAME] \
+         [--codec json|bin] [--window N] [--skip N] [--take N] [--drain]",
         &mut |flag, it| {
             match flag {
                 "--addr" => addr = Some(it.next().ok_or("--addr needs HOST:PORT")?.clone()),
@@ -128,6 +133,13 @@ pub fn run_submit(args: &[String]) -> Result<(), String> {
                 "--client" => {
                     client_name = it.next().ok_or("--client needs a name")?.clone();
                 }
+                "--codec" => {
+                    let name = it.next().ok_or("--codec needs json|bin")?;
+                    codec = WireCodec::parse(name)?;
+                }
+                "--window" => window = parse_num(it, "--window")?,
+                "--skip" => skip = parse_num(it, "--skip")?,
+                "--take" => take = parse_num(it, "--take")?,
                 "--drain" => drain = true,
                 _ => return Ok(false),
             }
@@ -138,6 +150,9 @@ pub fn run_submit(args: &[String]) -> Result<(), String> {
     if batch == 0 {
         return Err("--batch must be at least 1".into());
     }
+    if window == 0 {
+        return Err("--window must be at least 1".into());
+    }
 
     // Pump the source dry up front; the wire replay then preserves the
     // source's arrival order exactly, whatever the batch size.
@@ -147,17 +162,29 @@ pub fn run_submit(args: &[String]) -> Result<(), String> {
     while source.next_batch(usize::MAX, Time::MAX, &mut chunk) > 0 {
         jobs.append(&mut chunk);
     }
+    // `--skip`/`--take` slice the pumped trace so several `submit`
+    // processes can split one replay between them (each takes a
+    // contiguous, in-order span — the mixed-codec CI smoke uses this).
+    let jobs: Vec<_> = jobs.into_iter().skip(skip).take(take).collect();
     if jobs.is_empty() {
         return Err("the arrival source produced no jobs".into());
     }
 
-    let mut client = GatewayClient::with_name(&addr, &client_name)
-        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut client =
+        GatewayClient::connect_with(&addr, &client_name, ClientOptions { codec, window })
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+    let granted = client.granted();
     let total = jobs.len();
     let stats = client.submit_all(&jobs, batch).map_err(|e| format!("submit: {e}"))?;
     println!(
-        "submitted {}/{total} job(s) in {} batch(es): {} busy retr(y/ies), {} reconnect(s)",
-        stats.submitted, stats.batches, stats.busy_retries, stats.reconnects
+        "submitted {}/{total} job(s) in {} batch(es) [codec={} window={}]: \
+         {} busy retr(y/ies), {} reconnect(s)",
+        stats.submitted,
+        stats.batches,
+        granted.codec.name(),
+        granted.window,
+        stats.busy_retries,
+        stats.reconnects
     );
     let snap = client.snapshot().map_err(|e| format!("snapshot: {e}"))?;
     println!(

@@ -46,10 +46,13 @@ fn usage() -> &'static str {
      \u{20}      flowtree-repro serve <scenario> [--shards N] [--rate R] [--policy P] [--store DIR]\n\
      \u{20}                           [--metrics-addr HOST:PORT] [--flight FILE]\n\
      \u{20}      flowtree-repro gateway <scenario> --addr HOST:PORT [serve flags]\n\
-     \u{20}      flowtree-repro submit <scenario> --addr HOST:PORT [--replay FILE] [--drain]\n\
-     \u{20}      flowtree-repro store gc DIR [--dry-run]\n\
+     \u{20}      flowtree-repro submit <scenario> --addr HOST:PORT [--replay FILE]\n\
+     \u{20}                            [--codec json|bin] [--window N] [--drain]\n\
+     \u{20}      flowtree-repro store ls DIR\n\
+     \u{20}      flowtree-repro store gc DIR [--max-age DAYS] [--max-bytes N] [--dry-run]\n\
      \u{20}      flowtree-repro metrics ADDR [--raw] [--check] [--retry N]\n\
-     \u{20}      flowtree-repro bench [--quick] [--reps N] [--check BASELINE] [-o FILE]\n\
+     \u{20}      flowtree-repro bench [--serve | --gateway] [--quick] [--reps N]\n\
+     \u{20}                           [--check BASELINE] [-o FILE]\n\
      Runs the reproduction experiments for 'Scheduling Out-Trees Online to\n\
      Optimize Maximum Flow' (SPAA 2024) and prints markdown reports."
 }

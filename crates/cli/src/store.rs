@@ -1,27 +1,56 @@
 //! `flowtree-repro store` — maintenance verbs over the results store.
 //!
-//! `store gc DIR` compacts the store: records superseded by a newer run of
-//! the same `run_id` (an older `git` describe) are folded verbatim into
-//! `history.jsonl` next to the live files, so `report --trend` sees one
-//! generation per run while nothing is ever deleted. `--dry-run` prints the
-//! plan without touching a byte.
+//! `store ls DIR` summarizes the store without touching it: live record
+//! files (records, bytes, runs, git revisions), the folded history, and
+//! flight dumps. `store gc DIR` compacts the store: records superseded by
+//! a newer run of the same `run_id` (an older `git` describe) are folded
+//! verbatim into `history.jsonl` next to the live files, so `report
+//! --trend` sees one generation per run while nothing is ever deleted.
+//! With `--max-age DAYS` / `--max-bytes N`, gc additionally prunes the
+//! folded history itself, oldest generations first — the only place the
+//! store deletes anything. `--dry-run` prints the plan without touching a
+//! byte.
 
-use flowtree_serve::{gc_store, GcReport, HISTORY_FILE};
+use flowtree_serve::{
+    gc_store, ls_store, prune_history, GcReport, LsReport, PruneLimits, PruneReport, HISTORY_FILE,
+};
 use std::path::Path;
+
+const USAGE: &str = "usage: flowtree-repro store ls DIR\n\
+     \u{20}      flowtree-repro store gc DIR [--max-age DAYS] [--max-bytes N] [--dry-run]";
 
 /// Run `store <verb> [args]`.
 pub fn run(args: &[String]) -> Result<(), String> {
-    const USAGE: &str = "usage: flowtree-repro store gc DIR [--dry-run]";
     let Some(verb) = args.first() else {
         return Err(USAGE.into());
     };
     match verb.as_str() {
+        "ls" => {
+            let [dir] = &args[1..] else {
+                return Err(format!("store ls needs exactly one directory\n{USAGE}"));
+            };
+            let report = ls_store(Path::new(dir)).map_err(|e| format!("store ls {dir}: {e}"))?;
+            print!("{}", render_ls(dir, &report));
+            Ok(())
+        }
         "gc" => {
             let mut dir: Option<&str> = None;
             let mut dry_run = false;
-            for a in &args[1..] {
+            let mut limits = PruneLimits::default();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
                 match a.as_str() {
                     "--dry-run" => dry_run = true,
+                    "--max-age" => {
+                        let v = it.next().ok_or("--max-age needs a number of days")?;
+                        limits.max_age_days =
+                            Some(v.parse().map_err(|e| format!("--max-age {v}: {e}"))?);
+                    }
+                    "--max-bytes" => {
+                        let v = it.next().ok_or("--max-bytes needs a byte count")?;
+                        limits.max_bytes =
+                            Some(v.parse().map_err(|e| format!("--max-bytes {v}: {e}"))?);
+                    }
                     other if other.starts_with('-') => {
                         return Err(format!("unknown flag '{other}'\n{USAGE}"));
                     }
@@ -33,10 +62,56 @@ pub fn run(args: &[String]) -> Result<(), String> {
             let report =
                 gc_store(Path::new(dir), dry_run).map_err(|e| format!("store gc {dir}: {e}"))?;
             print!("{}", render_gc(dir, &report));
+            if limits.max_age_days.is_some() || limits.max_bytes.is_some() {
+                let pruned = prune_history(Path::new(dir), limits, dry_run)
+                    .map_err(|e| format!("store gc {dir}: prune history: {e}"))?;
+                print!("{}", render_prune(&pruned));
+            }
             Ok(())
         }
         other => Err(format!("unknown store verb '{other}'\n{USAGE}")),
     }
+}
+
+/// Render an [`LsReport`] as the `store ls` output.
+fn render_ls(dir: &str, report: &LsReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for f in &report.files {
+        let _ = writeln!(
+            out,
+            "{}: {} record(s), {} byte(s), run(s) [{}], rev(s) [{}]",
+            f.file,
+            f.records,
+            f.bytes,
+            f.runs.join(", "),
+            f.gits.join(", ")
+        );
+    }
+    if report.superseded > 0 {
+        let _ = writeln!(
+            out,
+            "{HISTORY_FILE}: {} superseded record(s), {} byte(s)",
+            report.superseded, report.history_bytes
+        );
+    }
+    if report.flight_files > 0 {
+        let _ = writeln!(
+            out,
+            "flight dumps: {} file(s), {} byte(s)",
+            report.flight_files, report.flight_bytes
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{dir}: {} run(s), {} live record(s), {} byte(s), {} git rev(s), {} superseded",
+        report.runs().len(),
+        report.total_records(),
+        report.total_bytes(),
+        report.gits().len(),
+        report.superseded
+    );
+    out
 }
 
 /// Render a [`GcReport`] as the command's output.
@@ -76,22 +151,53 @@ fn render_gc(dir: &str, report: &GcReport) -> String {
     out
 }
 
+/// Render a [`PruneReport`] as the retention part of `store gc` output.
+fn render_prune(report: &PruneReport) -> String {
+    let verb = if report.dry_run {
+        "would prune"
+    } else {
+        "pruned"
+    };
+    format!(
+        "{HISTORY_FILE}: {verb} {} of {} line(s), {} -> {} byte(s){}\n",
+        report.pruned,
+        report.scanned,
+        report.bytes_before,
+        report.bytes_after,
+        if report.dry_run {
+            " — dry run, nothing written"
+        } else {
+            ""
+        }
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flowtree_serve::GcFileReport;
+    use flowtree_serve::{GcFileReport, LsFileReport};
 
     #[test]
     fn argument_errors_are_clean() {
         assert!(run(&[]).unwrap_err().contains("usage"));
         assert!(run(&["shrink".into()]).unwrap_err().contains("unknown store verb"));
         assert!(run(&["gc".into()]).unwrap_err().contains("needs a directory"));
+        assert!(run(&["ls".into()]).unwrap_err().contains("exactly one directory"));
+        assert!(run(&["ls".into(), "a".into(), "b".into()])
+            .unwrap_err()
+            .contains("exactly one directory"));
         assert!(run(&["gc".into(), "dir".into(), "--nope".into()])
             .unwrap_err()
             .contains("unknown flag"));
         assert!(run(&["gc".into(), "a".into(), "b".into()])
             .unwrap_err()
             .contains("unexpected argument"));
+        assert!(run(&["gc".into(), "a".into(), "--max-age".into()])
+            .unwrap_err()
+            .contains("--max-age"));
+        assert!(run(&["gc".into(), "a".into(), "--max-bytes".into(), "lots".into()])
+            .unwrap_err()
+            .contains("--max-bytes"));
     }
 
     #[test]
@@ -110,13 +216,58 @@ mod tests {
     }
 
     #[test]
+    fn ls_and_prune_render_summaries() {
+        let report = LsReport {
+            files: vec![LsFileReport {
+                file: "r1.jsonl".into(),
+                records: 3,
+                bytes: 999,
+                runs: vec!["r1".into()],
+                gits: vec!["aaa".into(), "bbb".into()],
+            }],
+            superseded: 2,
+            history_bytes: 400,
+            flight_files: 1,
+            flight_bytes: 50,
+        };
+        let text = render_ls("results/store", &report);
+        assert!(text.contains("r1.jsonl: 3 record(s), 999 byte(s)"), "{text}");
+        assert!(text.contains("run(s) [r1]"), "{text}");
+        assert!(text.contains("rev(s) [aaa, bbb]"), "{text}");
+        assert!(text.contains("history.jsonl: 2 superseded record(s)"), "{text}");
+        assert!(text.contains("flight dumps: 1 file(s)"), "{text}");
+        assert!(text.contains("1 run(s), 3 live record(s)"), "{text}");
+
+        let plan = PruneReport {
+            scanned: 5,
+            pruned: 2,
+            bytes_before: 100,
+            bytes_after: 60,
+            dry_run: true,
+        };
+        let text = render_prune(&plan);
+        assert!(text.contains("would prune 2 of 5 line(s), 100 -> 60 byte(s)"), "{text}");
+        let done = PruneReport { dry_run: false, ..plan };
+        assert!(render_prune(&done).contains("pruned 2 of 5"), "{}", render_prune(&done));
+    }
+
+    #[test]
     fn gc_over_a_real_store_matches_the_library_report() {
         let dir = std::env::temp_dir().join(format!("flowtree-store-cli-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("empty.jsonl"), "").unwrap();
+        run(&["ls".into(), dir.to_str().unwrap().into()]).unwrap();
         run(&["gc".into(), dir.to_str().unwrap().into(), "--dry-run".into()]).unwrap();
-        run(&["gc".into(), dir.to_str().unwrap().into()]).unwrap();
+        run(&[
+            "gc".into(),
+            dir.to_str().unwrap().into(),
+            "--max-age".into(),
+            "30".into(),
+            "--max-bytes".into(),
+            "1000000".into(),
+        ])
+        .unwrap();
         assert!(!dir.join(HISTORY_FILE).exists(), "nothing to fold, no history file");
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -2,24 +2,51 @@
 //!
 //! [`GatewayClient`] keeps one TCP connection, dialed lazily: the first
 //! call (and the first call after a connection dies) connects and performs
-//! the `Hello`/`Welcome` handshake. An I/O failure marks the connection
-//! dead; the *next* call dials fresh, so a replay driver survives a
-//! gateway restart mid-stream by just retrying the failed batch —
-//! reconnect-and-resume, counted in [`GatewayClient::reconnects`].
+//! the `Hello`/`Welcome` handshake — which also negotiates the hot-message
+//! codec and the ack window ([`ClientOptions`]). An I/O failure marks the
+//! connection dead; the *next* call dials fresh, so a replay driver
+//! survives a gateway restart mid-stream by just retrying the unsettled
+//! batches — reconnect-and-resume, counted in
+//! [`GatewayClient::reconnects`].
+//!
+//! [`submit_all`](GatewayClient::submit_all) is the streaming hot path:
+//! with a negotiated window `w` it keeps up to `w` submit frames in
+//! flight, encoding each batch into one reused buffer, and settles the
+//! gateway's cumulative `ack{frames}` / `busy{frames}` replies as they
+//! arrive. With `w = 1` (the default, and what old gateways grant) it
+//! degrades to the classic stop-and-wait exchange.
 
 use crate::wire::{
-    decode, encode, read_frame, write_frame, FrameError, Reply, Request, MAX_FRAME,
-    PROTOCOL_VERSION,
+    decode_reply, encode_request_into, encode_submit_batch_into, read_frame_into, write_frame,
+    FrameError, Reply, Request, WireCodec, MAX_FRAME, PROTOCOL_VERSION,
 };
 use flowtree_dag::Time;
 use flowtree_serve::IngestStats;
 use flowtree_sim::JobSpec;
+use std::collections::VecDeque;
 use std::net::TcpStream;
 use std::time::Duration;
 
-/// How many times one batch may fail on I/O (each retry on a fresh
+/// How many times one replay may fail on I/O (each retry on a fresh
 /// connection) before [`GatewayClient::submit_all`] gives up.
 const MAX_IO_RETRIES: u64 = 3;
+
+/// Connection preferences, requested in the hello and granted (possibly
+/// clamped) by the gateway's welcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientOptions {
+    /// Hot-message codec to request.
+    pub codec: WireCodec,
+    /// Ack window to request: submit frames in flight before the client
+    /// must collect a reply. `1` is stop-and-wait.
+    pub window: u64,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions { codec: WireCodec::Json, window: 1 }
+    }
+}
 
 /// A client-side failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,9 +100,9 @@ pub enum SubmitOutcome {
 pub struct ClientRunStats {
     /// Jobs accepted by the gateway.
     pub submitted: u64,
-    /// Accepted batches.
+    /// Accepted submit frames (batches).
     pub batches: u64,
-    /// Busy replies absorbed (each one slept and retried).
+    /// Busy replies absorbed (each one slept and retried its frames).
     pub busy_retries: u64,
     /// Fresh connections dialed after the first.
     pub reconnects: u64,
@@ -103,8 +130,16 @@ pub struct RemoteSnapshot {
 pub struct GatewayClient {
     addr: String,
     name: String,
+    opts: ClientOptions,
+    /// What the gateway granted on the *current* connection (reset to the
+    /// conservative defaults on every redial until the welcome arrives).
+    granted: ClientOptions,
     conn: Option<TcpStream>,
     dials: u64,
+    /// Reused frame-encode and frame-read buffers (no allocation per
+    /// frame on the hot path).
+    sbuf: Vec<u8>,
+    rbuf: Vec<u8>,
 }
 
 impl GatewayClient {
@@ -117,14 +152,31 @@ impl GatewayClient {
     /// [`connect`](Self::connect) with an explicit client name (shows up
     /// in the gateway's flight-recorder drain event).
     pub fn with_name(addr: &str, name: &str) -> Result<Self, ClientError> {
+        Self::connect_with(addr, name, ClientOptions::default())
+    }
+
+    /// [`with_name`](Self::with_name) plus codec/window negotiation. The
+    /// gateway may clamp the request; [`granted`](Self::granted) tells
+    /// what this connection actually speaks.
+    pub fn connect_with(addr: &str, name: &str, opts: ClientOptions) -> Result<Self, ClientError> {
         let mut c = GatewayClient {
             addr: addr.to_string(),
             name: name.to_string(),
+            opts,
+            granted: ClientOptions::default(),
             conn: None,
             dials: 0,
+            sbuf: Vec::new(),
+            rbuf: Vec::new(),
         };
         c.ensure_connected()?;
         Ok(c)
+    }
+
+    /// What the current connection negotiated (the conservative defaults
+    /// until a welcome has granted more).
+    pub fn granted(&self) -> ClientOptions {
+        self.granted
     }
 
     /// Fresh connections dialed after the first (0 = never reconnected).
@@ -146,9 +198,20 @@ impl GatewayClient {
         let _ = stream.set_nodelay(true);
         self.dials += 1;
         self.conn = Some(stream);
-        let hello = Request::Hello { proto: PROTOCOL_VERSION, client: self.name.clone() };
+        // Until the welcome says otherwise, speak the lowest common
+        // denominator (JSON, stop-and-wait).
+        self.granted = ClientOptions::default();
+        let hello = Request::Hello {
+            proto: PROTOCOL_VERSION,
+            client: self.name.clone(),
+            codec: self.opts.codec,
+            window: self.opts.window,
+        };
         match self.roundtrip(&hello) {
-            Ok(Reply::Welcome { .. }) => Ok(()),
+            Ok(Reply::Welcome { codec, window, .. }) => {
+                self.granted = ClientOptions { codec, window: window.max(1) };
+                Ok(())
+            }
             Ok(Reply::Reject { reason }) => {
                 self.conn = None;
                 Err(ClientError::Rejected(reason))
@@ -164,18 +227,27 @@ impl GatewayClient {
         }
     }
 
+    /// Write one already-encoded frame from the send buffer.
+    fn send_frame(&mut self) -> Result<(), ClientError> {
+        let stream = self.conn.as_ref().expect("send needs a connection");
+        write_frame(&mut &*stream, &self.sbuf).map_err(|e| ClientError::Io(e.to_string()))
+    }
+
+    /// Read and decode one reply frame into the reused read buffer.
+    fn recv_reply(&mut self) -> Result<Reply, ClientError> {
+        let stream = self.conn.as_ref().expect("recv needs a connection");
+        match read_frame_into(&mut &*stream, MAX_FRAME, &mut self.rbuf) {
+            Ok(true) => decode_reply(&self.rbuf).map_err(ClientError::Protocol),
+            Ok(false) => Err(ClientError::Closed),
+            Err(e) => Err(ClientError::Frame(e)),
+        }
+    }
+
     /// One request/reply exchange on the live connection. Any failure
     /// marks the connection dead so the next call redials.
     fn roundtrip(&mut self, req: &Request) -> Result<Reply, ClientError> {
-        let stream = self.conn.as_ref().expect("roundtrip needs a connection");
-        let outcome = (|| {
-            write_frame(&mut &*stream, &encode(req)).map_err(|e| ClientError::Io(e.to_string()))?;
-            match read_frame(&mut &*stream, MAX_FRAME) {
-                Ok(Some(payload)) => decode::<Reply>(&payload).map_err(ClientError::Protocol),
-                Ok(None) => Err(ClientError::Closed),
-                Err(e) => Err(ClientError::Frame(e)),
-            }
-        })();
+        encode_request_into(req, self.granted.codec, &mut self.sbuf);
+        let outcome = self.send_frame().and_then(|()| self.recv_reply());
         if outcome.is_err() {
             self.conn = None;
         }
@@ -198,28 +270,30 @@ impl GatewayClient {
 
     /// Offer one job.
     pub fn submit(&mut self, job: JobSpec) -> Result<SubmitOutcome, ClientError> {
-        self.submit_reply(Request::Submit { job })
+        self.submit_reply(&Request::Submit { job })
     }
 
     /// Offer a batch (all-or-nothing: `Busy` means none were offered).
     pub fn submit_batch(&mut self, jobs: Vec<JobSpec>) -> Result<SubmitOutcome, ClientError> {
-        self.submit_reply(Request::SubmitBatch { jobs })
+        self.submit_reply(&Request::SubmitBatch { jobs })
     }
 
-    fn submit_reply(&mut self, req: Request) -> Result<SubmitOutcome, ClientError> {
-        match self.call(&req)? {
-            Reply::Ack { seq, delta } => Ok(SubmitOutcome::Accepted { seq, delta }),
-            Reply::Busy { retry_after_ms } => Ok(SubmitOutcome::Busy { retry_after_ms }),
+    fn submit_reply(&mut self, req: &Request) -> Result<SubmitOutcome, ClientError> {
+        match self.call(req)? {
+            Reply::Ack { seq, delta, .. } => Ok(SubmitOutcome::Accepted { seq, delta }),
+            Reply::Busy { retry_after_ms, .. } => Ok(SubmitOutcome::Busy { retry_after_ms }),
             Reply::Reject { reason } => Err(ClientError::Rejected(reason)),
             other => Err(ClientError::Protocol(format!("expected ack/busy, got {other:?}"))),
         }
     }
 
     /// Drive a whole job list through the gateway in batches of `batch`,
-    /// sleeping through `Busy` replies and redialing through connection
-    /// failures (each failed batch is retried whole on the fresh
+    /// keeping up to the granted window of frames in flight, sleeping
+    /// through `Busy` replies (which cover the oldest in-flight frames —
+    /// those are re-queued in order) and redialing through connection
+    /// failures. A redial re-sends every unsettled frame on the fresh
     /// connection — the gateway never saw it, or saw it and the ledger
-    /// keeps it; either way the pool's books stay balanced).
+    /// keeps it; either way the pool's books stay balanced.
     pub fn submit_all(
         &mut self,
         jobs: &[JobSpec],
@@ -227,27 +301,73 @@ impl GatewayClient {
     ) -> Result<ClientRunStats, ClientError> {
         let batch = batch.max(1);
         let mut stats = ClientRunStats::default();
-        for chunk in jobs.chunks(batch) {
-            let mut io_failures = 0u64;
-            loop {
-                match self.submit_batch(chunk.to_vec()) {
-                    Ok(SubmitOutcome::Accepted { .. }) => {
-                        stats.submitted += chunk.len() as u64;
-                        stats.batches += 1;
-                        break;
-                    }
-                    Ok(SubmitOutcome::Busy { retry_after_ms }) => {
-                        stats.busy_retries += 1;
-                        std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 1000)));
-                    }
-                    Err(e @ (ClientError::Io(_) | ClientError::Closed | ClientError::Frame(_)))
-                        if io_failures < MAX_IO_RETRIES =>
-                    {
-                        let _ = e;
-                        io_failures += 1;
-                    }
-                    Err(e) => return Err(e),
+        let chunks: Vec<&[JobSpec]> = jobs.chunks(batch).collect();
+        let mut to_send: VecDeque<usize> = (0..chunks.len()).collect();
+        let mut in_flight: VecDeque<usize> = VecDeque::new();
+        let mut io_failures = 0u64;
+        while !to_send.is_empty() || !in_flight.is_empty() {
+            // A dead connection re-queues every unsettled frame, in order.
+            if self.conn.is_none() {
+                while let Some(idx) = in_flight.pop_back() {
+                    to_send.push_front(idx);
                 }
+            }
+            let outcome = (|| -> Result<(), ClientError> {
+                self.ensure_connected()?;
+                let window = self.granted.window.max(1) as usize;
+                while !to_send.is_empty() || !in_flight.is_empty() {
+                    while in_flight.len() < window {
+                        let Some(idx) = to_send.pop_front() else {
+                            break;
+                        };
+                        encode_submit_batch_into(chunks[idx], self.granted.codec, &mut self.sbuf);
+                        self.send_frame()?;
+                        in_flight.push_back(idx);
+                    }
+                    match self.recv_reply()? {
+                        Reply::Ack { frames, .. } => {
+                            let settled = (frames.max(1) as usize).min(in_flight.len());
+                            for _ in 0..settled {
+                                let idx = in_flight.pop_front().expect("counted");
+                                stats.submitted += chunks[idx].len() as u64;
+                                stats.batches += 1;
+                            }
+                        }
+                        Reply::Busy { retry_after_ms, frames } => {
+                            stats.busy_retries += 1;
+                            // The refused frames are the oldest in flight;
+                            // they re-queue *ahead* of anything unsent so
+                            // the job stream stays in order.
+                            let refused = (frames.max(1) as usize).min(in_flight.len());
+                            for i in (0..refused).rev() {
+                                let idx =
+                                    in_flight.remove(i).expect("refused frames are in flight");
+                                to_send.push_front(idx);
+                            }
+                            std::thread::sleep(Duration::from_millis(
+                                retry_after_ms.clamp(1, 1000),
+                            ));
+                        }
+                        Reply::Reject { reason } => return Err(ClientError::Rejected(reason)),
+                        other => {
+                            return Err(ClientError::Protocol(format!(
+                                "expected ack/busy, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(())
+            })();
+            match outcome {
+                Ok(()) => break,
+                Err(e @ (ClientError::Io(_) | ClientError::Closed | ClientError::Frame(_)))
+                    if io_failures < MAX_IO_RETRIES =>
+                {
+                    let _ = e;
+                    io_failures += 1;
+                    self.conn = None;
+                }
+                Err(e) => return Err(e),
             }
         }
         stats.reconnects = self.reconnects();

@@ -2,10 +2,12 @@
 //!
 //! Everything in [`flowtree_serve`] assumes the arrival source lives in
 //! the server process. This crate puts the shard pool behind a socket: a
-//! length-framed JSON [`wire`] protocol, a multi-client [`Gateway`] server
-//! that multiplexes any number of connections into one
-//! [`PoolHandle`](flowtree_serve::PoolHandle), and a blocking
-//! [`GatewayClient`] with reconnect-and-resume for replay drivers.
+//! length-framed [`wire`] protocol (JSON control plane plus a negotiated
+//! binary codec for the hot messages), an event-driven [`Gateway`] server
+//! that multiplexes any number of connections onto a fixed worker pool
+//! feeding one [`PoolHandle`](flowtree_serve::PoolHandle), and a blocking
+//! [`GatewayClient`] with pipelined submits and reconnect-and-resume for
+//! replay drivers.
 //!
 //! Design invariants, pinned by the integration tests:
 //!
@@ -28,9 +30,13 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientError, ClientRunStats, GatewayClient, RemoteSnapshot, SubmitOutcome};
+pub use client::{
+    ClientError, ClientOptions, ClientRunStats, GatewayClient, RemoteSnapshot, SubmitOutcome,
+};
 pub use server::{Gateway, GatewayConfig, GatewayStats};
 pub use wire::{
-    decode, encode, read_frame, read_frame_patient, write_frame, FrameError, Reply, Request,
+    decode, decode_reply, decode_request, decode_submit_into, encode, encode_reply_into,
+    encode_request_into, encode_submit_batch_into, read_frame, read_frame_into, read_frame_patient,
+    read_frame_patient_into, write_frame, FrameError, Reply, Request, WireCodec, BINARY_MARKER,
     MAX_FRAME, PROTOCOL_VERSION,
 };

@@ -1,34 +1,64 @@
-//! The gateway server: one accept loop multiplexing any number of client
-//! connections into a single [`PoolHandle`].
+//! The gateway server: an event-driven connection loop multiplexing any
+//! number of client connections into a single [`PoolHandle`].
 //!
-//! Each connection gets a handler thread speaking the [`wire`](crate::wire)
-//! protocol. Handlers never block inside the pool on a client's behalf:
-//! when the pool's policy is `block` (and stealing is off), a batch that
-//! would block is answered with [`Reply::Busy`] *before* being offered, so
-//! backpressure becomes a wire-level retry loop instead of a stalled
-//! handler, and the ledger invariant `delivered + dropped + staged ==
-//! offered` stays exact across all clients combined.
+//! An accept thread hands each connection to one of a fixed pool of worker
+//! threads (round-robin). Every worker owns a set of *nonblocking* sockets
+//! and loops over them: drain readable bytes into a per-connection buffer,
+//! parse complete frames in place, handle them, and flush buffered replies
+//! without ever blocking on a peer — so thousands of mostly-idle clients
+//! cost a handful of threads, not one thread each. std has no portable
+//! readiness API, so the loop is a polling one with an adaptive idle
+//! strategy: yield while hot (a reply is usually answered within one
+//! scheduler quantum), back off to millisecond sleeps only when every
+//! connection has gone quiet.
+//!
+//! Consecutive submit frames on one connection coalesce into a single
+//! pool offer answered by one cumulative `ack{seq,delta,frames}` — the
+//! group closes when the connection's negotiated window fills, a
+//! non-submit frame arrives, or the readable bytes run dry. Workers never
+//! block inside the pool on a client's behalf: when the pool's policy is
+//! `block` (and stealing is off), a group that would block is answered
+//! with [`Reply::Busy`] *before* being offered, so backpressure becomes a
+//! wire-level retry loop instead of a stalled worker, and the ledger
+//! invariant `delivered + dropped + staged == offered` stays exact across
+//! all clients combined.
 //!
 //! Connection lifecycle (`conn-open` / `conn-close`) and every `Busy`
 //! shed land in shard 0's flight-recorder ring — the router's shard — so
 //! `report --flight` shows the network edge next to steals and swaps.
 
 use crate::wire::{
-    decode, encode, read_frame_patient, write_frame, FrameError, Reply, Request, MAX_FRAME,
+    decode_request, decode_submit_into, encode_reply_into, Reply, Request, WireCodec, MAX_FRAME,
     PROTOCOL_VERSION,
 };
 use flowtree_core::SchedulerSpec;
 use flowtree_serve::{FlightKind, OverloadPolicy, PoolHandle};
 use flowtree_sim::JobSpec;
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-/// How often an idle handler re-checks the shutdown flag.
-const IDLE_POLL: Duration = Duration::from_millis(100);
+/// Consecutive no-progress worker iterations before the loop stops
+/// yielding and starts sleeping.
+const IDLE_YIELDS: u32 = 64;
+
+/// Idle iterations after which the sleep stretches from 1 ms to
+/// [`DEEP_IDLE_SLEEP`] — a long-quiet gateway should not tax a loaded
+/// host with timer wakeups.
+const DEEP_IDLE_AFTER: u32 = 200;
+
+/// The deep-idle sleep.
+const DEEP_IDLE_SLEEP: Duration = Duration::from_millis(10);
+
+/// Per-connection read chunk; also bounds how much one connection can
+/// pull in per worker iteration (fairness across connections).
+const READ_CHUNK: usize = 16 << 10;
+
+/// Compact a buffer once this many consumed bytes sit in front of it.
+const COMPACT_AT: usize = 64 << 10;
 
 /// Gateway tuning knobs.
 #[derive(Debug, Clone)]
@@ -37,11 +67,20 @@ pub struct GatewayConfig {
     pub max_frame: usize,
     /// Back-off suggested in [`Reply::Busy`].
     pub retry_after_ms: u64,
+    /// Event-loop worker threads; `0` picks `min(cores, 4)`.
+    pub workers: usize,
+    /// Ceiling on the ack window a client may negotiate in its hello.
+    pub max_window: u64,
 }
 
 impl Default for GatewayConfig {
     fn default() -> Self {
-        GatewayConfig { max_frame: MAX_FRAME, retry_after_ms: 50 }
+        GatewayConfig {
+            max_frame: MAX_FRAME,
+            retry_after_ms: 50,
+            workers: 0,
+            max_window: 256,
+        }
     }
 }
 
@@ -54,7 +93,7 @@ pub struct GatewayStats {
     pub connections_total: AtomicU64,
     /// Jobs offered to the pool on behalf of remote clients.
     pub remote_jobs: AtomicU64,
-    /// Batches answered with [`Reply::Busy`].
+    /// Submit groups answered with [`Reply::Busy`].
     pub busy_replies: AtomicU64,
     /// Frames that failed to frame or parse.
     pub wire_errors: AtomicU64,
@@ -89,7 +128,7 @@ impl GatewayStats {
                 "busy_replies_total",
                 "counter",
                 self.busy_replies.load(Ordering::Relaxed),
-                "Batches refused with a busy reply.",
+                "Submit groups refused with a busy reply.",
             ),
             (
                 "wire_errors_total",
@@ -108,14 +147,14 @@ impl GatewayStats {
     }
 }
 
-/// A running gateway: accept loop plus one handler thread per connection.
+/// A running gateway: accept loop plus a fixed pool of event-loop workers.
 #[derive(Debug)]
 pub struct Gateway {
     addr: SocketAddr,
     stats: Arc<GatewayStats>,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
     drain_rx: mpsc::Receiver<String>,
 }
 
@@ -127,14 +166,35 @@ impl Gateway {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(GatewayStats::default());
-        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let (drain_tx, drain_rx) = mpsc::channel();
+
+        let nworkers = if cfg.workers == 0 {
+            thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4)
+        } else {
+            cfg.workers
+        };
+        let mut workers = Vec::with_capacity(nworkers);
+        let mut conn_txs = Vec::with_capacity(nworkers);
+        for w in 0..nworkers {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            conn_txs.push(tx);
+            let handle = handle.clone();
+            let cfg = cfg.clone();
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let drain_tx = drain_tx.clone();
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("gateway-worker-{w}"))
+                    .spawn(move || worker_loop(rx, handle, &cfg, &stats, &stop, &drain_tx))?,
+            );
+        }
 
         let accept = {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
-            let handlers = Arc::clone(&handlers);
             thread::Builder::new().name("gateway-accept".into()).spawn(move || {
+                let mut next = 0usize;
                 for conn in listener.incoming() {
                     if stop.load(Ordering::SeqCst) {
                         break;
@@ -145,24 +205,10 @@ impl Gateway {
                     };
                     stats.connections_total.fetch_add(1, Ordering::SeqCst);
                     stats.connections_open.fetch_add(1, Ordering::SeqCst);
-                    let conn_id = stats.connections_total.load(Ordering::SeqCst);
-                    let handle = handle.clone();
-                    let cfg = cfg.clone();
-                    let conn_stats = Arc::clone(&stats);
-                    let stop = Arc::clone(&stop);
-                    let drain_tx = drain_tx.clone();
-                    let spawned = thread::Builder::new()
-                        .name(format!("gateway-conn-{conn_id}"))
-                        .spawn(move || {
-                            serve_conn(stream, handle, &cfg, &conn_stats, &stop, &drain_tx);
-                            conn_stats.connections_open.fetch_sub(1, Ordering::SeqCst);
-                        });
-                    match spawned {
-                        Ok(h) => handlers.lock().expect("gateway handler list").push(h),
-                        Err(_) => {
-                            stats.connections_open.fetch_sub(1, Ordering::SeqCst);
-                        }
+                    if conn_txs[next % conn_txs.len()].send(stream).is_err() {
+                        stats.connections_open.fetch_sub(1, Ordering::SeqCst);
                     }
+                    next += 1;
                 }
             })?
         };
@@ -172,7 +218,7 @@ impl Gateway {
             stats,
             stop,
             accept: Some(accept),
-            handlers,
+            workers,
             drain_rx,
         })
     }
@@ -193,9 +239,9 @@ impl Gateway {
         self.drain_rx.recv().ok()
     }
 
-    /// Stop accepting, wake idle handlers, and join every thread. Safe to
-    /// call with connections still open — handlers notice within
-    /// [`IDLE_POLL`] and close.
+    /// Stop accepting, wake the workers out of their polling loops, and
+    /// join every thread. Safe to call with connections still open —
+    /// workers flush what they can and close.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Poke the blocking accept loop awake with a throwaway connection.
@@ -203,172 +249,495 @@ impl Gateway {
         if let Some(t) = self.accept.take() {
             let _ = t.join();
         }
-        let handlers = std::mem::take(&mut *self.handlers.lock().expect("gateway handler list"));
-        for h in handlers {
-            let _ = h.join();
+        for w in std::mem::take(&mut self.workers) {
+            let _ = w.join();
         }
     }
 }
 
-fn send(stream: &TcpStream, reply: &Reply) -> io::Result<()> {
-    write_frame(&mut &*stream, &encode(reply))
+/// One connection's state inside a worker's event loop.
+struct Conn {
+    stream: TcpStream,
+    peer: String,
+    /// Client name from the hello; the handshake gate is `hello`.
+    client: String,
+    hello: bool,
+    seq: u64,
+    /// Granted codec for hot *replies* (requests are sniffed per frame).
+    codec: WireCodec,
+    /// Granted ack window: submit frames that may coalesce into one ack.
+    window: u64,
+    /// Read buffer; `rpos` is the parse cursor (consumed prefix).
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Write buffer; `wpos` is the flush cursor (already-sent prefix).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Jobs staged from not-yet-acknowledged submit frames of the open
+    /// group, and each staged frame's job count (so a group can split on
+    /// a frame boundary when the pool only has room for a prefix).
+    pending: Vec<JobSpec>,
+    pending_lens: Vec<usize>,
+    /// Flush remaining writes, then close cleanly (drain, fatal reject).
+    close_after_flush: bool,
+    dead: bool,
 }
 
-/// One connection's protocol loop. Runs on its own thread; exits on client
-/// EOF, an unrecoverable framing error, a drain request, or shutdown.
-fn serve_conn(
-    stream: TcpStream,
+impl Conn {
+    fn adopt(stream: TcpStream) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".to_string());
+        Ok(Conn {
+            stream,
+            peer,
+            client: String::new(),
+            hello: false,
+            seq: 0,
+            codec: WireCodec::Json,
+            window: 1,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: Vec::new(),
+            pending_lens: Vec::new(),
+            close_after_flush: false,
+            dead: false,
+        })
+    }
+}
+
+/// Everything a worker needs to handle frames, bundled so the per-frame
+/// handlers stay readable.
+struct WorkerCtx<'a> {
+    handle: &'a PoolHandle,
+    cfg: &'a GatewayConfig,
+    stats: &'a GatewayStats,
+    drain_tx: &'a mpsc::Sender<String>,
+    /// Reply-encode scratch, shared across this worker's connections.
+    scratch: Vec<u8>,
+}
+
+impl WorkerCtx<'_> {
+    /// Encode `reply` in the connection's granted codec and append it,
+    /// framed, to the connection's write buffer.
+    fn queue_reply(&mut self, conn: &mut Conn, reply: &Reply) {
+        encode_reply_into(reply, conn.codec, &mut self.scratch);
+        let len = (self.scratch.len() as u32).to_be_bytes();
+        conn.wbuf.extend_from_slice(&len);
+        conn.wbuf.extend_from_slice(&self.scratch);
+    }
+}
+
+/// The event loop: adopt new connections, step each live one, reap the
+/// dead, and idle adaptively when nothing moved.
+fn worker_loop(
+    rx: mpsc::Receiver<TcpStream>,
     handle: PoolHandle,
     cfg: &GatewayConfig,
     stats: &GatewayStats,
     stop: &AtomicBool,
     drain_tx: &mpsc::Sender<String>,
 ) {
-    let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".to_string());
-    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
-        return;
-    }
-    let _ = handle.record_flight(0, FlightKind::ConnOpen, 0, peer.clone());
-    let mut client = String::new();
-    let mut seq: u64 = 0;
-
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut ctx = WorkerCtx { handle: &handle, cfg, stats, drain_tx, scratch: Vec::new() };
+    let mut chunk = vec![0u8; READ_CHUNK];
+    let mut idle = 0u32;
     loop {
-        let payload = match read_frame_patient(&mut &stream, cfg.max_frame, &mut || {
-            !stop.load(Ordering::SeqCst)
-        }) {
-            Ok(Some(p)) => p,
-            Ok(None) => break,
-            Err(FrameError::Oversized { len, max }) => {
-                // The announced length is a lie we refuse to read through,
-                // so frame sync is unrecoverable: reject, then close.
-                stats.wire_errors.fetch_add(1, Ordering::SeqCst);
-                let _ = send(
-                    &stream,
-                    &Reply::Reject {
-                        reason: format!("frame of {len} bytes exceeds the {max}-byte limit"),
-                    },
-                );
+        let stopping = stop.load(Ordering::SeqCst);
+        let mut progress = false;
+        while let Ok(stream) = rx.try_recv() {
+            progress = true;
+            match Conn::adopt(stream) {
+                Ok(conn) => {
+                    let _ = handle.record_flight(0, FlightKind::ConnOpen, 0, conn.peer.clone());
+                    conns.push(conn);
+                }
+                Err(_) => {
+                    stats.connections_open.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+        for conn in &mut conns {
+            progress |= step_conn(conn, &mut ctx, &mut chunk);
+        }
+        conns.retain(|c| {
+            if c.dead {
+                let _ = handle.record_flight(0, FlightKind::ConnClose, 0, c.peer.clone());
+                stats.connections_open.fetch_sub(1, Ordering::SeqCst);
+            }
+            !c.dead
+        });
+        if stopping {
+            for conn in &mut conns {
+                flush_writes(conn);
+                let _ = handle.record_flight(0, FlightKind::ConnClose, 0, conn.peer.clone());
+                stats.connections_open.fetch_sub(1, Ordering::SeqCst);
+            }
+            break;
+        }
+        if progress {
+            idle = 0;
+        } else {
+            idle = idle.saturating_add(1);
+            if idle <= IDLE_YIELDS {
+                thread::yield_now();
+            } else if idle <= DEEP_IDLE_AFTER {
+                thread::sleep(Duration::from_millis(1));
+            } else {
+                thread::sleep(DEEP_IDLE_SLEEP);
+            }
+        }
+    }
+}
+
+/// One scheduling quantum for one connection: flush, read, parse, handle.
+/// Returns whether any byte moved (the worker's idle signal).
+fn step_conn(conn: &mut Conn, ctx: &mut WorkerCtx<'_>, chunk: &mut [u8]) -> bool {
+    if conn.dead {
+        return false;
+    }
+    let mut progress = flush_writes(conn);
+    if conn.dead {
+        return progress;
+    }
+    if conn.close_after_flush {
+        if conn.wpos == conn.wbuf.len() {
+            conn.dead = true;
+        }
+        return progress;
+    }
+
+    // Pull in whatever is readable, up to the fairness cap.
+    let mut saw_eof = false;
+    let mut pulled = 0usize;
+    loop {
+        match conn.stream.read(chunk) {
+            Ok(0) => {
+                saw_eof = true;
                 break;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                pulled += n;
+                progress = true;
+                if n < chunk.len() || pulled >= 4 * READ_CHUNK {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                break
             }
             Err(_) => {
-                stats.wire_errors.fetch_add(1, Ordering::SeqCst);
+                ctx.stats.wire_errors.fetch_add(1, Ordering::SeqCst);
+                conn.dead = true;
+                return progress;
+            }
+        }
+    }
+
+    // Parse and handle every complete frame already buffered.
+    while !conn.dead && !conn.close_after_flush {
+        let avail = conn.rbuf.len() - conn.rpos;
+        if avail < 4 {
+            break;
+        }
+        let header: [u8; 4] = conn.rbuf[conn.rpos..conn.rpos + 4].try_into().expect("4 bytes");
+        let len = u32::from_be_bytes(header) as usize;
+        if len > ctx.cfg.max_frame {
+            // The announced length is a lie we refuse to read through, so
+            // frame sync is unrecoverable: reject, then close.
+            ctx.stats.wire_errors.fetch_add(1, Ordering::SeqCst);
+            flush_group(conn, ctx);
+            let reason =
+                format!("frame of {len} bytes exceeds the {}-byte limit", ctx.cfg.max_frame);
+            ctx.queue_reply(conn, &Reply::Reject { reason });
+            conn.close_after_flush = true;
+            break;
+        }
+        if avail < 4 + len {
+            break;
+        }
+        let start = conn.rpos + 4;
+        conn.rpos = start + len;
+        progress = true;
+        handle_frame(conn, start, start + len, ctx);
+    }
+
+    // Input ran dry: a natural group boundary.
+    if !conn.dead && !conn.close_after_flush {
+        flush_group(conn, ctx);
+    }
+
+    // Reclaim consumed read-buffer space.
+    if conn.rpos == conn.rbuf.len() {
+        conn.rbuf.clear();
+        conn.rpos = 0;
+    } else if conn.rpos > COMPACT_AT {
+        conn.rbuf.drain(..conn.rpos);
+        conn.rpos = 0;
+    }
+
+    if saw_eof && !conn.dead {
+        if conn.rpos < conn.rbuf.len() {
+            // The peer hung up mid-frame.
+            ctx.stats.wire_errors.fetch_add(1, Ordering::SeqCst);
+            conn.dead = true;
+        } else {
+            conn.close_after_flush = true;
+        }
+    }
+
+    progress | flush_writes(conn)
+}
+
+/// Nonblocking write of the connection's buffered replies. Returns
+/// whether any byte left.
+fn flush_writes(conn: &mut Conn) -> bool {
+    let mut progress = false;
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                conn.dead = true;
                 break;
             }
-        };
-        let req = match decode::<Request>(&payload) {
-            Ok(r) => r,
-            Err(e) => {
-                // Framing held, so the stream is still in sync: reject the
-                // message and keep serving the connection.
-                stats.wire_errors.fetch_add(1, Ordering::SeqCst);
-                if send(&stream, &Reply::Reject { reason: format!("bad request: {e}") }).is_err() {
-                    break;
-                }
-                continue;
+            Ok(n) => {
+                conn.wpos += n;
+                progress = true;
             }
-        };
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                break
+            }
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    } else if conn.wpos > COMPACT_AT {
+        conn.wbuf.drain(..conn.wpos);
+        conn.wpos = 0;
+    }
+    progress
+}
 
-        let reply = match req {
-            Request::Hello { proto, client: name } => {
-                if proto != PROTOCOL_VERSION {
-                    let reason =
-                        format!("protocol {proto} unsupported (gateway speaks {PROTOCOL_VERSION})");
-                    let _ = send(&stream, &Reply::Reject { reason });
-                    break;
-                }
-                client = name;
-                let pool = handle.config();
-                Reply::Welcome {
-                    proto: PROTOCOL_VERSION,
-                    shards: pool.shards,
-                    scheduler: pool.spec.name().to_string(),
-                    policy: pool.policy.name().to_string(),
-                }
+/// Handle the frame at `rbuf[start..end]`.
+fn handle_frame(conn: &mut Conn, start: usize, end: usize, ctx: &mut WorkerCtx<'_>) {
+    if !conn.hello {
+        match decode_request(&conn.rbuf[start..end]) {
+            Ok(Request::Hello { proto, client, codec, window }) => {
+                hello(conn, ctx, proto, client, codec, window)
             }
-            _ if client.is_empty() => Reply::Reject { reason: "say hello first".to_string() },
-            Request::Submit { job } => submit(&handle, cfg, stats, &peer, &mut seq, vec![job]),
-            Request::SubmitBatch { jobs } => submit(&handle, cfg, stats, &peer, &mut seq, jobs),
-            Request::Watermark { t } => match handle.advance_frontier(t) {
-                Ok(delta) => {
-                    seq += 1;
-                    Reply::Ack { seq, delta }
-                }
-                Err(e) => Reply::Reject { reason: String::from(e) },
-            },
-            Request::Swap { shard, at, spec } => {
-                let target = usize::try_from(shard).ok();
-                match spec.parse::<SchedulerSpec>() {
-                    Ok(s) => match handle.swap(target, at, s) {
-                        Ok(()) => {
-                            seq += 1;
-                            Reply::Ack { seq, delta: Default::default() }
-                        }
-                        Err(e) => Reply::Reject { reason: String::from(e) },
-                    },
-                    Err(e) => Reply::Reject { reason: e },
-                }
+            Ok(_) => {
+                ctx.queue_reply(conn, &Reply::Reject { reason: "say hello first".to_string() })
             }
-            Request::Snapshot => {
-                let snap = handle.snapshot();
-                Reply::State {
+            Err(e) => {
+                ctx.stats.wire_errors.fetch_add(1, Ordering::SeqCst);
+                ctx.queue_reply(conn, &Reply::Reject { reason: format!("bad request: {e}") });
+            }
+        }
+        return;
+    }
+
+    // The hot path: stage submit frames straight into the open group.
+    match decode_submit_into(&conn.rbuf[start..end], &mut conn.pending) {
+        Ok(Some(jobs)) => {
+            conn.pending_lens.push(jobs);
+            if conn.pending_lens.len() as u64 >= conn.window {
+                flush_group(conn, ctx);
+            }
+            return;
+        }
+        Ok(None) => {}
+        Err(e) => {
+            // Framing held, so the stream is still in sync: close the open
+            // group, reject the message, keep serving the connection.
+            flush_group(conn, ctx);
+            ctx.stats.wire_errors.fetch_add(1, Ordering::SeqCst);
+            ctx.queue_reply(conn, &Reply::Reject { reason: format!("bad request: {e}") });
+            return;
+        }
+    }
+
+    // A control frame closes the open group first so replies stay in
+    // request order.
+    flush_group(conn, ctx);
+    let req = match decode_request(&conn.rbuf[start..end]) {
+        Ok(r) => r,
+        Err(e) => {
+            ctx.stats.wire_errors.fetch_add(1, Ordering::SeqCst);
+            ctx.queue_reply(conn, &Reply::Reject { reason: format!("bad request: {e}") });
+            return;
+        }
+    };
+    match req {
+        Request::Hello { proto, client, codec, window } => {
+            hello(conn, ctx, proto, client, codec, window)
+        }
+        Request::Submit { .. } | Request::SubmitBatch { .. } => {
+            unreachable!("submit frames are staged above")
+        }
+        Request::Watermark { t } => match ctx.handle.advance_frontier(t) {
+            Ok(delta) => {
+                conn.seq += 1;
+                ctx.queue_reply(conn, &Reply::Ack { seq: conn.seq, delta, frames: 0 });
+            }
+            Err(e) => ctx.queue_reply(conn, &Reply::Reject { reason: String::from(e) }),
+        },
+        Request::Swap { shard, at, spec } => {
+            let target = usize::try_from(shard).ok();
+            match spec.parse::<SchedulerSpec>() {
+                Ok(s) => match ctx.handle.swap(target, at, s) {
+                    Ok(()) => {
+                        conn.seq += 1;
+                        ctx.queue_reply(
+                            conn,
+                            &Reply::Ack { seq: conn.seq, delta: Default::default(), frames: 0 },
+                        );
+                    }
+                    Err(e) => ctx.queue_reply(conn, &Reply::Reject { reason: String::from(e) }),
+                },
+                Err(e) => ctx.queue_reply(conn, &Reply::Reject { reason: e }),
+            }
+        }
+        Request::Snapshot => {
+            let snap = ctx.handle.snapshot();
+            ctx.queue_reply(
+                conn,
+                &Reply::State {
                     line: snap.line(),
                     offered: snap.ingest.offered,
                     delivered: snap.ingest.delivered,
                     dropped: snap.ingest.dropped,
                     staged: snap.in_flight(),
                     balanced: snap.accounting_balanced(),
-                }
-            }
-            Request::Metrics => {
-                let mut text = handle.metrics().render_prometheus();
-                text.push_str(&stats.render_prometheus());
-                Reply::MetricsText { text }
-            }
-            Request::Drain => {
-                seq += 1;
-                let _ = send(&stream, &Reply::Ack { seq, delta: Default::default() });
-                let _ = drain_tx.send(client.clone());
-                break;
-            }
-        };
-        if send(&stream, &reply).is_err() {
-            break;
+                },
+            );
+        }
+        Request::Metrics => {
+            let mut text = ctx.handle.metrics().render_prometheus();
+            text.push_str(&ctx.stats.render_prometheus());
+            ctx.queue_reply(conn, &Reply::MetricsText { text });
+        }
+        Request::Drain => {
+            conn.seq += 1;
+            ctx.queue_reply(
+                conn,
+                &Reply::Ack { seq: conn.seq, delta: Default::default(), frames: 0 },
+            );
+            let _ = ctx.drain_tx.send(conn.client.clone());
+            conn.close_after_flush = true;
         }
     }
-
-    let _ = handle.record_flight(0, FlightKind::ConnClose, 0, peer);
 }
 
-/// The submit path shared by `Submit` and `SubmitBatch`. Whole-batch
-/// semantics: either every job is offered or none is (a [`Reply::Busy`])
-/// — partial ingest would make the per-reply ledger delta ambiguous.
-fn submit(
-    handle: &PoolHandle,
-    cfg: &GatewayConfig,
-    stats: &GatewayStats,
-    peer: &str,
-    seq: &mut u64,
-    mut jobs: Vec<JobSpec>,
-) -> Reply {
-    let n = jobs.len();
-    let pool = handle.config();
+/// Apply a hello: version-check, then grant codec and window.
+fn hello(
+    conn: &mut Conn,
+    ctx: &mut WorkerCtx<'_>,
+    proto: u32,
+    client: String,
+    codec: WireCodec,
+    window: u64,
+) {
+    if proto != PROTOCOL_VERSION {
+        let reason = format!("protocol {proto} unsupported (gateway speaks {PROTOCOL_VERSION})");
+        ctx.queue_reply(conn, &Reply::Reject { reason });
+        conn.close_after_flush = true;
+        return;
+    }
+    conn.hello = true;
+    conn.client = client;
+    conn.codec = codec;
+    conn.window = window.clamp(1, ctx.cfg.max_window.max(1));
+    let pool = ctx.handle.config();
+    ctx.queue_reply(
+        conn,
+        &Reply::Welcome {
+            proto: PROTOCOL_VERSION,
+            shards: pool.shards,
+            scheduler: pool.spec.name().to_string(),
+            policy: pool.policy.name().to_string(),
+            codec: conn.codec,
+            window: conn.window,
+        },
+    );
+}
+
+/// Close the connection's open submit group: one room check, one pool
+/// offer, one cumulative reply per outcome. A *frame* is all-or-nothing
+/// (partial ingest of a frame would make its ledger delta ambiguous), but
+/// the group may split on a frame boundary: under the blocking policy the
+/// longest prefix of whole frames that fits the router's free room is
+/// offered and acknowledged cumulatively, and only the remaining tail is
+/// refused with one [`Reply::Busy`]. Replies are queued in frame order
+/// (ack before busy), so a FIFO client settles the oldest frames first —
+/// and a pipelined window larger than the pool's free room still makes
+/// progress instead of bouncing whole.
+fn flush_group(conn: &mut Conn, ctx: &mut WorkerCtx<'_>) {
+    let total_frames = conn.pending_lens.len();
+    if total_frames == 0 {
+        return;
+    }
+    let pool = ctx.handle.config();
     // Only the blocking policy (without stealing's staged escape hatch)
     // can stall the router; map that stall onto the wire as Busy *before*
-    // offering, so a refused batch touches no ledger counter.
-    let would_block =
-        pool.policy == OverloadPolicy::Block && pool.steal.is_none() && handle.ingress_room() < n;
-    if would_block {
-        stats.busy_replies.fetch_add(1, Ordering::SeqCst);
-        let t = jobs.first().map(|j| j.release).unwrap_or(0);
-        let _ = handle.record_flight(0, FlightKind::Busy, t, format!("{peer} batch of {n}"));
-        return Reply::Busy { retry_after_ms: cfg.retry_after_ms };
-    }
-    match handle.offer_batch_stamped(&mut jobs, handle.now_us()) {
-        Ok(delta) => {
-            stats.remote_jobs.fetch_add(n as u64, Ordering::SeqCst);
-            *seq += 1;
-            Reply::Ack { seq: *seq, delta }
+    // offering, so a refused frame touches no ledger counter.
+    let gated = pool.policy == OverloadPolicy::Block && pool.steal.is_none();
+    let (admit_frames, admit_jobs) = if gated {
+        let room = ctx.handle.ingress_room();
+        let mut jobs = 0usize;
+        let mut frames = 0usize;
+        for &len in &conn.pending_lens {
+            if jobs + len > room {
+                break;
+            }
+            jobs += len;
+            frames += 1;
         }
-        Err(e) => Reply::Reject { reason: String::from(e) },
+        (frames, jobs)
+    } else {
+        (total_frames, conn.pending.len())
+    };
+    let busy_frames = (total_frames - admit_frames) as u64;
+    if busy_frames > 0 {
+        // The refused tail is the client's to resend; drop it before the
+        // offer so the pool only ever sees the admitted prefix.
+        let refused = conn.pending.len() - admit_jobs;
+        ctx.stats.busy_replies.fetch_add(1, Ordering::SeqCst);
+        let t = conn.pending.get(admit_jobs).map(|j| j.release).unwrap_or(0);
+        let detail = format!("{} batch of {refused}", conn.peer);
+        let _ = ctx.handle.record_flight(0, FlightKind::Busy, t, detail);
+        conn.pending.truncate(admit_jobs);
     }
+    if admit_frames > 0 {
+        match ctx.handle.offer_batch_stamped(&mut conn.pending, ctx.handle.now_us()) {
+            Ok(delta) => {
+                ctx.stats.remote_jobs.fetch_add(admit_jobs as u64, Ordering::SeqCst);
+                conn.seq += 1;
+                ctx.queue_reply(
+                    conn,
+                    &Reply::Ack { seq: conn.seq, delta, frames: admit_frames as u64 },
+                );
+            }
+            Err(e) => {
+                conn.pending.clear();
+                ctx.queue_reply(conn, &Reply::Reject { reason: String::from(e) });
+            }
+        }
+    }
+    if busy_frames > 0 {
+        ctx.queue_reply(
+            conn,
+            &Reply::Busy { retry_after_ms: ctx.cfg.retry_after_ms, frames: busy_frames },
+        );
+    }
+    conn.pending.clear();
+    conn.pending_lens.clear();
 }

@@ -8,7 +8,9 @@
 //! * a client that loses its connection resumes on a fresh one.
 
 use flowtree_core::SchedulerSpec;
-use flowtree_gateway::{ClientError, Gateway, GatewayClient, GatewayConfig, SubmitOutcome};
+use flowtree_gateway::{
+    ClientError, ClientOptions, Gateway, GatewayClient, GatewayConfig, SubmitOutcome, WireCodec,
+};
 use flowtree_serve::{FlightKind, OverloadPolicy, ServeConfig, ShardPool, StoreRecord};
 use flowtree_sim::Instance;
 use flowtree_workloads::mix::Scenario;
@@ -79,6 +81,79 @@ fn remote_replay_matches_in_process_serve_byte_for_byte() {
 }
 
 #[test]
+fn binary_pipelined_replay_matches_in_process_serve_byte_for_byte() {
+    let inst = service_instance(48, 13);
+    let shards = 2;
+
+    let twin = ShardPool::launch(pool_config(shards)).expect("launch twin");
+    let mut jobs = inst.jobs().to_vec();
+    twin.offer_batch(&mut jobs).expect("offer");
+    let twin_lines = drained_record_lines(twin, shards);
+
+    // Remote: binary codec, 8 submit frames in flight, coalesced acks.
+    // Grouped offers are still in arrival order, so placement — and the
+    // drained store bytes — cannot move.
+    let pool = ShardPool::launch(pool_config(shards)).expect("launch");
+    let gw = Gateway::launch("127.0.0.1:0", pool.handle(), GatewayConfig::default())
+        .expect("gateway up");
+    let addr = gw.addr().to_string();
+    let wanted = ClientOptions { codec: WireCodec::Binary, window: 8 };
+    let mut client = GatewayClient::connect_with(&addr, "bin-diff", wanted).expect("connect");
+    assert_eq!(client.granted(), wanted, "gateway should grant the requested negotiation");
+    let stats = client.submit_all(inst.jobs(), 5).expect("replay");
+    assert_eq!(stats.submitted, 48);
+    assert_eq!(stats.busy_retries, 0, "ample queues should never push back");
+    client.drain().expect("drain request");
+    assert_eq!(gw.wait_drain().as_deref(), Some("bin-diff"));
+    gw.shutdown();
+    let remote_lines = drained_record_lines(pool, shards);
+
+    assert_eq!(remote_lines, twin_lines, "binary replay must be bit-for-bit the serve path");
+}
+
+#[test]
+fn mixed_codec_clients_share_a_gateway_and_match_the_twin() {
+    let inst = service_instance(32, 17);
+    let shards = 2;
+
+    let twin = ShardPool::launch(pool_config(shards)).expect("launch twin");
+    let mut jobs = inst.jobs().to_vec();
+    twin.offer_batch(&mut jobs).expect("offer");
+    let twin_lines = drained_record_lines(twin, shards);
+
+    // Two clients with both connections open at once, one per codec; they
+    // submit disjoint contiguous halves in order, so the byte-for-byte
+    // guarantee composes across codecs.
+    let pool = ShardPool::launch(pool_config(shards)).expect("launch");
+    let gw = Gateway::launch("127.0.0.1:0", pool.handle(), GatewayConfig::default())
+        .expect("gateway up");
+    let addr = gw.addr().to_string();
+    let mut json_side = GatewayClient::connect_with(
+        &addr,
+        "json-side",
+        ClientOptions { codec: WireCodec::Json, window: 1 },
+    )
+    .expect("connect json");
+    let mut bin_side = GatewayClient::connect_with(
+        &addr,
+        "bin-side",
+        ClientOptions { codec: WireCodec::Binary, window: 4 },
+    )
+    .expect("connect bin");
+    let (first, second) = inst.jobs().split_at(16);
+    assert_eq!(json_side.submit_all(first, 3).expect("json half").submitted, 16);
+    assert_eq!(bin_side.submit_all(second, 7).expect("bin half").submitted, 16);
+
+    let snap = json_side.snapshot().expect("snapshot");
+    assert_eq!(snap.offered, 32, "both codecs' jobs are on one ledger");
+    assert!(snap.balanced, "mixed codecs must leave the books balanced: {}", snap.line);
+
+    gw.shutdown();
+    let remote_lines = drained_record_lines(pool, shards);
+    assert_eq!(remote_lines, twin_lines, "mixed-codec replay must match the serve path");
+}
+
+#[test]
 fn interleaved_clients_lose_no_job_and_balance_the_ledger() {
     let shards = 2;
     // Tiny queues so clients genuinely contend and absorb Busy replies.
@@ -99,13 +174,21 @@ fn interleaved_clients_lose_no_job_and_balance_the_ledger() {
 
     let clients = 3;
     let per_client = 20usize;
+    // One codec/window shape per client: the contended ledger must stay
+    // exact whatever mix of negotiations shares the gateway.
+    let shapes = [
+        ClientOptions { codec: WireCodec::Json, window: 1 },
+        ClientOptions { codec: WireCodec::Binary, window: 4 },
+        ClientOptions { codec: WireCodec::Binary, window: 16 },
+    ];
     let workers: Vec<_> = (0..clients)
         .map(|c| {
             let addr = addr.clone();
+            let opts = shapes[c];
             std::thread::spawn(move || {
                 let inst = service_instance(per_client, 100 + c as u64);
-                let mut client =
-                    GatewayClient::with_name(&addr, &format!("client-{c}")).expect("connect");
+                let mut client = GatewayClient::connect_with(&addr, &format!("client-{c}"), opts)
+                    .expect("connect");
                 client.submit_all(inst.jobs(), 3).expect("replay")
             })
         })
@@ -200,6 +283,45 @@ fn client_resumes_on_a_fresh_connection_after_a_drop() {
 }
 
 #[test]
+fn binary_client_resumes_mid_stream_and_still_matches_the_twin() {
+    let inst = service_instance(24, 19);
+    let shards = 2;
+
+    let twin = ShardPool::launch(pool_config(shards)).expect("launch twin");
+    let mut jobs = inst.jobs().to_vec();
+    twin.offer_batch(&mut jobs).expect("offer");
+    let twin_lines = drained_record_lines(twin, shards);
+
+    // A pipelined binary client loses its connection partway through the
+    // stream. Every settled frame stays settled and the resumed stream
+    // lands the rest exactly once — the drained bytes cannot tell.
+    let pool = ShardPool::launch(pool_config(shards)).expect("launch");
+    let gw = Gateway::launch("127.0.0.1:0", pool.handle(), GatewayConfig::default())
+        .expect("gateway up");
+    let mut client = GatewayClient::connect_with(
+        &gw.addr().to_string(),
+        "bin-resume",
+        ClientOptions { codec: WireCodec::Binary, window: 4 },
+    )
+    .expect("connect");
+    let (first, rest) = inst.jobs().split_at(10);
+    assert_eq!(client.submit_all(first, 3).expect("first leg").submitted, 10);
+    client.disconnect();
+    let stats = client.submit_all(rest, 3).expect("resumed leg");
+    assert_eq!(client.reconnects(), 1, "exactly one redial after the drop");
+    assert_eq!(stats.submitted, 14);
+    assert_eq!(
+        client.granted(),
+        ClientOptions { codec: WireCodec::Binary, window: 4 },
+        "the fresh connection renegotiates the same options"
+    );
+
+    gw.shutdown();
+    let remote_lines = drained_record_lines(pool, shards);
+    assert_eq!(remote_lines, twin_lines, "a mid-stream redial must not change the bytes");
+}
+
+#[test]
 fn hello_is_mandatory_and_version_checked() {
     let pool = ShardPool::launch(pool_config(1)).expect("launch");
     let gw = Gateway::launch("127.0.0.1:0", pool.handle(), GatewayConfig::default())
@@ -210,7 +332,12 @@ fn hello_is_mandatory_and_version_checked() {
     {
         use flowtree_gateway::{decode, encode, read_frame, write_frame, Reply, Request};
         let stream = std::net::TcpStream::connect(&addr).expect("dial");
-        let bad = Request::Hello { proto: 99, client: "liar".into() };
+        let bad = Request::Hello {
+            proto: 99,
+            client: "liar".into(),
+            codec: flowtree_gateway::WireCodec::Json,
+            window: 1,
+        };
         write_frame(&mut &stream, &encode(&bad)).expect("send");
         let payload = read_frame(&mut &stream, 1 << 20).expect("reply").expect("frame");
         match decode::<Reply>(&payload).expect("parse") {

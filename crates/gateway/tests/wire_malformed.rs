@@ -5,10 +5,11 @@
 
 use flowtree_core::SchedulerSpec;
 use flowtree_gateway::{
-    decode, encode, read_frame, write_frame, Gateway, GatewayClient, GatewayConfig, Reply, Request,
-    SubmitOutcome, PROTOCOL_VERSION,
+    decode, decode_submit_into, encode, encode_submit_batch_into, read_frame, write_frame, Gateway,
+    GatewayClient, GatewayConfig, Reply, Request, SubmitOutcome, WireCodec, PROTOCOL_VERSION,
 };
 use flowtree_serve::{ServeConfig, ShardPool};
+use flowtree_sim::JobSpec;
 use flowtree_workloads::mix::Scenario;
 use proptest::prelude::*;
 use std::io::Write as _;
@@ -34,7 +35,8 @@ fn dial(gw: &Gateway) -> TcpStream {
 }
 
 fn hello(stream: &TcpStream) {
-    let req = Request::Hello { proto: PROTOCOL_VERSION, client: "hostile".into() };
+    let req = Request::hello("hostile");
+    assert!(matches!(req, Request::Hello { proto, .. } if proto == PROTOCOL_VERSION));
     write_frame(&mut &*stream, &encode(&req)).expect("send hello");
     let payload = read_frame(&mut &*stream, 1 << 20).expect("reply").expect("frame");
     assert!(matches!(decode::<Reply>(&payload).expect("parse"), Reply::Welcome { .. }));
@@ -162,5 +164,34 @@ proptest! {
             prop_assert_eq!(got.as_deref(), Some(&p[..]));
         }
         prop_assert_eq!(read_frame(&mut r, 1 << 20).unwrap(), None);
+    }
+
+    /// Any job batch survives the binary codec unchanged, and stages
+    /// exactly the same jobs the JSON encoding of the batch stages —
+    /// the two codecs are interchangeable on the wire.
+    #[test]
+    fn binary_codec_roundtrips_any_job_batch(
+        shapes in proptest::collection::vec((1usize..40, 0u64..1_000_000u64), 0..12),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = flowtree_workloads::rng(seed);
+        let jobs: Vec<JobSpec> = shapes
+            .iter()
+            .map(|&(n, release)| JobSpec {
+                graph: flowtree_workloads::trees::random_recursive_tree(n, &mut rng),
+                release,
+            })
+            .collect();
+        let mut bin = Vec::new();
+        encode_submit_batch_into(&jobs, WireCodec::Binary, &mut bin);
+        let mut staged = Vec::new();
+        prop_assert_eq!(decode_submit_into(&bin, &mut staged).unwrap(), Some(jobs.len()));
+        prop_assert_eq!(&staged, &jobs);
+
+        let mut json = Vec::new();
+        encode_submit_batch_into(&jobs, WireCodec::Json, &mut json);
+        let mut staged_json = Vec::new();
+        prop_assert_eq!(decode_submit_into(&json, &mut staged_json).unwrap(), Some(jobs.len()));
+        prop_assert_eq!(staged_json, staged);
     }
 }

@@ -62,8 +62,9 @@ pub use pool::{
 pub use shard::{Arrival, ShardResult, ShardSnapshot, SwapEvent};
 pub use source::{channel_source, ArrivalSource, ChannelSource, GeneratorSource, ReplaySource};
 pub use store::{
-    gc_store, git_describe, load_records, run_id, GcFileReport, GcReport, ResultsStore,
-    StoreRecord, HISTORY_FILE,
+    gc_store, git_describe, load_records, ls_store, prune_history, run_id, GcFileReport, GcReport,
+    LsFileReport, LsReport, PruneLimits, PruneReport, ResultsStore, StoreRecord, HISTORY_FILE,
+    HISTORY_META_FILE,
 };
 pub use telemetry::{
     load_flight_jsonl, scrape_metrics, serve_metrics, serve_metrics_with, write_flight_jsonl,

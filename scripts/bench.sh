@@ -3,6 +3,7 @@
 # baselines at the repo root (diff them across PRs):
 #   BENCH_engine.json  engine matrix (workload x scheduler single-run cells)
 #   BENCH_serve.json   serve matrix  (fixed-seed replay through real ShardPools)
+#   BENCH_gateway.json gateway matrix (loopback replay: clients x batch x codec x window)
 # Extra flags are passed through to `flowtree-repro bench` (e.g. --quick,
 # --reps N).
 set -euo pipefail
@@ -16,3 +17,6 @@ target/release/flowtree-repro bench "$@" -o BENCH_engine.json
 
 echo "==> flowtree-repro bench --serve $* -o BENCH_serve.json"
 target/release/flowtree-repro bench --serve "$@" -o BENCH_serve.json
+
+echo "==> flowtree-repro bench --gateway $* -o BENCH_gateway.json"
+target/release/flowtree-repro bench --gateway "$@" -o BENCH_gateway.json

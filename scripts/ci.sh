@@ -28,6 +28,11 @@ cargo run --release -p flowtree-cli -- bench --serve --quick --check BENCH_serve
     -o /tmp/flowtree_serve_bench_smoke.json >/dev/null
 rm -f /tmp/flowtree_serve_bench_smoke.json
 
+echo "==> gateway bench regression gate (--gateway --quick --check vs committed baseline)"
+cargo run --release -p flowtree-cli -- bench --gateway --quick --check BENCH_gateway.json \
+    -o /tmp/flowtree_gateway_bench_smoke.json >/dev/null
+rm -f /tmp/flowtree_gateway_bench_smoke.json
+
 echo "==> serve smoke (2 shards, fixed seed, bounded horizon, clean drain)"
 SMOKE_STORE=$(mktemp -d)
 cargo run --release -q -p flowtree-cli -- serve service --shards 2 --rate 1.0 \
@@ -124,6 +129,44 @@ cargo run --release -q -p flowtree-cli -- report --flight "$GW_STORE/wire" \
     | grep -q 'conn-open' \
     || { echo "gateway smoke: no conn-open flight event"; exit 1; }
 rm -rf "$GW_STORE" "$GW_TRACE"
+
+echo "==> mixed-codec gateway smoke (json + binary clients split one replay, byte for byte)"
+MX_STORE=$(mktemp -d)
+MX_ADDR=127.0.0.1:19203
+MX_TRACE=$(mktemp /tmp/flowtree_mx_trace.XXXXXX.json)
+# One fixed-seed trace split across two clients on different codecs: a
+# JSON client submits the first half, then a binary pipelined client the
+# second. Arrival order matches the in-process twin, so the drained store
+# must again be byte-for-byte identical.
+cargo run --release -q -p flowtree-cli -- gen service --jobs 24 --seed 9 \
+    -o "$MX_TRACE" >/dev/null
+cargo run --release -q -p flowtree-cli -- serve service --shards 2 --rate 1.0 \
+    --scheduler fifo -m 4 --replay "$MX_TRACE" --horizon 100000 \
+    --store "$MX_STORE/twin" --run-id smoke >/dev/null
+cargo run --release -q -p flowtree-cli -- gateway service --addr "$MX_ADDR" \
+    --shards 2 --scheduler fifo -m 4 --store "$MX_STORE/wire" --run-id smoke \
+    >/dev/null 2>&1 &
+MX_PID=$!
+MX_FIRST=0
+for _ in $(seq 1 100); do
+    if cargo run --release -q -p flowtree-cli -- submit service \
+        --addr "$MX_ADDR" --replay "$MX_TRACE" --batch 5 --codec json \
+        --take 12 >/dev/null 2>&1; then
+        MX_FIRST=1
+        break
+    fi
+    kill -0 "$MX_PID" 2>/dev/null || break
+    sleep 0.05
+done
+[ "$MX_FIRST" = 1 ] || { echo "mixed-codec smoke: json client never connected"; exit 1; }
+cargo run --release -q -p flowtree-cli -- submit service --addr "$MX_ADDR" \
+    --replay "$MX_TRACE" --batch 5 --codec bin --window 8 --skip 12 --drain \
+    >/dev/null \
+    || { echo "mixed-codec smoke: binary client failed"; exit 1; }
+wait "$MX_PID" || { echo "mixed-codec smoke: gateway run failed"; exit 1; }
+cmp -s "$MX_STORE/twin/smoke.jsonl" "$MX_STORE/wire/smoke.jsonl" \
+    || { echo "mixed-codec smoke: store records differ from in-process serve"; exit 1; }
+rm -rf "$MX_STORE" "$MX_TRACE"
 
 echo "==> store gc --dry-run over the committed store corpus"
 cargo run --release -q -p flowtree-cli -- store gc results/store --dry-run >/dev/null
